@@ -1,0 +1,10 @@
+"""Figure-reproduction benchmarks (pytest-benchmark).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_figNN`` module corresponds to one figure of the paper's
+evaluation (see DESIGN.md's per-experiment index); regenerated figure rows
+are attached to each benchmark's ``extra_info``.
+"""

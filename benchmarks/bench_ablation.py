@@ -1,0 +1,69 @@
+"""DESIGN.md §5 ablations not covered by a single paper figure:
+
+* node fill factor's effect on the Figure 10 front-half fraction;
+* NTG fixed group-size sweep vs the model's choice;
+* core substrate micro-benchmarks (traversal, layout build, movement).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HarmoniaTree, SearchConfig
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import search_batch, traverse_batch
+from repro.gpusim import simulate_harmonia_search
+from repro.gpusim.perfmodel import modeled_throughput
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+@pytest.mark.parametrize("fill", [0.5, 0.7, 1.0])
+def test_ablation_fill_factor_front_half(benchmark, fill):
+    from repro.analysis.node_usage import node_quarter_distribution
+
+    keys = make_key_set(8_000, rng=17)
+    layout = HarmoniaLayout.from_sorted(keys, fanout=64, fill=fill)
+    dist = benchmark(node_quarter_distribution, layout, n_queries=4_000, rng=18)
+    benchmark.extra_info["fill"] = fill
+    benchmark.extra_info["front_half"] = round(dist.front_half, 3)
+    # Fuller nodes push searches deeper into the key region.
+    if fill == 0.5:
+        assert dist.front_half > 0.9
+
+
+@pytest.mark.parametrize("gs", [1, 2, 4, 8, 16, 32])
+def test_ablation_fixed_group_size(benchmark, bench_tree, prepared_full,
+                                   device, gs):
+    metrics = benchmark.pedantic(
+        simulate_harmonia_search,
+        args=(bench_tree.layout, prepared_full.queries, gs),
+        kwargs={"device": device, "early_exit": gs < 32},
+        rounds=1, iterations=1,
+    )
+    tp = modeled_throughput(metrics, bench_tree.layout, device)
+    benchmark.extra_info["gs"] = gs
+    benchmark.extra_info["modeled_gqs"] = round(tp / 1e9, 3)
+
+
+def test_micro_traverse_batch(benchmark, bench_tree, bench_queries):
+    trace = benchmark(traverse_batch, bench_tree.layout, bench_queries)
+    assert trace.n_queries == bench_queries.size
+
+
+def test_micro_search_batch(benchmark, bench_tree, bench_queries):
+    out = benchmark(search_batch, bench_tree.layout, bench_queries)
+    assert out.size == bench_queries.size
+
+
+def test_micro_layout_build(benchmark, bench_keys):
+    layout = benchmark(HarmoniaLayout.from_sorted, bench_keys, None, 64, 0.7)
+    assert layout.n_keys == bench_keys.size
+
+
+def test_micro_range_scan(benchmark, bench_tree, bench_keys):
+    lo, hi = int(bench_keys[100]), int(bench_keys[4_000])
+
+    def scan():
+        return bench_tree.range_search(lo, hi)
+
+    k, v = benchmark(scan)
+    assert k.size == 3_901

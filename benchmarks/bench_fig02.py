@@ -1,0 +1,11 @@
+"""Figure 2 bench — memory transactions per warp on the naive GPU tree."""
+
+from repro.analysis.gaps import memory_transaction_gap
+
+
+def test_fig02_memory_transaction_gap(benchmark):
+    gap = benchmark(memory_transaction_gap, n_queries=20_000, rng=0)
+    benchmark.extra_info["worst"] = round(gap.worst, 3)
+    benchmark.extra_info["measured"] = round(gap.measured, 3)
+    benchmark.extra_info["best"] = gap.best
+    assert 0.9 * gap.worst <= gap.measured <= gap.worst

@@ -1,0 +1,13 @@
+"""Figure 3 bench — per-level comparison divergence."""
+
+from repro.analysis.gaps import build_gap_tree, query_divergence_gap
+
+
+def test_fig03_query_divergence(benchmark):
+    layout = build_gap_tree(rng=0)
+    div = benchmark(query_divergence_gap, n_queries=100, layout=layout, rng=0)
+    for row in div.rows():
+        benchmark.extra_info[f"level{row['tree_level']}"] = (
+            f"min={row['min']} avg={row['avg']} max={row['max']}"
+        )
+    assert 2.0 <= float(div.avg_comparisons.mean()) <= 6.0

@@ -1,0 +1,48 @@
+"""Figure 8 bench — sorting cost vs search gain.
+
+Times the three real preprocessing paths (none / partial / full radix
+sort); modeled normalized totals ride along in extra_info.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.psa import fully_sorted_batch, identity_batch, prepare_batch
+from repro.experiments.fig08_psa_overhead import _one_size
+from benchmarks.conftest import N_KEYS, N_QUERIES
+
+
+@pytest.fixture(scope="module")
+def raw_queries(bench_queries):
+    return np.ascontiguousarray(bench_queries)
+
+
+def test_fig08_original_no_sort(benchmark, raw_queries):
+    out = benchmark(identity_batch, raw_queries)
+    benchmark.extra_info["sort_passes"] = out.sort_passes
+
+
+def test_fig08_partial_sort(benchmark, raw_queries, bench_tree):
+    bits_space = bench_tree.layout.key_space_bits()
+    out = benchmark(
+        prepare_batch, raw_queries, tree_size=N_KEYS, key_bits=bits_space
+    )
+    benchmark.extra_info["sort_passes"] = out.sort_passes
+
+
+def test_fig08_full_sort(benchmark, raw_queries):
+    out = benchmark(fully_sorted_batch, raw_queries)
+    benchmark.extra_info["sort_passes"] = out.sort_passes
+
+
+def test_fig08_modeled_totals(benchmark, device):
+    data = benchmark.pedantic(
+        _one_size, args=(N_KEYS, N_QUERIES, 0), kwargs={"device": device},
+        rounds=1, iterations=1,
+    )
+    base = data["original"]["search_s"]
+    for name in ("original", "sorted", "ps"):
+        benchmark.extra_info[f"{name}_total_norm"] = round(
+            data[name]["total_s"] / base, 3
+        )
+    assert data["ps"]["total_s"] <= data["original"]["total_s"]

@@ -1,0 +1,17 @@
+"""Figure 10 bench — node-quarter usage distribution."""
+
+import pytest
+
+from repro.analysis.node_usage import (
+    build_random_insertion_tree,
+    node_quarter_distribution,
+)
+
+
+@pytest.mark.parametrize("fanout", [8, 32, 128])
+def test_fig10_quarter_distribution(benchmark, fanout):
+    layout = build_random_insertion_tree(6_000, fanout=fanout, rng=fanout)
+    dist = benchmark(node_quarter_distribution, layout, n_queries=5_000,
+                     rng=fanout)
+    benchmark.extra_info.update(dist.row())
+    assert dist.front_half >= 0.6

@@ -1,0 +1,53 @@
+"""Figure 11 bench — overall throughput, Harmonia vs HB+tree.
+
+Times the real vectorized executions of both systems on the same batch;
+modeled GPU throughput (the paper's metric) rides along in extra_info.
+"""
+
+from repro.core import SearchConfig
+from repro.gpusim import simulate_harmonia_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+
+
+def test_fig11_harmonia_search(benchmark, bench_tree, bench_queries,
+                               prepared_full, device):
+    out = benchmark(bench_tree.search_batch, bench_queries, SearchConfig.full())
+    assert out.size == bench_queries.size
+    metrics = simulate_harmonia_search(
+        bench_tree.layout, prepared_full.queries, prepared_full.group_size,
+        device=device,
+    )
+    sort_s = estimate_sort_time(
+        bench_queries.size, prepared_full.psa.sort_passes, device
+    )
+    tp = modeled_throughput(metrics, bench_tree.layout, device, sort_s=sort_s)
+    benchmark.extra_info["modeled_gqs"] = round(tp / 1e9, 3)
+    benchmark.extra_info["group_size"] = prepared_full.group_size
+
+
+def test_fig11_hbtree_search(benchmark, bench_hbtree, bench_queries, device):
+    out = benchmark(bench_hbtree.search_batch, bench_queries)
+    assert out.size == bench_queries.size
+    metrics = bench_hbtree.simulate_search(bench_queries, device=device)
+    tp = modeled_throughput(metrics, bench_hbtree._layout, device)
+    benchmark.extra_info["modeled_gqs"] = round(tp / 1e9, 3)
+
+
+def test_fig11_modeled_speedup(benchmark, bench_tree, bench_hbtree,
+                               bench_queries, prepared_full, device):
+    def speedup():
+        m_ha = simulate_harmonia_search(
+            bench_tree.layout, prepared_full.queries,
+            prepared_full.group_size, device=device,
+        )
+        m_hb = bench_hbtree.simulate_search(bench_queries, device=device)
+        sort_s = estimate_sort_time(
+            bench_queries.size, prepared_full.psa.sort_passes, device
+        )
+        tp_ha = modeled_throughput(m_ha, bench_tree.layout, device, sort_s=sort_s)
+        tp_hb = modeled_throughput(m_hb, bench_hbtree._layout, device)
+        return tp_ha / tp_hb
+
+    ratio = benchmark.pedantic(speedup, rounds=1, iterations=1)
+    benchmark.extra_info["modeled_speedup"] = round(ratio, 2)
+    assert ratio > 1.0

@@ -1,0 +1,43 @@
+"""Figure 12 bench — nvprof-style counter ratios, plus the cached-children
+ablation (DESIGN.md §5)."""
+
+from repro.gpusim import simulate_harmonia_search
+
+
+def test_fig12_profile_ratios(benchmark, bench_tree, bench_hbtree,
+                              bench_queries, prepared_full, device):
+    def profile():
+        m_hb = bench_hbtree.simulate_search(bench_queries, device=device)
+        m_ha = simulate_harmonia_search(
+            bench_tree.layout, prepared_full.queries,
+            prepared_full.group_size, device=device,
+        )
+        return m_hb, m_ha
+
+    m_hb, m_ha = benchmark.pedantic(profile, rounds=1, iterations=1)
+    tx = m_ha.gld_transactions / m_hb.gld_transactions
+    divg = m_ha.transactions_per_request / m_hb.transactions_per_request
+    coh = m_ha.warp_coherence / m_hb.warp_coherence
+    benchmark.extra_info["gld_transactions_norm"] = round(tx, 3)
+    benchmark.extra_info["memory_divergence_norm"] = round(divg, 3)
+    benchmark.extra_info["warp_coherence_norm"] = round(coh, 3)
+    assert tx <= 0.45 and divg < 1.0 and coh > 1.0
+
+
+def test_fig12_ablation_children_cache(benchmark, bench_tree, prepared_full,
+                                       device):
+    def both():
+        cached = simulate_harmonia_search(
+            bench_tree.layout, prepared_full.queries,
+            prepared_full.group_size, device=device, cached_children=True,
+        )
+        uncached = simulate_harmonia_search(
+            bench_tree.layout, prepared_full.queries,
+            prepared_full.group_size, device=device, cached_children=False,
+        )
+        return cached, uncached
+
+    cached, uncached = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["cached_tx"] = cached.gld_transactions
+    benchmark.extra_info["uncached_tx"] = uncached.gld_transactions
+    assert uncached.gld_transactions > cached.gld_transactions

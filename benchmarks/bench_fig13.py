@@ -1,0 +1,32 @@
+"""Figure 13 bench — the design-choice ablation ladder.
+
+Times the real vectorized pipeline under each configuration; modeled
+speedups over HB+ ride along in extra_info.
+"""
+
+import pytest
+
+from repro.core import SearchConfig
+from repro.experiments.fig13_ablation import LADDER
+from repro.gpusim import simulate_harmonia_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+
+
+@pytest.mark.parametrize("name,cfg,early_exit", LADDER,
+                         ids=[l[0] for l in LADDER])
+def test_fig13_ladder(benchmark, bench_tree, bench_hbtree, bench_queries,
+                      device, name, cfg, early_exit):
+    out = benchmark(bench_tree.search_batch, bench_queries, cfg)
+    assert out.size == bench_queries.size
+
+    prep = bench_tree.prepare_queries(bench_queries, cfg)
+    metrics = simulate_harmonia_search(
+        bench_tree.layout, prep.queries, prep.group_size, device=device,
+        early_exit=early_exit,
+    )
+    sort_s = estimate_sort_time(bench_queries.size, prep.psa.sort_passes, device)
+    tp = modeled_throughput(metrics, bench_tree.layout, device, sort_s=sort_s)
+    m_hb = bench_hbtree.simulate_search(bench_queries, device=device)
+    tp_hb = modeled_throughput(m_hb, bench_hbtree._layout, device)
+    benchmark.extra_info["modeled_speedup_vs_hb"] = round(tp / tp_hb, 2)
+    benchmark.extra_info["group_size"] = prep.group_size

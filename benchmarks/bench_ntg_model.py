@@ -1,0 +1,25 @@
+"""§4.2 bench — NTG static profiling cost and model validation."""
+
+from repro.analysis.model_check import validate_ntg_model
+from repro.core.ntg import choose_group_size
+
+
+def test_ntg_static_profiling(benchmark, bench_tree, prepared_full):
+    """The profiling step the paper says is cheap ("some simple profiling
+    ... collected on CPU easily") — time it."""
+    sample = prepared_full.queries[:1000]
+    sel = benchmark(choose_group_size, bench_tree.layout, sample)
+    benchmark.extra_info["chosen_gs"] = sel.group_size
+
+
+def test_ntg_model_vs_best(benchmark, device):
+    v = benchmark.pedantic(
+        validate_ntg_model,
+        kwargs=dict(fanout=64, n_keys=1 << 14, n_queries=1 << 12,
+                    device=device, rng=3),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["model_gs"] = v.model_gs
+    benchmark.extra_info["best_gs"] = v.best_gs
+    best = v.throughput_by_gs[v.best_gs]
+    assert v.throughput_by_gs[v.model_gs] >= 0.75 * best

@@ -1,0 +1,29 @@
+"""§4.1.2 bench — the sorted-bits sweep behind Equation 2."""
+
+import pytest
+
+from repro.core.ntg import fanout_group_size
+from repro.core.psa import optimal_sort_bits, prepare_batch, sort_cost_ratio
+from repro.gpusim import simulate_harmonia_search
+from benchmarks.conftest import N_KEYS
+
+
+@pytest.mark.parametrize("bits_kind", ["none", "eq2", "all"])
+def test_psa_bits_sweep(benchmark, bench_tree, bench_queries, device,
+                        bits_kind):
+    space = bench_tree.layout.key_space_bits()
+    n_opt = optimal_sort_bits(N_KEYS, device.keys_per_cacheline)
+    bits = {"none": 0, "eq2": n_opt, "all": space}[bits_kind]
+    gs = fanout_group_size(bench_tree.fanout, device.warp_size)
+
+    def run():
+        psa = prepare_batch(bench_queries, bits=bits, key_bits=space)
+        return simulate_harmonia_search(
+            bench_tree.layout, psa.queries, gs, device=device,
+            early_exit=False,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sorted_bits"] = bits
+    benchmark.extra_info["dram_tx"] = metrics.total_dram_transactions
+    benchmark.extra_info["sort_cost_fraction"] = round(sort_cost_ratio(bits), 3)

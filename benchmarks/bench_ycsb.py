@@ -1,0 +1,20 @@
+"""YCSB-style end-to-end benches over the full HarmoniaTree API."""
+
+import pytest
+
+from repro.core import HarmoniaTree
+from repro.workloads.generators import make_key_set
+from repro.workloads.ycsb import PRESETS, run_ycsb
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_ycsb_preset(benchmark, preset):
+    keys = make_key_set(1 << 14, rng=77)
+
+    def round_trip():
+        tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+        return run_ycsb(preset, tree, rounds=1, ops_per_round=2_000, rng=78)
+
+    totals = benchmark.pedantic(round_trip, rounds=2, iterations=1)
+    for k in ("reads", "ranges", "ops"):
+        benchmark.extra_info[k] = totals[k]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each ``bench_figNN`` module times the operation behind one paper figure
+with ``pytest-benchmark`` and attaches the regenerated figure rows to the
+benchmark's ``extra_info`` so a single
+``pytest benchmarks/ --benchmark-only`` run both measures the code and
+reproduces the evaluation tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.hbtree import HBTree
+from repro.core import HarmoniaTree, SearchConfig
+from repro.workloads.datasets import get_scale, scaled_device
+from repro.workloads.generators import make_key_set, uniform_queries
+
+#: Scale used for all benchmarks — "smoke" keeps a full benchmark run in
+#: tens of seconds; switch to "default" for the paper-shaped sweep.
+BENCH_SCALE = get_scale("smoke")
+N_KEYS = 1 << BENCH_SCALE.tree_log2_lo
+N_QUERIES = BENCH_SCALE.n_queries
+
+
+@pytest.fixture(scope="session")
+def device():
+    return scaled_device(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_keys():
+    return make_key_set(N_KEYS, rng=1234)
+
+
+@pytest.fixture(scope="session")
+def bench_tree(bench_keys):
+    return HarmoniaTree.from_sorted(bench_keys, fanout=64, fill=0.7)
+
+
+@pytest.fixture(scope="session")
+def bench_hbtree(bench_keys):
+    return HBTree.from_sorted(bench_keys, fanout=64, fill=0.7)
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_keys):
+    return uniform_queries(bench_keys, N_QUERIES, rng=5678)
+
+
+@pytest.fixture(scope="session")
+def prepared_full(bench_tree, bench_queries):
+    return bench_tree.prepare_queries(bench_queries, SearchConfig.full())

@@ -1,0 +1,79 @@
+"""Paper-scale spot check: Figures 12 and 13 at the literal §5.1 setup.
+
+Most experiments run at reduced scale with a miniaturized device
+(EXPERIMENTS.md, "Scaling methodology").  This script is the control: a
+true 2^23-key, fanout-64 tree simulated against the stock TITAN V — no
+miniaturization — with a query batch big enough for stable counters.
+Expect a couple of minutes; reduce --queries for a faster pass.
+
+Run:  python examples/paper_scale_fig12.py [--keys 23] [--queries 17]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import HarmoniaTree, SearchConfig, TITAN_V
+from repro.gpusim import simulate_harmonia_search
+from repro.gpusim.kernels import simulate_hbtree_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+from repro.workloads.generators import make_key_set, uniform_queries
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--keys", type=int, default=23, help="log2 tree size")
+parser.add_argument(
+    "--queries", type=int, default=21,
+    help="log2 batch size (keep >= 20: the paper's 100M-query batches give "
+    "PSA hundreds of queries per leaf; tiny batches starve it)",
+)
+args = parser.parse_args()
+
+N, Q = 1 << args.keys, 1 << args.queries
+device = TITAN_V  # the real thing — no miniaturization
+
+print(f"building 2^{args.keys} = {N} key tree (fanout 64, fill 0.7)...")
+t0 = time.perf_counter()
+rng = np.random.default_rng(0)
+keys = make_key_set(N, key_space_bits=40, rng=rng)
+tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+print(f"  built in {time.perf_counter() - t0:.1f}s: height {tree.height}, "
+      f"{tree.layout.n_nodes} nodes, key region "
+      f"{tree.layout.key_region_bytes() / 2**20:.0f} MiB, child region "
+      f"{tree.layout.child_region_bytes() / 2**10:.0f} KiB")
+
+queries = uniform_queries(keys, Q, rng=rng)
+
+print(f"\nsimulating HB+tree kernel on {Q} queries...")
+t0 = time.perf_counter()
+m_hb = simulate_hbtree_search(tree.layout, queries, device=device)
+print(f"  {time.perf_counter() - t0:.1f}s")
+tp_hb = modeled_throughput(m_hb, tree.layout, device)
+
+print("simulating Harmonia (full pipeline)...")
+prep = tree.prepare_queries(queries, SearchConfig.full())
+t0 = time.perf_counter()
+m_ha = simulate_harmonia_search(
+    tree.layout, prep.queries, prep.group_size, device=device
+)
+print(f"  {time.perf_counter() - t0:.1f}s (PSA {prep.psa.bits_sorted} bits, "
+      f"NTG gs={prep.group_size})")
+sort_s = estimate_sort_time(Q, prep.psa.sort_passes, device)
+tp_ha = modeled_throughput(m_ha, tree.layout, device, sort_s=sort_s)
+
+print("\n=== Figure 12 at paper scale (normalized to HB+) ===")
+print(f"{'metric':28s} {'paper':>8s} {'measured':>9s}")
+rows = [
+    ("global mem transactions", 0.22,
+     m_ha.gld_transactions / m_hb.gld_transactions),
+    ("memory divergence", 0.66,
+     m_ha.transactions_per_request / m_hb.transactions_per_request),
+    ("warp coherence", 1.13, m_ha.warp_coherence / m_hb.warp_coherence),
+]
+for name, paper, measured in rows:
+    print(f"{name:28s} {paper:8.2f} {measured:9.3f}")
+
+print("\n=== Figure 11/13 headline at paper scale ===")
+print(f"HB+ modeled:      {tp_hb / 1e9:6.2f} Gq/s   (paper ≈ 1.05)")
+print(f"Harmonia modeled: {tp_ha / 1e9:6.2f} Gq/s   (paper ≈ 3.6)")
+print(f"speedup:          {tp_ha / tp_hb:6.2f}x      (paper ≈ 3.4x)")

@@ -1,0 +1,19 @@
+"""Analysis experiments behind the paper's motivation and model sections."""
+
+from repro.analysis.gaps import (
+    memory_transaction_gap,
+    query_divergence_gap,
+)
+from repro.analysis.node_usage import (
+    build_random_insertion_tree,
+    node_quarter_distribution,
+)
+from repro.analysis.model_check import validate_ntg_model
+
+__all__ = [
+    "memory_transaction_gap",
+    "query_divergence_gap",
+    "build_random_insertion_tree",
+    "node_quarter_distribution",
+    "validate_ntg_model",
+]

@@ -1,0 +1,144 @@
+"""§2.2 gap analysis — the measurements behind Figures 2 and 3.
+
+Both figures use the same setup: a height-4, fanout-8 regular B+tree on the
+GPU, fanout-wide thread groups (so a 32-thread warp carries 4 queries), and
+uniformly random query targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.gpu_regular import (
+    best_case_transactions_per_warp,
+    simulate_regular_gpu_search,
+    worst_case_transactions_per_warp,
+)
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import traverse_batch
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.utils.rng import RngLike, ensure_rng
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+def build_gap_tree(
+    fanout: int = 8,
+    height: int = 4,
+    fill: float = 1.0,
+    rng: RngLike = None,
+) -> HarmoniaLayout:
+    """A tree of exactly the requested height at the requested fanout.
+
+    Sized to the capacity of a ``height``-level tree at the given fill
+    (Figure 2/3 use fanout 8, height 4 → ≈3.5k keys when full).
+    """
+    gen = ensure_rng(rng)
+    slots = fanout - 1
+    per_leaf = max(int(round(fill * slots)), (slots + 1) // 2)
+    n_leaves = fanout ** (height - 1)
+    n_keys = per_leaf * n_leaves
+    keys = make_key_set(n_keys, key_space_bits=40, rng=gen)
+    layout = HarmoniaLayout.from_sorted(keys, fanout=fanout, fill=fill)
+    if layout.height != height:
+        raise AssertionError(
+            f"sizing bug: got height {layout.height}, wanted {height}"
+        )
+    return layout
+
+
+@dataclass(frozen=True)
+class MemoryGapResult:
+    """Figure 2's three bars."""
+
+    worst: float
+    measured: float
+    best: float
+    per_level: np.ndarray  # measured per-warp key transactions per level
+
+    def rows(self) -> list:
+        return [
+            {"case": "worst", "avg_mem_transactions_per_warp": round(self.worst, 3)},
+            {"case": "queries", "avg_mem_transactions_per_warp": round(self.measured, 3)},
+            {"case": "best", "avg_mem_transactions_per_warp": round(self.best, 3)},
+        ]
+
+
+def memory_transaction_gap(
+    n_queries: int = 100_000,
+    fanout: int = 8,
+    height: int = 4,
+    device: DeviceSpec = TITAN_V,
+    rng: RngLike = None,
+) -> MemoryGapResult:
+    """Reproduce Figure 2: average memory transactions per warp for random
+    concurrent queries vs the analytic worst and best cases."""
+    gen = ensure_rng(rng)
+    layout = build_gap_tree(fanout=fanout, height=height, rng=gen)
+    queries = uniform_queries(layout.all_keys(), n_queries, rng=gen)
+    metrics = simulate_regular_gpu_search(layout, queries, device=device)
+    qpw = device.warp_size // min(fanout, device.warp_size)
+    return MemoryGapResult(
+        worst=worst_case_transactions_per_warp(layout, qpw),
+        measured=metrics.avg_transactions_per_warp(),
+        best=best_case_transactions_per_warp(layout),
+        per_level=metrics.transactions_per_warp_level(),
+    )
+
+
+@dataclass(frozen=True)
+class QueryDivergenceResult:
+    """Figure 3: per-level comparison spread over a query sample."""
+
+    levels: np.ndarray  # 1-based level numbers
+    min_comparisons: np.ndarray
+    avg_comparisons: np.ndarray
+    max_comparisons: np.ndarray
+
+    def rows(self) -> list:
+        return [
+            {
+                "tree_level": int(l),
+                "min": int(lo),
+                "avg": round(float(av), 2),
+                "max": int(hi),
+            }
+            for l, lo, av, hi in zip(
+                self.levels, self.min_comparisons, self.avg_comparisons,
+                self.max_comparisons,
+            )
+        ]
+
+
+def query_divergence_gap(
+    n_queries: int = 100,
+    fanout: int = 8,
+    height: int = 4,
+    rng: RngLike = None,
+    layout: Optional[HarmoniaLayout] = None,
+) -> QueryDivergenceResult:
+    """Reproduce Figure 3: min/avg/max sequential comparisons per level for
+    ``n_queries`` random queries (the paper uses 100)."""
+    gen = ensure_rng(rng)
+    if layout is None:
+        layout = build_gap_tree(fanout=fanout, height=height, rng=gen)
+    queries = uniform_queries(layout.all_keys(), n_queries, rng=gen)
+    trace = traverse_batch(layout, queries)
+    cmp = trace.comparisons
+    return QueryDivergenceResult(
+        levels=np.arange(1, layout.height + 1),
+        min_comparisons=cmp.min(axis=1),
+        avg_comparisons=cmp.mean(axis=1),
+        max_comparisons=cmp.max(axis=1),
+    )
+
+
+__all__ = [
+    "build_gap_tree",
+    "MemoryGapResult",
+    "memory_transaction_gap",
+    "QueryDivergenceResult",
+    "query_divergence_gap",
+]

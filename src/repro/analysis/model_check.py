@@ -1,0 +1,119 @@
+"""§4.2 NTG model validation.
+
+The paper checks its Equation-4 narrowing model by comparing the group size
+it picks against the empirically best one for fanouts 8–128 on two GPUs
+("the NTG size of this model is basically consistent with the NTG size of
+the best performance").  We do the same: the model's static-profiling
+choice vs an exhaustive sweep of simulated throughput over all legal group
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.ntg import choose_group_size, fanout_group_size
+from repro.core.psa import prepare_batch
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.kernels import simulate_harmonia_search
+from repro.gpusim.perfmodel import modeled_throughput
+from repro.utils.rng import RngLike, ensure_rng
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+@dataclass(frozen=True)
+class NTGValidation:
+    """Model choice vs empirical best for one (fanout, device) point."""
+
+    fanout: int
+    device: str
+    model_gs: int
+    best_gs: int
+    #: modeled queries/s per candidate group size
+    throughput_by_gs: Dict[int, float]
+
+    @property
+    def consistent(self) -> bool:
+        """The paper's criterion, read as "within one halving": the model's
+        pick performs within 10% of the empirical best."""
+        best = self.throughput_by_gs[self.best_gs]
+        mine = self.throughput_by_gs[self.model_gs]
+        return mine >= 0.9 * best
+
+    def row(self) -> dict:
+        return {
+            "fanout": self.fanout,
+            "device": self.device,
+            "model_gs": self.model_gs,
+            "best_gs": self.best_gs,
+            "model_within_10pct": self.consistent,
+        }
+
+
+def validate_ntg_model(
+    fanout: int,
+    n_keys: int = 1 << 16,
+    n_queries: int = 1 << 14,
+    device: DeviceSpec = TITAN_V,
+    fill: float = 0.7,
+    rng: RngLike = None,
+) -> NTGValidation:
+    """Run the model and the exhaustive sweep for one fanout."""
+    gen = ensure_rng(rng)
+    keys = make_key_set(n_keys, rng=gen)
+    layout = HarmoniaLayout.from_sorted(keys, fanout=fanout, fill=fill)
+    raw = uniform_queries(keys, n_queries, rng=gen)
+    psa = prepare_batch(
+        raw, tree_size=n_keys, keys_per_cacheline=device.keys_per_cacheline,
+        key_bits=layout.key_space_bits(),
+    )
+    queries = psa.queries
+
+    selection = choose_group_size(
+        layout, queries[:1000], warp_size=device.warp_size
+    )
+
+    max_gs = fanout_group_size(fanout, device.warp_size)
+    tp: Dict[int, float] = {}
+    gs = max_gs
+    while gs >= 1:
+        # The fanout-wide width runs traditional full-scan semantics; any
+        # narrowed width runs NTG's early-exit sweep (§4.2).
+        metrics = simulate_harmonia_search(
+            layout, queries, gs, device=device, early_exit=(gs < max_gs)
+        )
+        tp[gs] = modeled_throughput(metrics, layout, device=device)
+        gs //= 2
+    best_gs = max(tp, key=lambda g: tp[g])
+    return NTGValidation(
+        fanout=fanout,
+        device=device.name,
+        model_gs=selection.group_size,
+        best_gs=best_gs,
+        throughput_by_gs=tp,
+    )
+
+
+def ntg_model_sweep(
+    fanouts: Sequence[int] = (8, 16, 32, 64, 128),
+    devices: Optional[Sequence[DeviceSpec]] = None,
+    rng: RngLike = None,
+    **kwargs,
+) -> List[NTGValidation]:
+    """The paper's validation grid: fanouts × devices."""
+    from repro.gpusim.device import TESLA_K80
+
+    gen = ensure_rng(rng)
+    if devices is None:
+        devices = (TITAN_V, TESLA_K80)
+    out: List[NTGValidation] = []
+    for device in devices:
+        for fanout in fanouts:
+            out.append(validate_ntg_model(fanout, device=device, rng=gen, **kwargs))
+    return out
+
+
+__all__ = ["NTGValidation", "validate_ntg_model", "ntg_model_sweep"]

@@ -1,0 +1,114 @@
+"""Figure 10 — which part of a node do queries actually search?
+
+The paper divides each node's key region into four equal parts and counts
+the proportion of per-level searches whose target child falls in each part:
+about 80% resolve within the front half, for every fanout from 8 to 128 —
+the justification for narrowing thread groups (§4.2).
+
+The effect relies on realistic node occupancy ("it is a high probability
+that a B+tree node is half full"), so the trees here are built by *random
+insertion* — which converges to ~69% (ln 2) mean occupancy with a wide
+spread — rather than by a fixed-fill bulk load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.btree.regular import RegularBPlusTree
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import traverse_batch
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import ensure_positive
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+def build_random_insertion_tree(
+    n_keys: int,
+    fanout: int,
+    rng: RngLike = None,
+) -> HarmoniaLayout:
+    """A tree with insertion-order node occupancy (≈ln2 mean fill)."""
+    n_keys = ensure_positive("n_keys", n_keys)
+    gen = ensure_rng(rng)
+    keys = make_key_set(n_keys, key_space_bits=40, rng=gen)
+    order = gen.permutation(n_keys)
+    tree = RegularBPlusTree(fanout)
+    for k in keys[order]:
+        tree.insert(int(k), int(k))
+    return HarmoniaLayout.from_regular(tree)
+
+
+@dataclass(frozen=True)
+class QuarterDistribution:
+    """Per-fanout proportions of searches landing in each node quarter."""
+
+    fanout: int
+    #: fraction of per-level searches whose target child slot lies in the
+    #: 1st/2nd/3rd/4th quarter of the node's key slots.
+    quarters: np.ndarray  # (4,)
+
+    @property
+    def front_half(self) -> float:
+        return float(self.quarters[:2].sum())
+
+    def row(self) -> dict:
+        q = self.quarters
+        return {
+            "fanout": self.fanout,
+            "q1": round(float(q[0]), 4),
+            "q2": round(float(q[1]), 4),
+            "q3": round(float(q[2]), 4),
+            "q4": round(float(q[3]), 4),
+            "front_half": round(self.front_half, 4),
+        }
+
+
+def node_quarter_distribution(
+    layout: HarmoniaLayout,
+    n_queries: int = 10_000,
+    rng: RngLike = None,
+) -> QuarterDistribution:
+    """Measure the Figure 10 distribution on one tree.
+
+    Every (query, level) visit contributes one sample: the quarter of the
+    node's key region (``fanout - 1`` slots split evenly in four) containing
+    the last key the sequential scan inspects.
+    """
+    gen = ensure_rng(rng)
+    queries = uniform_queries(layout.all_keys(), n_queries, rng=gen)
+    trace = traverse_batch(layout, queries)
+    # Position of the last inspected key, as a fraction of the key region.
+    cmp = trace.comparisons.ravel().astype(np.float64)
+    frac = (cmp - 1.0) / layout.slots
+    quarter = np.minimum((frac * 4).astype(np.int64), 3)
+    counts = np.bincount(quarter, minlength=4).astype(np.float64)
+    return QuarterDistribution(
+        fanout=layout.fanout, quarters=counts / counts.sum()
+    )
+
+
+def quarter_sweep(
+    fanouts: Sequence[int] = (8, 16, 32, 64, 128),
+    keys_per_tree: int = 20_000,
+    n_queries: int = 10_000,
+    rng: RngLike = None,
+) -> List[QuarterDistribution]:
+    """Figure 10's sweep over tree fanouts."""
+    gen = ensure_rng(rng)
+    out: List[QuarterDistribution] = []
+    for fanout in fanouts:
+        layout = build_random_insertion_tree(keys_per_tree, fanout, rng=gen)
+        out.append(node_quarter_distribution(layout, n_queries, rng=gen))
+    return out
+
+
+__all__ = [
+    "build_random_insertion_tree",
+    "QuarterDistribution",
+    "node_quarter_distribution",
+    "quarter_sweep",
+]

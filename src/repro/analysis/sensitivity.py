@@ -1,0 +1,113 @@
+"""Calibration-sensitivity analysis of the performance model.
+
+The time model has one tuned constant (``cycles_per_step``, see
+docs/model.md).  This module quantifies how much each *reported ratio* —
+the quantities the reproduction's conclusions rest on — moves as that
+constant sweeps a plausible range, backing the claim that the shapes are
+calibration-robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.hbtree import HBTree
+from repro.core import HarmoniaTree, SearchConfig
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.kernels import simulate_harmonia_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+from repro.utils.rng import RngLike, ensure_rng
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    cycles_per_step: float
+    harmonia_gqs: float
+    hb_gqs: float
+
+    @property
+    def speedup(self) -> float:
+        return self.harmonia_gqs / self.hb_gqs if self.hb_gqs else 0.0
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    points: List[SensitivityPoint]
+
+    @property
+    def speedups(self) -> np.ndarray:
+        return np.array([p.speedup for p in self.points])
+
+    @property
+    def max_ratio_swing(self) -> float:
+        """Largest relative deviation of the speedup from its median over
+        the sweep — the number model.md cites."""
+        s = self.speedups
+        med = float(np.median(s))
+        if med == 0:
+            return float("inf")
+        return float(np.max(np.abs(s - med)) / med)
+
+    def rows(self) -> List[dict]:
+        return [
+            {
+                "cycles_per_step": p.cycles_per_step,
+                "harmonia_gqs": round(p.harmonia_gqs, 3),
+                "hb_gqs": round(p.hb_gqs, 3),
+                "speedup": round(p.speedup, 2),
+            }
+            for p in self.points
+        ]
+
+
+def sweep_cycles_per_step(
+    values: Sequence[float] = (8.0, 12.0, 16.0, 20.0, 24.0),
+    n_keys: int = 1 << 15,
+    n_queries: int = 1 << 13,
+    base_device: DeviceSpec = None,
+    rng: RngLike = None,
+) -> SensitivityReport:
+    """Sweep the calibrated constant; everything else held fixed.
+
+    The kernel *counters* are computed once per system — they do not
+    depend on the constant — and only the time conversion is repeated.
+    The device defaults to a TITAN V miniaturized to the workload (same
+    rule as every experiment; see ``workloads.datasets``).
+    """
+    from repro.workloads.datasets import miniaturized_device
+
+    if base_device is None:
+        base_device = miniaturized_device(n_keys, n_queries, TITAN_V)
+    gen = ensure_rng(rng)
+    keys = make_key_set(n_keys, rng=gen)
+    queries = uniform_queries(keys, n_queries, rng=gen)
+    tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    hb = HBTree.from_sorted(keys, fanout=64, fill=0.7)
+
+    prep = tree.prepare_queries(queries, SearchConfig.full())
+    m_ha = simulate_harmonia_search(
+        tree.layout, prep.queries, prep.group_size, device=base_device
+    )
+    m_hb = hb.simulate_search(queries, device=base_device)
+
+    points = []
+    for cps in values:
+        device = replace(base_device, cycles_per_step=float(cps))
+        sort_s = estimate_sort_time(n_queries, prep.psa.sort_passes, device)
+        tp_ha = modeled_throughput(m_ha, tree.layout, device, sort_s=sort_s)
+        tp_hb = modeled_throughput(m_hb, hb._layout, device)
+        points.append(
+            SensitivityPoint(
+                cycles_per_step=float(cps),
+                harmonia_gqs=tp_ha / 1e9,
+                hb_gqs=tp_hb / 1e9,
+            )
+        )
+    return SensitivityReport(points=points)
+
+
+__all__ = ["SensitivityPoint", "SensitivityReport", "sweep_cycles_per_step"]

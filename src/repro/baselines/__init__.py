@@ -1,0 +1,27 @@
+"""Comparator systems the paper evaluates against.
+
+* :mod:`repro.baselines.hbtree` — the GPU part of HB+Tree [39]
+  (Shahvarani & Jacobsen, SIGMOD '16), reimplemented from its description:
+  regular node layout (keys + child pointers) in GPU global memory,
+  fanout-wide thread groups, CPU-side batch updates with a full device-image
+  sync.
+* :mod:`repro.baselines.gpu_regular` — the unoptimized GPU regular B+tree
+  used in the §2.2 gap analysis (Figures 2 and 3).
+* :mod:`repro.baselines.cpu_btree` — a multi-threaded CPU B+tree searcher,
+  the conventional non-GPU reference point.
+"""
+
+from repro.baselines.hbtree import HBTree, HBTreeDeviceImage
+from repro.baselines.cpu_btree import CPUBTreeSearcher
+from repro.baselines.gpu_regular import simulate_regular_gpu_search
+from repro.baselines.braided import simulate_braided_search
+from repro.baselines.css_tree import CSSTree
+
+__all__ = [
+    "HBTree",
+    "HBTreeDeviceImage",
+    "CPUBTreeSearcher",
+    "simulate_regular_gpu_search",
+    "simulate_braided_search",
+    "CSSTree",
+]

@@ -1,0 +1,47 @@
+"""Braided-parallelism GPU B+tree search (Fix, Wilkes & Skadron [14]).
+
+The other classical thread mapping: **one query per thread** — each of a
+warp's 32 lanes traverses the tree independently ("braided method
+parallelism"), with the tree reorganized into a continuous pointer-bearing
+buffer before upload.  Per-thread traversal makes every step data
+dependent: lanes diverge on their comparison loops and their loads scatter
+across 32 unrelated nodes, which is exactly the §2.2 mismatch Harmonia
+fixes.  Including it alongside the fanout-wide mapping lets the
+ext_baselines experiment span the design space the related work covers.
+
+In the SIMT model this is the ``regular_pointer`` structure with
+``group_size=1`` and per-thread sequential comparison (early exit —
+a lone thread compares keys one at a time and stops at the target child).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.layout import HarmoniaLayout
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.kernels import SimConfig, simulate_search
+from repro.gpusim.metrics import KernelMetrics
+from repro.utils.validation import ensure_key_array
+
+
+def simulate_braided_search(
+    layout: HarmoniaLayout,
+    queries: Sequence[int],
+    device: DeviceSpec = TITAN_V,
+) -> KernelMetrics:
+    """Execute the braided (thread-per-query) kernel on the device model."""
+    q = ensure_key_array(np.asarray(queries), "queries")
+    cfg = SimConfig(
+        structure="regular_pointer",
+        group_size=1,
+        early_exit=True,  # a single thread scans sequentially and stops
+        cached_children=False,
+        device=device,
+    )
+    return simulate_search(layout, q, cfg)
+
+
+__all__ = ["simulate_braided_search"]

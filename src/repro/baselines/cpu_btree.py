@@ -1,0 +1,64 @@
+"""Multi-threaded CPU B+tree search baseline.
+
+The conventional reference point before reaching for a GPU: the pointer
+B+tree searched by a pool of CPU threads, each thread owning a contiguous
+chunk of the query batch (the standard shared-read, no-lock pattern for a
+read-only phase).  Used by the update-throughput discussion (§3.2.2 claims
+batch updates are "comparable ... with the multi-thread traditional
+B+tree") and as a sanity anchor in the examples.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.btree.bulk import bulk_load
+from repro.btree.regular import RegularBPlusTree
+from repro.constants import DEFAULT_FANOUT, NOT_FOUND, VALUE_DTYPE
+from repro.utils.validation import ensure_key_array, ensure_positive
+
+
+class CPUBTreeSearcher:
+    """Chunk-parallel batch search over a :class:`RegularBPlusTree`."""
+
+    def __init__(self, tree: RegularBPlusTree, n_threads: int = 4) -> None:
+        self.tree = tree
+        self.n_threads = ensure_positive("n_threads", n_threads)
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+        n_threads: int = 4,
+    ) -> "CPUBTreeSearcher":
+        return cls(bulk_load(keys, values, fanout=fanout, fill=fill), n_threads)
+
+    def _search_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        out = np.full(chunk.size, NOT_FOUND, dtype=VALUE_DTYPE)
+        search = self.tree.search
+        for i, key in enumerate(chunk):
+            v = search(int(key))
+            if v is not None:
+                out[i] = v
+        return out
+
+    def search_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Point lookups; :data:`~repro.constants.NOT_FOUND` for misses."""
+        q = ensure_key_array(np.asarray(queries), "queries")
+        if q.size == 0:
+            return np.empty(0, dtype=VALUE_DTYPE)
+        if self.n_threads == 1 or q.size < 2 * self.n_threads:
+            return self._search_chunk(q)
+        chunks = np.array_split(q, self.n_threads)
+        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+            parts = list(pool.map(self._search_chunk, chunks))
+        return np.concatenate(parts)
+
+
+__all__ = ["CPUBTreeSearcher"]

@@ -1,0 +1,145 @@
+"""CSS-tree — Cache-Sensitive Search tree (Rao & Ross [34], related work).
+
+The CPU ancestor of Harmonia's idea: a read-only search tree stored as one
+contiguous array of cache-line-sized nodes with children located by
+arithmetic, eliminating child pointers to make every touched byte useful.
+The paper cites it (§6) as the lineage of cache-conscious layouts; having
+it in the repository grounds the comparison between "cache-line-sized
+nodes + arithmetic" (CSS, for CPU caches) and "fat nodes + prefix-sum
+region" (Harmonia, for GPU warps).
+
+Structure: a *directory* over the sorted key array.  Nodes hold ``m`` keys
+(``m + 1`` children), with ``m`` chosen so a node fills one cache line.
+Like the implicit B+tree the directory is complete — child of node ``i``
+taking branch ``b`` is ``i * (m + 1) + b + 1`` — and updates rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import KEY_DTYPE, KEY_MAX, NOT_FOUND, VALUE_DTYPE
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_key_array, ensure_sorted_unique
+
+
+class CSSTree:
+    """Read-optimized contiguous search tree over sorted data.
+
+    >>> t = CSSTree(np.arange(0, 100, 2))
+    >>> int(t.search(4))
+    4
+    >>> t.search(5) is None
+    True
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        cache_line_bytes: int = 64,
+    ) -> None:
+        karr = ensure_sorted_unique(np.asarray(keys))
+        if values is None:
+            varr = karr.astype(VALUE_DTYPE, copy=True)
+        else:
+            varr = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+            if varr.shape != karr.shape:
+                raise ConfigError("values must align with keys")
+        if cache_line_bytes < 16 or cache_line_bytes % 8:
+            raise ConfigError("cache_line_bytes must be a multiple of 8, >= 16")
+        #: keys per directory node: one cache line of 8-byte keys.
+        self.node_keys_n = cache_line_bytes // 8
+        self.keys = karr
+        self.values = varr
+        self._build_directory()
+
+    def _build_directory(self) -> None:
+        m = self.node_keys_n
+        fanout = m + 1
+        n = self.keys.size
+        if n == 0:
+            self.height = 0
+            self.n_internal = 0
+            self.n_segments_cap = 1
+            self.directory = np.empty((0, m), dtype=KEY_DTYPE)
+            return
+        # Leaf "nodes" are m-key segments of the sorted array itself; the
+        # directory covers them like an implicit tree.
+        n_segments = -(-n // m)
+        height = 0
+        capacity = 1
+        while capacity < n_segments:
+            capacity *= fanout
+            height += 1
+        self.height = height
+        n_internal = (fanout**height - 1) // (fanout - 1) if height else 0
+        self.n_internal = n_internal
+        self.n_segments_cap = fanout**height
+
+        directory = np.full((max(n_internal, 1), m), KEY_MAX, dtype=KEY_DTYPE)
+        # Minimum key of each (padded) leaf segment.
+        seg_min = np.full(self.n_segments_cap + 1, KEY_MAX, dtype=KEY_DTYPE)
+        seg_starts = np.arange(n_segments) * m
+        seg_min[:n_segments] = self.keys[seg_starts]
+        level_count = self.n_segments_cap
+        level_min = seg_min[:-1]
+        level_start = n_internal
+        while level_start > 0:
+            parent_count = level_count // fanout
+            parent_start = level_start - parent_count
+            mins = level_min.reshape(parent_count, fanout)
+            directory[parent_start:level_start] = mins[:, 1:]
+            level_min = mins[:, 0]
+            level_start = parent_start
+            level_count = parent_count
+        self.directory = directory if n_internal else directory[:0]
+
+    # ---------------------------------------------------------------- query
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def directory_bytes(self) -> int:
+        return int(self.directory.nbytes)
+
+    def search(self, key: int) -> Optional[int]:
+        out = self.search_batch(np.asarray([key], dtype=KEY_DTYPE))
+        return None if out[0] == NOT_FOUND else int(out[0])
+
+    def search_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Vectorized lookups: directory descent by arithmetic, then a
+        binary search within the target segment."""
+        q = ensure_key_array(np.asarray(queries), "queries")
+        nq = q.size
+        out = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+        if nq == 0 or self.keys.size == 0:
+            return out
+        fanout = self.node_keys_n + 1
+        node = np.zeros(nq, dtype=np.int64)
+        for _ in range(self.height):
+            rows = self.directory[node]
+            slot = np.sum(rows <= q[:, None], axis=1)
+            node = node * fanout + slot + 1
+        segment = node - self.n_internal
+        start = segment * self.node_keys_n
+        end = np.minimum(start + self.node_keys_n, self.keys.size)
+        # Per-query binary search inside its segment via global searchsorted
+        # bounded to [start, end): positions are monotone in key, so a
+        # global searchsorted + bounds check is equivalent.
+        pos = np.searchsorted(self.keys, q, side="left")
+        hit = (pos >= start) & (pos < end)
+        hit &= np.where(hit, self.keys[np.minimum(pos, self.keys.size - 1)] == q, False)
+        out[hit] = self.values[pos[hit]]
+        return out
+
+    def rebuild(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
+        """Updates rebuild (the CSS-tree trade-off the paper inherits via
+        the implicit-tree discussion)."""
+        self.__init__(keys, values, cache_line_bytes=self.node_keys_n * 8)
+
+
+__all__ = ["CSSTree"]

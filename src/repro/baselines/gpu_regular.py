@@ -1,0 +1,71 @@
+"""The unoptimized GPU regular B+tree of the §2.2 gap analysis.
+
+This is what Figures 2 and 3 measure: a pointer-layout B+tree uploaded to
+the GPU as-is and searched with fanout-wide thread groups, *without* any of
+Harmonia's machinery.  Structurally identical to HB+Tree's GPU part — the
+distinction in the paper is framing (gap analysis vs comparator), so this
+module is a thin, documented entry point over the shared simulator with the
+gap-analysis defaults baked in (e.g. Figure 2's height-4, fanout-8 tree
+puts 4 queries in each 32-thread warp).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.ntg import fanout_group_size
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.kernels import SimConfig, simulate_search
+from repro.gpusim.metrics import KernelMetrics
+from repro.utils.validation import ensure_key_array
+
+
+def simulate_regular_gpu_search(
+    layout: HarmoniaLayout,
+    queries: Sequence[int],
+    device: DeviceSpec = TITAN_V,
+    group_size: int = None,
+) -> KernelMetrics:
+    """Simulate the naive GPU regular-B+tree search kernel.
+
+    Thread groups default to the fanout-based width, so a fanout-8 tree
+    yields ``warp_size / 8 = 4`` queries per warp — the Figure 2 setup.
+    """
+    q = ensure_key_array(np.asarray(queries), "queries")
+    gs = group_size or fanout_group_size(layout.fanout, device.warp_size)
+    cfg = SimConfig(
+        structure="regular_pointer",
+        group_size=gs,
+        early_exit=False,
+        cached_children=False,
+        device=device,
+    )
+    return simulate_search(layout, q, cfg)
+
+
+def worst_case_transactions_per_warp(layout: HarmoniaLayout, queries_per_warp: int) -> float:
+    """Figure 2's "worst" bar: coalesced at the root (every query reads the
+    same single node), fully divergent everywhere below (each query's node
+    is distinct), assuming one line per fanout-8 node.
+
+    ``(1 + (height-1) · queries_per_warp) / height`` — e.g. 3.25 for the
+    paper's height-4 tree with 4 queries per warp.
+    """
+    h = layout.height
+    return (1 + (h - 1) * queries_per_warp) / h
+
+
+def best_case_transactions_per_warp(layout: HarmoniaLayout) -> float:
+    """Figure 2's "best" bar: every level fully coalesced — one transaction
+    per warp per level."""
+    return 1.0
+
+
+__all__ = [
+    "simulate_regular_gpu_search",
+    "worst_case_transactions_per_warp",
+    "best_case_transactions_per_warp",
+]

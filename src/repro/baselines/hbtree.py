@@ -1,0 +1,236 @@
+"""HB+Tree [39] — the state-of-the-art comparator (GPU part + batch update).
+
+HB+Tree keeps a *regular* B+tree image on the GPU: every node stores its
+keys **and** an array of child references; traversal dereferences a child
+pointer per level (one extra global load), nodes are pointer-fat, and the
+search kernel serves each query with a fanout-wide thread group comparing
+every key of the node.  Updates run on the CPU over the master (pointer)
+tree and the device image is re-synchronized afterwards.
+
+Two execution surfaces:
+
+* :meth:`HBTree.search_batch` — a real, vectorized CPU execution of the
+  GPU kernel's algorithm over the device image (used for correctness tests
+  and wall-clock measurements);
+* :meth:`HBTree.simulate_search` — the same traversal on the SIMT device
+  model, producing the nvprof-style counters Figures 11-13 compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.btree.bulk import bulk_load
+from repro.btree.iterators import bfs_index_map, bfs_nodes
+from repro.btree.node import InternalNode, LeafNode
+from repro.btree.regular import RegularBPlusTree
+from repro.constants import (
+    DEFAULT_FANOUT,
+    INDEX_DTYPE,
+    KEY_DTYPE,
+    KEY_MAX,
+    NOT_FOUND,
+    VALUE_DTYPE,
+)
+from repro.core.layout import HarmoniaLayout
+from repro.core.update import Operation, TwoGrainedLocks
+from repro.errors import EmptyTreeError
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.kernels import simulate_hbtree_search
+from repro.gpusim.metrics import KernelMetrics
+from repro.utils.validation import ensure_key_array, ensure_scalar_key
+
+
+@dataclass
+class HBTreeDeviceImage:
+    """The GPU-resident arrays of HB+Tree's regular layout.
+
+    ``node_keys[node, slot]`` and ``child_ptr[node, c]`` in BFS order
+    (HB+Tree, like Fix et al. [14], reorganizes the tree into a continuous
+    buffer before upload); ``child_ptr`` holds BFS indices, ``-1`` when
+    absent.  ``leaf_values`` aligns with the trailing leaf block.
+    """
+
+    fanout: int
+    height: int
+    node_keys: np.ndarray  # (n_nodes, fanout-1)
+    child_ptr: np.ndarray  # (n_nodes, fanout)
+    leaf_values: np.ndarray  # (n_leaves, fanout-1)
+    leaf_start: int
+    n_keys: int
+
+    @classmethod
+    def from_regular(cls, tree: RegularBPlusTree) -> "HBTreeDeviceImage":
+        if len(tree) == 0:
+            raise EmptyTreeError("cannot build a device image of an empty tree")
+        fanout = tree.fanout
+        slots = fanout - 1
+        index_of = bfs_index_map(tree)
+        nodes = list(bfs_nodes(tree))
+        n_nodes = len(nodes)
+        node_keys = np.full((n_nodes, slots), KEY_MAX, dtype=KEY_DTYPE)
+        child_ptr = np.full((n_nodes, fanout), -1, dtype=INDEX_DTYPE)
+        leaf_start = next(i for i, n in enumerate(nodes) if n.is_leaf)
+        leaf_values = np.full(
+            (n_nodes - leaf_start, slots), NOT_FOUND, dtype=VALUE_DTYPE
+        )
+        for i, node in enumerate(nodes):
+            nk = len(node.keys)
+            node_keys[i, :nk] = node.keys
+            if node.is_leaf:
+                assert isinstance(node, LeafNode)
+                leaf_values[i - leaf_start, :nk] = node.values
+            else:
+                assert isinstance(node, InternalNode)
+                for c, child in enumerate(node.children):
+                    child_ptr[i, c] = index_of[id(child)]
+        return cls(
+            fanout=fanout,
+            height=tree.height,
+            node_keys=node_keys,
+            child_ptr=child_ptr,
+            leaf_values=leaf_values,
+            leaf_start=leaf_start,
+            n_keys=len(tree),
+        )
+
+    def search_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Vectorized execution of the pointer-chasing kernel algorithm."""
+        q = ensure_key_array(np.asarray(queries), "queries")
+        nq = q.size
+        node = np.zeros(nq, dtype=np.int64)
+        for _ in range(self.height - 1):
+            rows = self.node_keys[node]
+            slot = np.sum(rows <= q[:, None], axis=1)
+            node = self.child_ptr[node, slot]  # the indirect load
+        rows = self.node_keys[node]
+        pos = np.sum(rows < q[:, None], axis=1)
+        pos_c = np.minimum(pos, rows.shape[1] - 1)
+        hit = rows[np.arange(nq), pos_c] == q
+        out = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+        li = node - self.leaf_start
+        out[hit] = self.leaf_values[li[hit], pos_c[hit]]
+        return out
+
+
+class HBTree:
+    """The full HB+Tree system: CPU master tree + GPU device image."""
+
+    def __init__(self, tree: RegularBPlusTree) -> None:
+        if len(tree) == 0:
+            raise EmptyTreeError("HBTree requires a non-empty tree")
+        self.master = tree
+        self.image = HBTreeDeviceImage.from_regular(tree)
+        #: Shared traversal-shape snapshot for the SIMT simulator (the tree
+        #: shape is identical; only the address stream differs).
+        self._layout = HarmoniaLayout.from_regular(tree)
+
+    # ------------------------------------------------------------- building
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+    ) -> "HBTree":
+        return cls(bulk_load(keys, values, fanout=fanout, fill=fill))
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self.image.n_keys
+
+    @property
+    def fanout(self) -> int:
+        return self.image.fanout
+
+    @property
+    def height(self) -> int:
+        return self.image.height
+
+    def search(self, key: int) -> Optional[int]:
+        key = ensure_scalar_key(key)
+        out = self.image.search_batch(np.asarray([key], dtype=np.int64))
+        return None if out[0] == NOT_FOUND else int(out[0])
+
+    def search_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """HB+ issues queries in arrival order (no PSA equivalent)."""
+        return self.image.search_batch(queries)
+
+    def simulate_search(
+        self, queries: Sequence[int], device: DeviceSpec = TITAN_V
+    ) -> KernelMetrics:
+        """Run the kernel on the SIMT device model (arrival order,
+        fanout-wide groups, pointer fetches)."""
+        q = ensure_key_array(np.asarray(queries), "queries")
+        return simulate_hbtree_search(self._layout, q, device=device)
+
+    # -------------------------------------------------------------- updates
+
+    def apply_batch(self, ops: Sequence[Operation], n_threads: int = 4) -> dict:
+        """HB+Tree's batch update: mutate the CPU master tree under the same
+        two-grained protocol, then rebuild ("sync") the device image.
+
+        Returns an accounting dict with per-phase seconds.
+        """
+        import threading
+        import time
+        from concurrent.futures import ThreadPoolExecutor
+
+        locks = TwoGrainedLocks()
+        counts = {"inserted": 0, "updated": 0, "deleted": 0, "failed": 0}
+        counts_guard = threading.Lock()
+
+        def one(op: Operation) -> None:
+            # The master tree's node splits/merges move keys between nodes,
+            # so HB+ conservatively serializes structural inserts/deletes
+            # through the coarse path and uses fine locks for value updates.
+            if op.kind == "update":
+                leaf = self.master.find_leaf(op.key)
+                done = {}
+
+                def body() -> None:
+                    done["ok"] = self.master.update(op.key, op.value)
+
+                locks.fine_op(id(leaf), body)
+                key = "updated" if done.get("ok") else "failed"
+            else:
+                done = {}
+
+                def body() -> None:
+                    if op.kind == "insert":
+                        done["ok"] = self.master.insert(op.key, op.value)
+                        done["key"] = "inserted"
+                    else:
+                        done["ok"] = self.master.delete(op.key)
+                        done["key"] = "deleted"
+
+                locks.coarse_op(body)
+                key = done["key"] if done.get("ok") else "failed"
+            with counts_guard:
+                counts[key] += 1
+
+        t0 = time.perf_counter()
+        if n_threads <= 1:
+            for op in ops:
+                one(op)
+        else:
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                list(pool.map(one, ops, chunksize=64))
+        t1 = time.perf_counter()
+        if len(self.master):
+            self.image = HBTreeDeviceImage.from_regular(self.master)
+            self._layout = HarmoniaLayout.from_regular(self.master)
+        t2 = time.perf_counter()
+        counts["apply_s"] = t1 - t0
+        counts["sync_s"] = t2 - t1
+        counts["total_s"] = t2 - t0
+        return counts
+
+
+__all__ = ["HBTree", "HBTreeDeviceImage"]

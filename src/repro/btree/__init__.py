@@ -1,0 +1,23 @@
+"""Classic B+tree substrates.
+
+``regular`` is the pointer-based B+tree the paper takes as its starting point
+(§2.2 "regular B+tree"): nodes hold keys *and* child references, updates work
+in place via split/merge.  ``implicit`` is the breadth-first array variant the
+paper contrasts with (complete tree, children found by index arithmetic).
+``bulk`` builds either from sorted data at a chosen fill factor, which is how
+evaluation trees of 2^23..2^26 keys are constructed.
+"""
+
+from repro.btree.node import InternalNode, LeafNode, Node
+from repro.btree.regular import RegularBPlusTree
+from repro.btree.implicit import ImplicitBPlusTree
+from repro.btree.bulk import bulk_load
+
+__all__ = [
+    "Node",
+    "LeafNode",
+    "InternalNode",
+    "RegularBPlusTree",
+    "ImplicitBPlusTree",
+    "bulk_load",
+]

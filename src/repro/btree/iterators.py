@@ -1,0 +1,74 @@
+"""Traversal utilities over the pointer-based B+tree.
+
+Harmonia's flattening (:mod:`repro.core.layout`) and several analysis
+experiments need the exact breadth-first order the paper stores the key
+region in (§3.1), so BFS enumeration lives here as a shared utility.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Tuple
+
+from repro.btree.node import InternalNode, LeafNode, Node
+from repro.btree.regular import RegularBPlusTree
+
+
+def bfs_nodes(tree: RegularBPlusTree) -> Iterator[Node]:
+    """All nodes in breadth-first order, root first."""
+    queue: "deque[Node]" = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        yield node
+        if not node.is_leaf:
+            assert isinstance(node, InternalNode)
+            queue.extend(node.children)
+
+
+def bfs_index_map(tree: RegularBPlusTree) -> "dict[int, int]":
+    """Map ``id(node) -> BFS index`` (the node's key-region slot)."""
+    return {id(node): i for i, node in enumerate(bfs_nodes(tree))}
+
+
+def leaves_in_order(tree: RegularBPlusTree) -> List[LeafNode]:
+    """Leaves left-to-right, via the structure (not the chain — the chain is
+    itself validated against this in ``check_invariants``)."""
+    return [n for n in bfs_nodes(tree) if n.is_leaf]  # BFS visits leaves last, in order
+
+
+def level_of_nodes(tree: RegularBPlusTree) -> List[Tuple[int, Node]]:
+    """Pairs of ``(level, node)`` in BFS order; the root is level 0."""
+    out: List[Tuple[int, Node]] = []
+    frontier: List[Node] = [tree.root]
+    level = 0
+    while frontier:
+        nxt: List[Node] = []
+        for node in frontier:
+            out.append((level, node))
+            if not node.is_leaf:
+                assert isinstance(node, InternalNode)
+                nxt.extend(node.children)
+        frontier = nxt
+        level += 1
+    return out
+
+
+def traversal_path(tree: RegularBPlusTree, key: int) -> List[Node]:
+    """The root-to-leaf node path a point query for ``key`` follows."""
+    path: List[Node] = []
+    node: Node = tree.root
+    while True:
+        path.append(node)
+        if node.is_leaf:
+            return path
+        assert isinstance(node, InternalNode)
+        node = node.children[node.child_index_for(key)]
+
+
+__all__ = [
+    "bfs_nodes",
+    "bfs_index_map",
+    "leaves_in_order",
+    "level_of_nodes",
+    "traversal_path",
+]

@@ -1,0 +1,124 @@
+"""Node objects for the pointer-based ("regular") B+tree.
+
+The paper's regular B+tree (§2.2, Figure 4a): an internal node stores up to
+``fanout - 1`` keys and up to ``fanout`` child references; a leaf stores up to
+``fanout - 1`` keys with their values plus a sibling link for range scans.
+
+Keys inside a node are kept sorted.  The separator convention is
+*left-exclusive / right-inclusive*: in an internal node with keys
+``k_0 < k_1 < ...``, child ``i`` covers targets ``t`` with
+``k_{i-1} <= t < k_i`` — i.e. the child index for target ``t`` is
+``bisect_right(keys, t)`` using ``<=`` against separators, matching the
+``searchsorted(..., side="right")`` used by the vectorized Harmonia kernels
+so both structures always agree on traversal paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from typing import List, Optional
+
+from repro.errors import CapacityError
+
+
+class Node:
+    """Common base for leaf and internal nodes."""
+
+    __slots__ = ("keys", "fine_lock")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        #: Per-node fine-grained lock for Algorithm 1 (update protocol).
+        self.fine_lock = threading.Lock()
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    def n_keys(self) -> int:
+        return len(self.keys)
+
+
+class LeafNode(Node):
+    """Leaf: sorted keys, aligned values, and a right-sibling link."""
+
+    __slots__ = ("values", "next_leaf", "status_split", "aux")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: List[int] = []
+        self.next_leaf: Optional["LeafNode"] = None
+        #: Batch-update bookkeeping (paper §3.2.2): when an insert splits this
+        #: leaf mid-batch, the split is staged on an auxiliary node and the
+        #: leaf is marked ``status_split`` until the post-batch movement.
+        self.status_split: bool = False
+        self.aux: Optional[object] = None  # core.update.AuxiliaryNode
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def find(self, key: int) -> Optional[int]:
+        """Value stored under ``key`` or ``None``."""
+        i = bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return self.values[i]
+        return None
+
+    def insert_entry(self, key: int, value: int, max_keys: int) -> None:
+        """Insert ``key`` (assumed absent) keeping order; reject overflow."""
+        if len(self.keys) >= max_keys:
+            raise CapacityError(f"leaf already holds {max_keys} keys")
+        i = bisect_left(self.keys, key)
+        self.keys.insert(i, key)
+        self.values.insert(i, value)
+
+    def set_value(self, key: int, value: int) -> bool:
+        """Overwrite the value under ``key``; False when absent."""
+        i = bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            self.values[i] = value
+            return True
+        return False
+
+    def remove_entry(self, key: int) -> bool:
+        """Delete ``key``; False when absent."""
+        i = bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            del self.keys[i]
+            del self.values[i]
+            return True
+        return False
+
+
+class InternalNode(Node):
+    """Internal node: ``len(children) == len(keys) + 1`` always holds."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: List[Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def child_index_for(self, key: int) -> int:
+        """Index of the child whose range contains ``key``.
+
+        Separators equal to the target send the query right (see module
+        docstring), hence ``bisect_right``.
+        """
+        return bisect_right(self.keys, key)
+
+    def child_slot_of(self, child: Node) -> int:
+        """Position of ``child`` among this node's children (identity match)."""
+        for i, c in enumerate(self.children):
+            if c is child:
+                return i
+        raise ValueError("node is not a child of this internal node")
+
+
+__all__ = ["Node", "LeafNode", "InternalNode", "bisect_left", "bisect_right", "insort"]

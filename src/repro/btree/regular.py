@@ -1,0 +1,452 @@
+"""Pointer-based regular B+tree (the paper's §2.2 baseline structure).
+
+This is a complete, self-balancing B+tree: point search, range search,
+insert (with node splits), delete (with borrow/merge rebalancing), and
+in-place value updates.  It serves three roles in the reproduction:
+
+* the CPU reference implementation every other structure is tested against;
+* the source structure Harmonia's layout is *flattened from*
+  (:meth:`repro.core.layout.HarmoniaLayout.from_regular`);
+* the structure the batch-update machinery (§3.2.2) mutates before the
+  post-batch movement rebuilds the Harmonia regions.
+
+Node capacity follows the paper: at most ``fanout`` children and
+``fanout - 1`` keys per node.  Minimum occupancy is the textbook
+``ceil(fanout / 2)`` children for internal nodes and
+``ceil((fanout - 1) / 2)`` keys for leaves (root exempt).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+from repro.btree.node import InternalNode, LeafNode, Node
+from repro.constants import DEFAULT_FANOUT
+from repro.errors import EmptyTreeError, InvariantViolation
+from repro.utils.validation import ensure_fanout, ensure_scalar_key
+
+
+class RegularBPlusTree:
+    """A mutable, pointer-based B+tree mapping int64 keys to int64 values.
+
+    >>> t = RegularBPlusTree(fanout=4)
+    >>> t.insert(10, 100)
+    >>> t.insert(20, 200)
+    >>> t.search(10)
+    100
+    >>> t.search(15) is None
+    True
+    """
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT) -> None:
+        self.fanout = ensure_fanout(fanout)
+        self.max_keys = self.fanout - 1
+        self.min_leaf_keys = (self.fanout - 1 + 1) // 2  # ceil((fanout-1)/2)
+        self.min_children = (self.fanout + 1) // 2  # ceil(fanout/2)
+        self.root: Node = LeafNode()
+        self._size = 0
+        self._height = 1  # levels, counting the leaf level
+
+    # ------------------------------------------------------------------ size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        # An empty tree is still a valid object; mirror dict semantics.
+        return self._size > 0
+
+    @property
+    def height(self) -> int:
+        """Number of levels, leaves included (a lone leaf root has height 1)."""
+        return self._height
+
+    # ---------------------------------------------------------------- lookup
+
+    def _descend(self, key: int) -> Tuple[LeafNode, List[InternalNode]]:
+        """Leaf responsible for ``key`` plus the internal path to it."""
+        path: List[InternalNode] = []
+        node = self.root
+        while not node.is_leaf:
+            assert isinstance(node, InternalNode)
+            path.append(node)
+            node = node.children[node.child_index_for(key)]
+        assert isinstance(node, LeafNode)
+        return node, path
+
+    def find_leaf(self, key: int) -> LeafNode:
+        """The leaf whose key range contains ``key`` (public: the batch
+        updater needs leaf identity for fine-grained locking)."""
+        return self._descend(ensure_scalar_key(key))[0]
+
+    def search(self, key: int) -> Optional[int]:
+        """Value stored under ``key``, or ``None`` when absent."""
+        key = ensure_scalar_key(key)
+        return self._descend(key)[0].find(key)
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def range_search(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """All ``(key, value)`` pairs with ``lo <= key <= hi`` in key order.
+
+        Implements the paper's range query: locate the first leaf via a point
+        search, then scan rightwards through the leaf links (§3.2.1).
+        """
+        lo = ensure_scalar_key(lo)
+        hi = ensure_scalar_key(hi)
+        if lo > hi:
+            return []
+        leaf: Optional[LeafNode] = self._descend(lo)[0]
+        out: List[Tuple[int, int]] = []
+        while leaf is not None:
+            start = bisect_left(leaf.keys, lo)
+            for i in range(start, len(leaf.keys)):
+                if leaf.keys[i] > hi:
+                    return out
+                out.append((leaf.keys[i], leaf.values[i]))
+            leaf = leaf.next_leaf
+        return out
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All pairs in key order via the leaf chain."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def keys(self) -> Iterator[int]:
+        for k, _ in self.items():
+            yield k
+
+    def _leftmost_leaf(self) -> LeafNode:
+        node = self.root
+        while not node.is_leaf:
+            assert isinstance(node, InternalNode)
+            node = node.children[0]
+        assert isinstance(node, LeafNode)
+        return node
+
+    def min_key(self) -> int:
+        if not self._size:
+            raise EmptyTreeError("min_key() on empty tree")
+        return self._leftmost_leaf().keys[0]
+
+    def max_key(self) -> int:
+        if not self._size:
+            raise EmptyTreeError("max_key() on empty tree")
+        node = self.root
+        while not node.is_leaf:
+            assert isinstance(node, InternalNode)
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ---------------------------------------------------------------- update
+
+    def update(self, key: int, value: int) -> bool:
+        """Overwrite the value under an existing ``key``; False if absent.
+
+        This is the paper's "update" operation (§3.2.2): like a query, plus a
+        value store — never changes the tree shape.
+        """
+        key = ensure_scalar_key(key)
+        return self._descend(key)[0].set_value(key, value)
+
+    # ---------------------------------------------------------------- insert
+
+    def insert(self, key: int, value: int) -> bool:
+        """Insert a new pair.  Returns True if inserted, False if the key was
+        already present (in which case the stored value is left untouched —
+        use :meth:`update` or :meth:`upsert` to overwrite)."""
+        key = ensure_scalar_key(key)
+        split = self._insert_rec(self.root, key, value)
+        if split is None:
+            return self._last_insert_was_new
+        sep, right = split
+        new_root = InternalNode()
+        new_root.keys = [sep]
+        new_root.children = [self.root, right]
+        self.root = new_root
+        self._height += 1
+        return True
+
+    def upsert(self, key: int, value: int) -> bool:
+        """Insert or overwrite; True when a new key was created."""
+        if self.update(key, value):
+            return False
+        return self.insert(key, value)
+
+    _last_insert_was_new = True
+
+    def _insert_rec(
+        self, node: Node, key: int, value: int
+    ) -> Optional[Tuple[int, Node]]:
+        """Insert below ``node``; return ``(separator, new_right_sibling)``
+        when ``node`` split, else ``None``."""
+        if node.is_leaf:
+            assert isinstance(node, LeafNode)
+            i = bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                self._last_insert_was_new = False
+                return None
+            self._last_insert_was_new = True
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._size += 1
+            if len(node.keys) <= self.max_keys:
+                return None
+            return self._split_leaf(node)
+
+        assert isinstance(node, InternalNode)
+        ci = node.child_index_for(key)
+        split = self._insert_rec(node.children[ci], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(ci, sep)
+        node.children.insert(ci + 1, right)
+        if len(node.children) <= self.fanout:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, leaf: LeafNode) -> Tuple[int, LeafNode]:
+        """Split an overfull leaf; separator is the right half's first key
+        (right-inclusive separator convention)."""
+        mid = len(leaf.keys) // 2
+        right = LeafNode()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        del leaf.keys[mid:]
+        del leaf.values[mid:]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: InternalNode) -> Tuple[int, InternalNode]:
+        """Split an overfull internal node; the middle key moves up."""
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = InternalNode()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        del node.keys[mid:]
+        del node.children[mid + 1 :]
+        return sep, right
+
+    # ---------------------------------------------------------------- delete
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; False when absent.  Rebalances via borrow/merge."""
+        key = ensure_scalar_key(key)
+        removed = self._delete_rec(self.root, key)
+        if not removed:
+            return False
+        # Collapse a root that lost its last separator.
+        if not self.root.is_leaf:
+            assert isinstance(self.root, InternalNode)
+            if len(self.root.children) == 1:
+                self.root = self.root.children[0]
+                self._height -= 1
+        return True
+
+    def _delete_rec(self, node: Node, key: int) -> bool:
+        if node.is_leaf:
+            assert isinstance(node, LeafNode)
+            if node.remove_entry(key):
+                self._size -= 1
+                return True
+            return False
+
+        assert isinstance(node, InternalNode)
+        ci = node.child_index_for(key)
+        child = node.children[ci]
+        if not self._delete_rec(child, key):
+            return False
+        if self._underflows(child):
+            self._rebalance(node, ci)
+        return True
+
+    def _underflows(self, node: Node) -> bool:
+        if node is self.root:
+            return False
+        if node.is_leaf:
+            return len(node.keys) < self.min_leaf_keys
+        assert isinstance(node, InternalNode)
+        return len(node.children) < self.min_children
+
+    def _rebalance(self, parent: InternalNode, ci: int) -> None:
+        """Restore minimum occupancy of ``parent.children[ci]`` by borrowing
+        from a sibling when possible, else merging with one."""
+        child = parent.children[ci]
+        left = parent.children[ci - 1] if ci > 0 else None
+        right = parent.children[ci + 1] if ci + 1 < len(parent.children) else None
+
+        if left is not None and self._can_lend(left):
+            self._borrow_from_left(parent, ci, left, child)
+        elif right is not None and self._can_lend(right):
+            self._borrow_from_right(parent, ci, child, right)
+        elif left is not None:
+            self._merge(parent, ci - 1, left, child)
+        else:
+            assert right is not None
+            self._merge(parent, ci, child, right)
+
+    def _can_lend(self, node: Node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) > self.min_leaf_keys
+        assert isinstance(node, InternalNode)
+        return len(node.children) > self.min_children
+
+    def _borrow_from_left(
+        self, parent: InternalNode, ci: int, left: Node, child: Node
+    ) -> None:
+        if child.is_leaf:
+            assert isinstance(left, LeafNode) and isinstance(child, LeafNode)
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[ci - 1] = child.keys[0]
+        else:
+            assert isinstance(left, InternalNode) and isinstance(child, InternalNode)
+            # Rotate through the parent separator.
+            child.keys.insert(0, parent.keys[ci - 1])
+            parent.keys[ci - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: InternalNode, ci: int, child: Node, right: Node
+    ) -> None:
+        if child.is_leaf:
+            assert isinstance(right, LeafNode) and isinstance(child, LeafNode)
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[ci] = right.keys[0]
+        else:
+            assert isinstance(right, InternalNode) and isinstance(child, InternalNode)
+            child.keys.append(parent.keys[ci])
+            parent.keys[ci] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent: InternalNode, sep_i: int, left: Node, right: Node) -> None:
+        """Merge ``right`` into ``left``; ``sep_i`` is the separator between
+        them in ``parent``."""
+        if left.is_leaf:
+            assert isinstance(left, LeafNode) and isinstance(right, LeafNode)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            assert isinstance(left, InternalNode) and isinstance(right, InternalNode)
+            left.keys.append(parent.keys[sep_i])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[sep_i]
+        del parent.children[sep_i + 1]
+
+    # ------------------------------------------------------------ validation
+
+    def check_invariants(self) -> None:
+        """Verify every structural invariant; raises
+        :class:`~repro.errors.InvariantViolation` on the first failure.
+
+        Checked: per-node key order and capacity, minimum occupancy,
+        separator/key-range consistency, uniform leaf depth, child-count
+        arithmetic, leaf-chain ordering and completeness, and size accounting.
+        """
+        leaves: List[LeafNode] = []
+        count = self._check_node(self.root, lo=None, hi=None, depth=1, leaves=leaves)
+        if count != self._size:
+            raise InvariantViolation(f"size {self._size} != counted {count}")
+        # Leaf chain must visit exactly the leaves, left to right.
+        chain: List[LeafNode] = []
+        leaf: Optional[LeafNode] = self._leftmost_leaf()
+        while leaf is not None:
+            chain.append(leaf)
+            leaf = leaf.next_leaf
+        if [id(x) for x in chain] != [id(x) for x in leaves]:
+            raise InvariantViolation("leaf chain does not match tree order")
+        flat = [k for lf in leaves for k in lf.keys]
+        if flat != sorted(set(flat)):
+            raise InvariantViolation("leaf keys are not globally sorted/unique")
+
+    def _check_node(
+        self,
+        node: Node,
+        lo: Optional[int],
+        hi: Optional[int],
+        depth: int,
+        leaves: List[LeafNode],
+    ) -> int:
+        keys = node.keys
+        if keys != sorted(keys):
+            raise InvariantViolation("node keys unsorted")
+        if len(set(keys)) != len(keys):
+            raise InvariantViolation("duplicate keys inside a node")
+        if len(keys) > self.max_keys:
+            raise InvariantViolation(f"node holds {len(keys)} > {self.max_keys} keys")
+        # Range check: keys in (lo, hi] ... with our convention keys satisfy
+        # lo <= k < hi for internal ranges; leaf keys satisfy lo <= k < hi.
+        for k in keys:
+            if lo is not None and k < lo:
+                raise InvariantViolation(f"key {k} below lower bound {lo}")
+            if hi is not None and k >= hi:
+                raise InvariantViolation(f"key {k} not below upper bound {hi}")
+
+        if node.is_leaf:
+            assert isinstance(node, LeafNode)
+            if depth != self._height:
+                raise InvariantViolation(
+                    f"leaf at depth {depth}, expected {self._height}"
+                )
+            if node is not self.root and len(keys) < self.min_leaf_keys:
+                raise InvariantViolation(
+                    f"leaf underfull: {len(keys)} < {self.min_leaf_keys}"
+                )
+            if len(node.values) != len(keys):
+                raise InvariantViolation("leaf keys/values length mismatch")
+            leaves.append(node)
+            return len(keys)
+
+        assert isinstance(node, InternalNode)
+        if len(node.children) != len(keys) + 1:
+            raise InvariantViolation("internal children != keys + 1")
+        if node is self.root:
+            if len(node.children) < 2:
+                raise InvariantViolation("internal root has < 2 children")
+        elif len(node.children) < self.min_children:
+            raise InvariantViolation(
+                f"internal underfull: {len(node.children)} < {self.min_children}"
+            )
+        total = 0
+        bounds = [lo] + list(keys) + [hi]
+        for i, child in enumerate(node.children):
+            total += self._check_node(child, bounds[i], bounds[i + 1], depth + 1, leaves)
+        return total
+
+    # -------------------------------------------------------------- plumbing
+
+    def level_nodes(self) -> List[List[Node]]:
+        """Nodes grouped per level, root first (BFS order within a level)."""
+        levels: List[List[Node]] = []
+        frontier: List[Node] = [self.root]
+        while frontier:
+            levels.append(frontier)
+            nxt: List[Node] = []
+            for n in frontier:
+                if not n.is_leaf:
+                    assert isinstance(n, InternalNode)
+                    nxt.extend(n.children)
+            frontier = nxt
+        return levels
+
+    def node_count(self) -> int:
+        return sum(len(level) for level in self.level_nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegularBPlusTree(fanout={self.fanout}, size={self._size}, "
+            f"height={self._height})"
+        )
+
+
+__all__ = ["RegularBPlusTree"]

@@ -1,0 +1,190 @@
+"""``harmonia-tool`` — build, query, inspect and simulate indexes from the
+shell.
+
+    harmonia-tool build  --random 100000 --out index.npz --fanout 64
+    harmonia-tool build  --keys keys.txt --out index.npz
+    harmonia-tool query  index.npz 42 4711
+    harmonia-tool range  index.npz 100 200
+    harmonia-tool stats  index.npz
+    harmonia-tool simulate index.npz --queries 65536 --device k80
+
+(The figure-regeneration CLI is separate: ``harmonia-experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import NOT_FOUND
+from repro.core import HarmoniaTree, SearchConfig, layout_stats, load_tree, save_tree
+from repro.errors import ReproError
+from repro.utils.validation import ensure_key_array
+
+
+def _read_keys(path: str) -> np.ndarray:
+    """Keys from a ``.npy``/``.npz`` array or a text file of integers."""
+    if path.endswith(".npy"):
+        return ensure_key_array(np.load(path))
+    if path.endswith(".npz"):
+        with np.load(path) as data:
+            first = list(data)[0]
+            return ensure_key_array(data[first])
+    with open(path) as fh:
+        values = [int(line) for line in fh if line.strip()]
+    return ensure_key_array(np.asarray(values, dtype=np.int64))
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.random is not None:
+        from repro.workloads.generators import make_key_set
+
+        keys = make_key_set(args.random, rng=args.seed)
+        values = None
+    else:
+        keys = np.unique(_read_keys(args.keys))
+        values = None
+    tree = HarmoniaTree.from_sorted(keys, values, fanout=args.fanout,
+                                    fill=args.fill)
+    save_tree(tree, args.out)
+    st = layout_stats(tree.layout)
+    print(f"built {args.out}: {st.n_keys} keys, fanout {st.fanout}, "
+          f"height {st.height}, key region {st.key_region_bytes / 1e6:.2f} MB, "
+          f"child region {st.child_region_bytes / 1e3:.2f} KB")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tree = load_tree(args.index)
+    if args.targets:
+        targets = np.asarray([int(t) for t in args.targets], dtype=np.int64)
+    elif args.file:
+        targets = _read_keys(args.file)
+    else:
+        targets = ensure_key_array(
+            np.asarray([int(l) for l in sys.stdin if l.strip()],
+                       dtype=np.int64)
+        )
+    cfg = SearchConfig.full() if args.optimized else SearchConfig.baseline_tree()
+    out = tree.search_batch(targets, cfg)
+    misses = 0
+    for key, value in zip(targets, out):
+        if value == NOT_FOUND:
+            print(f"{key}\tMISS")
+            misses += 1
+        else:
+            print(f"{key}\t{value}")
+    print(f"# {targets.size - misses}/{targets.size} hits", file=sys.stderr)
+    return 0
+
+
+def _cmd_range(args: argparse.Namespace) -> int:
+    tree = load_tree(args.index)
+    keys, values = tree.range_search(args.lo, args.hi)
+    for k, v in zip(keys, values):
+        print(f"{k}\t{v}")
+    print(f"# {keys.size} pairs in [{args.lo}, {args.hi}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    tree = load_tree(args.index)
+    st = layout_stats(tree.layout)
+    for key, value in st.to_dict().items():
+        print(f"{key:26s} {value}")
+    print(f"{'const_resident_levels':26s} {st.const_resident_levels()}"
+          f" / {st.height}")
+    for lvl in st.levels:
+        print(f"  level {lvl.level}: {lvl.n_nodes} nodes, "
+              f"occupancy {lvl.mean_occupancy:.0%} "
+              f"(min {lvl.min_keys}, max {lvl.max_keys} keys)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.gpusim import TESLA_K80, TITAN_V, simulate_harmonia_search
+    from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+    from repro.workloads.datasets import miniaturized_device
+    from repro.workloads.generators import uniform_queries
+
+    tree = load_tree(args.index)
+    base = {"titanv": TITAN_V, "k80": TESLA_K80}[args.device]
+    device = miniaturized_device(len(tree), args.queries, base)
+    rng = np.random.default_rng(args.seed)
+    queries = uniform_queries(tree.layout.all_keys(), args.queries, rng=rng)
+    prep = tree.prepare_queries(queries, SearchConfig.full())
+    metrics = simulate_harmonia_search(
+        tree.layout, prep.queries, prep.group_size, device=device
+    )
+    sort_s = estimate_sort_time(args.queries, prep.psa.sort_passes, device)
+    tp = modeled_throughput(metrics, tree.layout, device, sort_s=sort_s)
+    print(f"device                 {device.name}")
+    print(f"queries                {args.queries}")
+    print(f"psa sorted bits        {prep.psa.bits_sorted} "
+          f"({prep.psa.sort_passes} passes)")
+    print(f"ntg group size         {prep.group_size}")
+    for key, value in metrics.summary().items():
+        print(f"{key:22s} {value}")
+    print(f"modeled throughput     {tp / 1e9:.3f} Gq/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="harmonia-tool",
+        description="Build, query, inspect and simulate Harmonia indexes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("build", help="bulk-build an index")
+    src = b.add_mutually_exclusive_group(required=True)
+    src.add_argument("--keys", help="file of keys (.txt/.npy/.npz)")
+    src.add_argument("--random", type=int, help="generate N random keys")
+    b.add_argument("--out", required=True)
+    b.add_argument("--fanout", type=int, default=64)
+    b.add_argument("--fill", type=float, default=0.7)
+    b.add_argument("--seed", type=int, default=0)
+    b.set_defaults(func=_cmd_build)
+
+    q = sub.add_parser("query", help="point lookups")
+    q.add_argument("index")
+    q.add_argument("targets", nargs="*", help="keys (default: stdin)")
+    q.add_argument("--file", help="file of query keys")
+    q.add_argument("--no-optimized", dest="optimized", action="store_false",
+                   help="skip PSA/NTG preprocessing")
+    q.set_defaults(func=_cmd_query, optimized=True)
+
+    r = sub.add_parser("range", help="range scan [LO, HI]")
+    r.add_argument("index")
+    r.add_argument("lo", type=int)
+    r.add_argument("hi", type=int)
+    r.set_defaults(func=_cmd_range)
+
+    s = sub.add_parser("stats", help="structural statistics")
+    s.add_argument("index")
+    s.set_defaults(func=_cmd_stats)
+
+    m = sub.add_parser("simulate", help="run the GPU model on the index")
+    m.add_argument("index")
+    m.add_argument("--queries", type=int, default=1 << 14)
+    m.add_argument("--device", choices=("titanv", "k80"), default="titanv")
+    m.add_argument("--seed", type=int, default=0)
+    m.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, FileNotFoundError, ValueError) as exc:
+        print(f"harmonia-tool: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Global constants shared across the Harmonia reproduction.
+
+The paper (§5.1, footnote 3) uses 64-bit keys.  We represent keys as signed
+``int64`` and reserve the maximum representable value as a padding sentinel
+for unused key slots, so vectorized ``searchsorted``-style comparisons never
+have to mask out padding explicitly: every real key compares strictly below
+the sentinel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype of keys throughout the library (the paper uses 64-bit keys).
+KEY_DTYPE = np.int64
+
+#: dtype of values stored in leaves.
+VALUE_DTYPE = np.int64
+
+#: dtype of key-region / prefix-sum indices.
+INDEX_DTYPE = np.int64
+
+#: Sentinel used to pad unused key slots.  Must sort after every legal key.
+KEY_MAX = np.iinfo(KEY_DTYPE).max
+
+#: Sentinel returned by searches for keys that are absent.
+NOT_FOUND = np.iinfo(VALUE_DTYPE).min
+
+#: Default branching factor.  The paper evaluates fanouts 8..128 and uses 64
+#: as the running example ("the size of a node is about 1KB for a 64-fanout
+#: tree", §3.1).
+DEFAULT_FANOUT = 64
+
+#: Number of key bits assumed by PSA's Equation 2 (B in the paper).
+KEY_BITS = 64
+
+#: Smallest fanout for which the B+tree invariants are well defined.
+MIN_FANOUT = 3
+
+__all__ = [
+    "KEY_DTYPE",
+    "VALUE_DTYPE",
+    "INDEX_DTYPE",
+    "KEY_MAX",
+    "NOT_FOUND",
+    "DEFAULT_FANOUT",
+    "KEY_BITS",
+    "MIN_FANOUT",
+]

@@ -1,0 +1,40 @@
+"""Harmonia — the paper's contribution.
+
+* :mod:`repro.core.layout` — the two-region structure (§3.1): BFS key region
+  + prefix-sum child region.
+* :mod:`repro.core.search` — scalar and vectorized traversal (§3.2.1).
+* :mod:`repro.core.psa` — partially-sorted aggregation (§4.1).
+* :mod:`repro.core.ntg` — narrowed thread-group traversal model (§4.2).
+* :mod:`repro.core.update` — batch updates with two-grained locking and
+  auxiliary nodes (§3.2.2, Algorithm 1).
+* :mod:`repro.core.tree` — :class:`HarmoniaTree`, the user-facing index that
+  glues the above together.
+"""
+
+from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.epoch import EpochManager
+from repro.core.heap import RecordStore, ValueHeap
+from repro.core.io import load_layout, load_tree, save_layout, save_tree
+from repro.core.layout import HarmoniaLayout
+from repro.core.merge import compact, merge_layouts
+from repro.core.stats import layout_stats
+from repro.core.tree import HarmoniaTree
+from repro.core.tuning import recommend_fanout
+
+__all__ = [
+    "HarmoniaLayout",
+    "HarmoniaTree",
+    "SearchConfig",
+    "UpdateConfig",
+    "EpochManager",
+    "RecordStore",
+    "ValueHeap",
+    "save_layout",
+    "load_layout",
+    "save_tree",
+    "load_tree",
+    "layout_stats",
+    "merge_layouts",
+    "compact",
+    "recommend_fanout",
+]

@@ -1,0 +1,103 @@
+"""Configuration dataclasses for search and update pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_positive, ensure_power_of_two
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of the Harmonia query pipeline (§4).
+
+    * ``use_psa`` / ``psa_bits``: partially-sorted aggregation.  ``psa_bits``
+      of ``None`` means Equation 2 picks the bit count from the tree size;
+      an explicit integer overrides it (0 = no reordering even with PSA on —
+      useful for ablation sweeps).
+    * ``ntg``: thread-group width.  ``"model"`` runs the §4.2 static
+      profiling selection, ``"fanout"`` forces the traditional width, an
+      ``int`` forces a specific power-of-two width.
+    * ``warp_size`` / ``keys_per_cacheline`` describe the device assumptions
+      baked into Equations 2-4 (they must agree with the
+      :class:`~repro.gpusim.device.DeviceSpec` used for simulation; the
+      simulator cross-checks).
+    * ``profile_sample``: static-profiling sample size (paper: ~1000).
+    """
+
+    use_psa: bool = True
+    psa_bits: Optional[int] = None
+    ntg: Union[str, int] = "model"
+    warp_size: int = 32
+    keys_per_cacheline: int = 16
+    profile_sample: int = 1000
+    #: Levels considered by NTG profiling (None = all; paper: the last few).
+    ntg_profile_levels: Optional[int] = 2
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        ensure_power_of_two("warp_size", self.warp_size)
+        ensure_positive("keys_per_cacheline", self.keys_per_cacheline)
+        ensure_positive("profile_sample", self.profile_sample)
+        if self.psa_bits is not None and not 0 <= self.psa_bits <= 64:
+            raise ConfigError(f"psa_bits must be in [0, 64], got {self.psa_bits}")
+        if isinstance(self.ntg, str):
+            if self.ntg not in ("model", "fanout"):
+                raise ConfigError(f"ntg must be 'model', 'fanout' or an int power of two")
+        else:
+            ensure_power_of_two("ntg", self.ntg)
+            if self.ntg > self.warp_size:
+                raise ConfigError(
+                    f"ntg={self.ntg} cannot exceed warp_size={self.warp_size}"
+                )
+        if self.ntg_profile_levels is not None:
+            ensure_positive("ntg_profile_levels", self.ntg_profile_levels)
+
+    # Convenience presets matching the paper's ablation (Figure 13).
+    @classmethod
+    def baseline_tree(cls) -> "SearchConfig":
+        """Harmonia layout only: no PSA, traditional thread groups."""
+        return cls(use_psa=False, ntg="fanout")
+
+    @classmethod
+    def tree_psa(cls) -> "SearchConfig":
+        """Layout + PSA (Figure 13's third bar)."""
+        return cls(use_psa=True, ntg="fanout")
+
+    @classmethod
+    def full(cls) -> "SearchConfig":
+        """Layout + PSA + NTG — the complete Harmonia."""
+        return cls(use_psa=True, ntg="model")
+
+    def with_(self, **kwargs) -> "SearchConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class UpdateConfig:
+    """Knobs of the CPU batch-update pipeline (§3.2.2).
+
+    ``n_threads`` sizes the worker pool applying operations under
+    Algorithm 1's two-grained locking; ``rebuild_policy`` controls when the
+    post-batch movement runs ("always" after every batch, or "threshold"
+    once dirty leaves exceed ``rebuild_threshold`` of all leaves).
+    """
+
+    n_threads: int = 4
+    rebuild_policy: str = "always"
+    rebuild_threshold: float = 0.1
+
+    def __post_init__(self) -> None:
+        ensure_positive("n_threads", self.n_threads)
+        if self.rebuild_policy not in ("always", "threshold"):
+            raise ConfigError(
+                f"rebuild_policy must be 'always'|'threshold', got {self.rebuild_policy!r}"
+            )
+        if not 0.0 < self.rebuild_threshold <= 1.0:
+            raise ConfigError("rebuild_threshold must be in (0, 1]")
+
+
+__all__ = ["SearchConfig", "UpdateConfig"]

@@ -1,0 +1,144 @@
+"""Epoch manager: safe interleaving of query and update phases.
+
+The paper's scenario is phase-based (§3.2): the GPU serves queries against
+an immutable snapshot while the CPU accumulates updates; a batch boundary
+swaps in the new structure.  :class:`EpochManager` packages that
+discipline so applications do not have to hand-roll it:
+
+* readers call :meth:`search_batch` / :meth:`range_search` at any time
+  from any thread — each call pins the *current* snapshot for its whole
+  duration (queries never observe a half-applied batch);
+* writers call :meth:`submit` to enqueue operations; :meth:`flush` (or
+  crossing ``batch_capacity``) applies them as one §3.2.2 batch and
+  atomically publishes the new snapshot;
+* :attr:`epoch` counts published snapshots — readers can detect staleness
+  cheaply.
+
+This is deliberately *not* a concurrent B+tree: it is the batch-update
+contract of the paper, enforced.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.tree import HarmoniaTree
+from repro.core.update import BatchResult, Operation
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_positive
+
+
+class EpochManager:
+    """Snapshot-per-epoch wrapper around a :class:`HarmoniaTree`."""
+
+    def __init__(
+        self,
+        tree: HarmoniaTree,
+        batch_capacity: int = 1 << 16,
+        update_config: Optional[UpdateConfig] = None,
+    ) -> None:
+        self._tree = tree
+        self.batch_capacity = ensure_positive("batch_capacity", batch_capacity)
+        self.update_config = update_config or UpdateConfig()
+        self._pending: List[Operation] = []
+        self._write_lock = threading.Lock()  # serializes writers + flush
+        self._publish_lock = threading.Lock()  # guards snapshot swap
+        self._epoch = 0
+
+    # ---------------------------------------------------------------- reads
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def pending_operations(self) -> int:
+        with self._write_lock:
+            return len(self._pending)
+
+    def _snapshot(self) -> HarmoniaTree:
+        # The tree's layout reference is swapped atomically under the
+        # publish lock; pinning = grabbing the current layout object.
+        with self._publish_lock:
+            layout = self._tree._layout
+            fill = self._tree._fill
+        pinned = HarmoniaTree(layout, fill=fill,
+                              search_config=self._tree.search_config)
+        return pinned
+
+    def search(self, key: int) -> Optional[int]:
+        return self._snapshot().search(key)
+
+    def search_batch(
+        self, queries: Sequence[int], config: Optional[SearchConfig] = None
+    ) -> np.ndarray:
+        return self._snapshot().search_batch(queries, config)
+
+    def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._snapshot().range_search(lo, hi)
+
+    def __len__(self) -> int:
+        with self._publish_lock:
+            return len(self._tree)
+
+    # --------------------------------------------------------------- writes
+
+    def submit(self, op: Operation) -> Optional[BatchResult]:
+        """Enqueue one operation; auto-flushes when the batch fills.
+
+        Returns the flush's :class:`BatchResult` when one happened, else
+        ``None`` — callers that care about durability call :meth:`flush`.
+        """
+        if not isinstance(op, Operation):
+            raise ConfigError(f"submit() takes an Operation, got {type(op).__name__}")
+        with self._write_lock:
+            self._pending.append(op)
+            if len(self._pending) >= self.batch_capacity:
+                return self._flush_locked()
+        return None
+
+    def submit_many(self, ops: Sequence[Operation]) -> List[BatchResult]:
+        """Enqueue many operations; returns the results of any auto-flushes."""
+        results: List[BatchResult] = []
+        with self._write_lock:
+            for op in ops:
+                self._pending.append(op)
+                if len(self._pending) >= self.batch_capacity:
+                    results.append(self._flush_locked())
+        return results
+
+    def flush(self) -> Optional[BatchResult]:
+        """Apply all pending operations as one batch and publish the new
+        snapshot.  No-op (returns ``None``) when nothing is pending."""
+        with self._write_lock:
+            if not self._pending:
+                return None
+            return self._flush_locked()
+
+    def _flush_locked(self) -> BatchResult:
+        ops = self._pending
+        self._pending = []
+        # Copy-on-write: §3.2.2's fine-grained path edits the key/value
+        # regions in place, so the batch runs on a private copy of the
+        # arrays while readers keep querying their pinned (old) snapshot.
+        # Publication is a single reference swap.
+        with self._publish_lock:
+            current = self._tree._layout
+            fill = self._tree._fill
+        shadow = HarmoniaTree(
+            current.copy() if current is not None else None,
+            fill=fill,
+            search_config=self._tree.search_config,
+        )
+        shadow._empty_fanout = self._tree._empty_fanout
+        result = shadow.apply_batch(ops, self.update_config)
+        with self._publish_lock:
+            self._tree._layout = shadow._layout
+            self._epoch += 1
+        return result
+
+
+__all__ = ["EpochManager"]

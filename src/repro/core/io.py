@@ -1,0 +1,104 @@
+"""Persistence: save/load Harmonia layouts and trees.
+
+The array layout makes persistence trivial and fast — exactly the property
+a real deployment uses to ship the GPU image around (HB+Tree similarly
+reorganizes into a continuous buffer before upload).  The format is a
+single ``.npz`` with a format-version guard so future layout changes stay
+loadable or fail loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.tree import HarmoniaTree
+from repro.errors import ConfigError
+
+#: Bump when the on-disk schema changes.
+FORMAT_VERSION = 1
+
+_REQUIRED = (
+    "format_version",
+    "fanout",
+    "height",
+    "n_keys",
+    "key_region",
+    "prefix_sum",
+    "leaf_values",
+    "level_starts",
+)
+
+import os
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_layout(layout: HarmoniaLayout, path: PathLike) -> None:
+    """Serialize a layout to ``path`` (``.npz``, uncompressed — the arrays
+    are incompressible key material and load speed matters)."""
+    np.savez(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        fanout=np.int64(layout.fanout),
+        height=np.int64(layout.height),
+        n_keys=np.int64(layout.n_keys),
+        key_region=layout.key_region,
+        prefix_sum=layout.prefix_sum,
+        leaf_values=layout.leaf_values,
+        level_starts=layout.level_starts,
+    )
+
+
+def load_layout(path: PathLike, validate: bool = True) -> HarmoniaLayout:
+    """Load a layout saved by :func:`save_layout`.
+
+    ``validate`` (default on) runs the full §3.1 invariant check after
+    loading — corrupt or truncated files fail here rather than during a
+    later traversal.
+    """
+    with np.load(path) as data:
+        missing = [k for k in _REQUIRED if k not in data]
+        if missing:
+            raise ConfigError(f"{path}: not a Harmonia layout (missing {missing})")
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ConfigError(
+                f"{path}: format version {version} unsupported "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        layout = HarmoniaLayout(
+            fanout=int(data["fanout"]),
+            height=int(data["height"]),
+            key_region=data["key_region"],
+            prefix_sum=data["prefix_sum"],
+            leaf_values=data["leaf_values"],
+            level_starts=data["level_starts"],
+            n_keys=int(data["n_keys"]),
+        )
+    if validate:
+        layout.check_invariants()
+    return layout
+
+
+def save_tree(tree: HarmoniaTree, path: PathLike) -> None:
+    """Persist a :class:`HarmoniaTree` (its current layout snapshot)."""
+    if len(tree) == 0:
+        raise ConfigError("refusing to save an empty tree")
+    save_layout(tree.layout, path)
+
+
+def load_tree(
+    path: PathLike, fill: float = 1.0, validate: bool = True
+) -> HarmoniaTree:
+    """Load a tree persisted with :func:`save_tree`.
+
+    ``fill`` sets the occupancy target future movement passes re-chunk to
+    (it is a rebuild policy, not part of the stored structure).
+    """
+    return HarmoniaTree(load_layout(path, validate=validate), fill=fill)
+
+
+__all__ = ["FORMAT_VERSION", "save_layout", "load_layout", "save_tree", "load_tree"]

@@ -1,0 +1,305 @@
+"""The Harmonia two-region tree layout (paper §3.1, Figure 4b).
+
+A B+tree is flattened into:
+
+* **key region** — ``key_region[node, slot]``: every node's keys in
+  breadth-first order, one fixed-size item of ``fanout - 1`` key slots per
+  node, unused slots padded with :data:`~repro.constants.KEY_MAX`;
+* **child region** — ``prefix_sum[node]``: the key-region index of the
+  node's *first* child.  Child ``i`` (0-based) of ``node`` lives at
+  ``prefix_sum[node] + i`` — the paper's Equation 1 with its 1-based ``i`` —
+  and the child count is ``prefix_sum[node + 1] - prefix_sum[node]``.
+
+Because all leaves of a B+tree sit at the same depth, BFS places them in one
+contiguous block at the end of the key region; ``leaf_start`` marks its
+beginning and ``leaf_values`` aligns with it.  The prefix-sum array is tiny
+(8 bytes/node ≈ key region / (fanout-1)), which is what lets the real system
+keep it in constant memory + read-only cache; :meth:`child_region_bytes`
+exposes the footprint so the GPU model can decide what fits where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.btree.iterators import bfs_nodes
+from repro.btree.node import InternalNode, LeafNode
+from repro.btree.regular import RegularBPlusTree
+from repro.constants import (
+    DEFAULT_FANOUT,
+    INDEX_DTYPE,
+    KEY_DTYPE,
+    KEY_MAX,
+    NOT_FOUND,
+    VALUE_DTYPE,
+)
+from repro.errors import EmptyTreeError, InvariantViolation
+from repro.utils.prefix import validate_prefix_array
+from repro.utils.validation import ensure_fanout
+
+
+@dataclass
+class HarmoniaLayout:
+    """Immutable array snapshot of a B+tree in Harmonia form.
+
+    Construct via :meth:`from_regular` or :meth:`from_sorted`; direct
+    construction is for tests and internal use.
+    """
+
+    fanout: int
+    height: int  #: levels including the leaf level (>= 1)
+    key_region: np.ndarray  #: (n_nodes, fanout-1) int64, KEY_MAX padded
+    prefix_sum: np.ndarray  #: (n_nodes+1,) int64
+    leaf_values: np.ndarray  #: (n_leaves, fanout-1) int64, NOT_FOUND padded
+    level_starts: np.ndarray  #: (height+1,) first BFS index of each level
+    n_keys: int  #: number of stored key/value pairs
+
+    # Derived fields (filled in __post_init__).
+    n_nodes: int = field(init=False)
+    n_leaves: int = field(init=False)
+    leaf_start: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.fanout = ensure_fanout(self.fanout)
+        self.n_nodes = int(self.key_region.shape[0])
+        self.leaf_start = int(self.level_starts[self.height - 1])
+        self.n_leaves = self.n_nodes - self.leaf_start
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_regular(cls, tree: RegularBPlusTree) -> "HarmoniaLayout":
+        """Flatten a pointer-based B+tree into Harmonia form.
+
+        This is the paper's construction and also the post-batch "movement"
+        target (§3.2.2).  O(n_nodes · fanout).
+        """
+        if len(tree) == 0:
+            raise EmptyTreeError("cannot lay out an empty tree")
+        fanout = tree.fanout
+        slots = fanout - 1
+        nodes = list(bfs_nodes(tree))
+        n_nodes = len(nodes)
+
+        key_region = np.full((n_nodes, slots), KEY_MAX, dtype=KEY_DTYPE)
+        children_counts = np.zeros(n_nodes, dtype=INDEX_DTYPE)
+        level_sizes: List[int] = [len(level) for level in tree.level_nodes()]
+        level_starts = np.zeros(len(level_sizes) + 1, dtype=INDEX_DTYPE)
+        np.cumsum(level_sizes, out=level_starts[1:])
+
+        leaf_start = int(level_starts[tree.height - 1])
+        leaf_values = np.full(
+            (n_nodes - leaf_start, slots), NOT_FOUND, dtype=VALUE_DTYPE
+        )
+        for i, node in enumerate(nodes):
+            nk = len(node.keys)
+            key_region[i, :nk] = node.keys
+            if node.is_leaf:
+                assert isinstance(node, LeafNode)
+                leaf_values[i - leaf_start, :nk] = node.values
+            else:
+                assert isinstance(node, InternalNode)
+                children_counts[i] = len(node.children)
+
+        prefix_sum = np.empty(n_nodes + 1, dtype=INDEX_DTYPE)
+        prefix_sum[0] = 1
+        np.cumsum(children_counts, out=prefix_sum[1:])
+        prefix_sum[1:] += 1
+
+        return cls(
+            fanout=fanout,
+            height=tree.height,
+            key_region=key_region,
+            prefix_sum=prefix_sum,
+            leaf_values=leaf_values,
+            level_starts=level_starts,
+            n_keys=len(tree),
+        )
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+    ) -> "HarmoniaLayout":
+        """Bulk-build directly from strictly increasing keys.
+
+        Uses the vectorized constructor (:mod:`repro.core.fastbuild`) —
+        byte-identical to flattening a bulk-loaded pointer tree (tests pin
+        the equivalence) but O(height) NumPy passes instead of per-node
+        Python, which is what makes paper-scale trees practical.
+        """
+        from repro.core.fastbuild import build_layout_fast
+
+        return build_layout_fast(keys, values, fanout=fanout, fill=fill)
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def slots(self) -> int:
+        """Key slots per node (= fanout - 1)."""
+        return self.fanout - 1
+
+    def node_keys(self, node: int) -> np.ndarray:
+        """View of one node's key row (padded)."""
+        return self.key_region[node]
+
+    def key_count(self, node: int) -> int:
+        """Number of real (non-sentinel) keys in ``node``."""
+        row = self.key_region[node]
+        return int(np.searchsorted(row, KEY_MAX, side="left"))
+
+    def children_count(self, node: int) -> int:
+        return int(self.prefix_sum[node + 1] - self.prefix_sum[node])
+
+    def child_index(self, node: int, i: int) -> int:
+        """Equation 1: key-region index of the (0-based) ``i``-th child."""
+        n = self.children_count(node)
+        if not 0 <= i < n:
+            raise IndexError(f"child {i} out of range for node {node} with {n} children")
+        return int(self.prefix_sum[node]) + i
+
+    def is_leaf(self, node: int) -> bool:
+        return node >= self.leaf_start
+
+    def level_of(self, node: int) -> int:
+        """Tree level of a BFS index (root = 0)."""
+        return int(np.searchsorted(self.level_starts, node, side="right")) - 1
+
+    def leaf_value_row(self, node: int) -> np.ndarray:
+        if not self.is_leaf(node):
+            raise IndexError(f"node {node} is not a leaf")
+        return self.leaf_values[node - self.leaf_start]
+
+    # ---------------------------------------------------------- footprints
+
+    def key_region_bytes(self) -> int:
+        return int(self.key_region.nbytes)
+
+    def child_region_bytes(self) -> int:
+        """Footprint of the prefix-sum array — the quantity the paper bounds
+        at ~16 KB for a 64-fanout 4-level tree to argue cache residency."""
+        return int(self.prefix_sum.nbytes)
+
+    def values_bytes(self) -> int:
+        return int(self.leaf_values.nbytes)
+
+    # ------------------------------------------------------------ iteration
+
+    def iter_leaf_items(self) -> "np.ndarray":
+        """All (key, value) pairs in key order as a structured traversal of
+        the contiguous leaf block — the fast path range scans build on."""
+        leaf_keys = self.key_region[self.leaf_start :].ravel()
+        vals = self.leaf_values.ravel()
+        mask = leaf_keys != KEY_MAX
+        return np.stack([leaf_keys[mask], vals[mask]], axis=1)
+
+    def all_keys(self) -> np.ndarray:
+        """Stored keys in ascending order."""
+        leaf_keys = self.key_region[self.leaf_start :].ravel()
+        return leaf_keys[leaf_keys != KEY_MAX]
+
+    def max_key(self) -> int:
+        """Largest stored key (the rightmost leaf is the last BFS node)."""
+        row = self.key_region[-1]
+        count = int(np.searchsorted(row, KEY_MAX, side="left"))
+        if count == 0:
+            raise EmptyTreeError("layout holds no keys")
+        return int(row[count - 1])
+
+    def min_key(self) -> int:
+        """Smallest stored key (first slot of the first leaf)."""
+        if self.n_keys == 0:
+            raise EmptyTreeError("layout holds no keys")
+        return int(self.key_region[self.leaf_start, 0])
+
+    def key_space_bits(self) -> int:
+        """Bits needed to represent the stored key range — the effective
+        ``B`` for Equation 2 when keys do not span the full 64-bit space
+        (sorting bits above the data's range would order nothing).  A
+        negative minimum means the range spans the sign bit: the full
+        64-bit width applies."""
+        if self.min_key() < 0:
+            return 64
+        return max(self.max_key().bit_length(), 1)
+
+    def copy(self) -> "HarmoniaLayout":
+        """Deep copy (fresh arrays) — the copy-on-write step snapshot
+        isolation builds on (:mod:`repro.core.epoch`)."""
+        return HarmoniaLayout(
+            fanout=self.fanout,
+            height=self.height,
+            key_region=self.key_region.copy(),
+            prefix_sum=self.prefix_sum.copy(),
+            leaf_values=self.leaf_values.copy(),
+            level_starts=self.level_starts.copy(),
+            n_keys=self.n_keys,
+        )
+
+    # ------------------------------------------------------------ validation
+
+    def check_invariants(self) -> None:
+        """Validate the full §3.1 structure.  Raises
+        :class:`~repro.errors.InvariantViolation` on the first failure."""
+        n = self.n_nodes
+        if self.key_region.shape != (n, self.slots):
+            raise InvariantViolation("key region shape mismatch")
+        validate_prefix_array(self.prefix_sum, n)
+        if self.level_starts.shape != (self.height + 1,):
+            raise InvariantViolation("level_starts shape mismatch")
+        if self.level_starts[0] != 0 or self.level_starts[-1] != n:
+            raise InvariantViolation("level_starts must span [0, n_nodes]")
+        if self.leaf_values.shape != (self.n_leaves, self.slots):
+            raise InvariantViolation("leaf_values shape mismatch")
+
+        # Rows sorted with sentinel padding at the tail only.
+        kr = self.key_region
+        if not bool(np.all(kr[:, 1:] >= kr[:, :-1])):
+            raise InvariantViolation("a key row is unsorted")
+
+        counts = np.diff(self.prefix_sum)
+        # Leaves have no children; internals have children on the next level.
+        if self.n_leaves and bool(np.any(counts[self.leaf_start :] != 0)):
+            raise InvariantViolation("a leaf claims children")
+        for lvl in range(self.height - 1):
+            a, b = int(self.level_starts[lvl]), int(self.level_starts[lvl + 1])
+            nxt_a, nxt_b = int(self.level_starts[lvl + 1]), int(self.level_starts[lvl + 2])
+            if int(self.prefix_sum[a]) != nxt_a:
+                raise InvariantViolation(
+                    f"level {lvl} first child must start level {lvl + 1}"
+                )
+            if int(self.prefix_sum[b]) != nxt_b:
+                raise InvariantViolation(
+                    f"level {lvl} children must exactly cover level {lvl + 1}"
+                )
+            # Internal node key count == child count - 1.
+            rows = kr[a:b]
+            key_counts = np.sum(rows != KEY_MAX, axis=1)
+            if not bool(np.all(key_counts == counts[a:b] - 1)):
+                raise InvariantViolation(
+                    f"level {lvl}: key count != children - 1 somewhere"
+                )
+
+        # Leaf keys globally sorted & unique, and count matches n_keys.
+        flat = self.all_keys()
+        if flat.size != self.n_keys:
+            raise InvariantViolation(
+                f"n_keys={self.n_keys} but leaves hold {flat.size}"
+            )
+        if flat.size > 1 and not bool(np.all(flat[1:] > flat[:-1])):
+            raise InvariantViolation("leaf keys not globally increasing")
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"HarmoniaLayout(fanout={self.fanout}, height={self.height}, "
+            f"nodes={self.n_nodes}, keys={self.n_keys}, "
+            f"child_region={self.child_region_bytes()}B)"
+        )
+
+
+__all__ = ["HarmoniaLayout"]

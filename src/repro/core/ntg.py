@@ -1,0 +1,186 @@
+"""Narrowed Thread-Group traversal — NTG (paper §4.2).
+
+Traditional GPU B+trees give every query ``fanout`` threads; most of those
+comparisons are useless (Figure 9a, Figure 10).  NTG serves each query with
+a smaller group of ``GS`` threads, packing ``warp_size / GS`` queries per
+warp.  Narrowing trades useless comparisons for *query divergence*: one
+level's time is set by the slowest group in the warp (Figure 9b).
+
+The model (Equations 3-4):
+
+    TP        ≈ warp_size / (GS · T),   T ∝ S  (max comparison steps)
+    TP_a/TP_b ∝ (S_b / S_a) · G        (G = GS_b / GS_a = 2 per halving)
+
+``S`` is estimated by *static profiling*: run ~1000 sample queries through
+the index on the CPU, compute each query's per-level sequential comparison
+count, group queries into warps exactly as the kernel would, and take the
+warp-max step count.  Halve ``GS`` while the predicted ratio exceeds 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import KEY_MAX as _KEY_MAX
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import traverse_batch
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_positive, ensure_power_of_two
+
+#: Sample size the paper uses for static profiling ("for example, 1000
+#: queries", §4.2).
+DEFAULT_PROFILE_SAMPLE = 1000
+
+
+def fanout_group_size(fanout: int, warp_size: int = 32) -> int:
+    """The traditional (un-narrowed) group size: ``fanout`` threads per
+    query, capped at the warp (§4.2 footnote 2), rounded up to a power of
+    two so groups tile a warp exactly."""
+    gs = 1
+    while gs < fanout:
+        gs <<= 1
+    return min(gs, warp_size)
+
+
+def group_steps(comparisons: np.ndarray, gs: int) -> np.ndarray:
+    """Comparison steps a ``gs``-thread group needs: the group sweeps the
+    node's keys ``gs`` at a time with an early exit once the target child is
+    identified, so ``ceil(comparisons / gs)`` steps (min 1)."""
+    steps = -(-comparisons // gs)
+    return np.maximum(steps, 1)
+
+
+def warp_max_steps(
+    comparisons: np.ndarray, gs: int, warp_size: int = 32
+) -> np.ndarray:
+    """Per-warp, per-level *max* step count (the serialization the SIMT
+    model imposes — Equation 4's ``S``).
+
+    ``comparisons`` is the trace matrix ``(height, n_queries)``; queries are
+    packed into warps in issue order, ``warp_size // gs`` per warp.  Returns
+    ``(height, n_warps)``.
+    """
+    warp_size = ensure_power_of_two("warp_size", warp_size)
+    gs = ensure_power_of_two("gs", gs)
+    if gs > warp_size:
+        raise ConfigError(f"group size {gs} exceeds warp size {warp_size}")
+    qpw = warp_size // gs
+    h, nq = comparisons.shape
+    n_warps = -(-nq // qpw)
+    steps = group_steps(comparisons, gs)
+    padded = np.full((h, n_warps * qpw), 1, dtype=steps.dtype)
+    padded[:, :nq] = steps
+    return padded.reshape(h, n_warps, qpw).max(axis=2)
+
+
+@dataclass(frozen=True)
+class NTGProfile:
+    """Profiled behaviour of one candidate group size."""
+
+    gs: int
+    queries_per_warp: int
+    #: Mean over warps of the summed per-level max steps — the model's S.
+    avg_warp_steps: float
+    #: Mean warp-max steps per level (diagnostics; the paper profiles only
+    #: the last levels since PSA keeps upper levels coherent).
+    per_level: np.ndarray
+
+    def throughput_proxy(self, warp_size: int = 32) -> float:
+        """Equation 3 up to a constant: queries per warp / S."""
+        if self.avg_warp_steps <= 0:
+            return float("inf")
+        return self.queries_per_warp / self.avg_warp_steps
+
+
+@dataclass(frozen=True)
+class NTGSelection:
+    """Result of the §4.2 narrowing procedure."""
+
+    group_size: int
+    profiles: List[NTGProfile] = field(default_factory=list)
+    #: Equation-4 ratios observed at each halving step, aligned with
+    #: ``profiles[1:]`` (ratio of profile i over profile i-1).
+    ratios: List[float] = field(default_factory=list)
+
+
+def profile_group_size(
+    comparisons: np.ndarray,
+    gs: int,
+    warp_size: int = 32,
+    levels: Optional[int] = None,
+) -> NTGProfile:
+    """Profile one group size on a comparison-trace matrix.
+
+    ``levels`` restricts the profile to the last ``levels`` tree levels
+    (None = all): the paper's shortcut, valid because PSA keeps earlier
+    levels path-coherent.
+    """
+    if levels is not None:
+        levels = ensure_positive("levels", levels)
+        comparisons = comparisons[-levels:]
+    wmax = warp_max_steps(comparisons, gs, warp_size)
+    per_level = wmax.mean(axis=1)
+    return NTGProfile(
+        gs=gs,
+        queries_per_warp=warp_size // gs,
+        avg_warp_steps=float(wmax.sum(axis=0).mean()),
+        per_level=per_level,
+    )
+
+
+def choose_group_size(
+    layout: HarmoniaLayout,
+    sample_queries: Sequence[int],
+    warp_size: int = 32,
+    levels: Optional[int] = 2,
+    min_gs: int = 1,
+) -> NTGSelection:
+    """The paper's narrowing loop: start at the fanout-based group size and
+    halve while Equation 4 predicts a gain.
+
+    ``sample_queries`` should be in *issue order* (i.e. already PSA-permuted
+    when PSA is enabled) because warp composition depends on it.
+    """
+    warp_size = ensure_power_of_two("warp_size", warp_size)
+    min_gs = ensure_power_of_two("min_gs", min_gs)
+    trace = traverse_batch(layout, sample_queries)
+    # The un-narrowed baseline is the traditional fanout-wide kernel, which
+    # compares *every* key in the node (no early exit — §4.2, Figure 9a);
+    # narrowed groups sweep sequentially and stop at the target child.
+    nkeys_per_node = np.sum(
+        layout.key_region != _KEY_MAX, axis=1
+    ).astype(np.int64)
+    full_scan = np.maximum(nkeys_per_node[trace.node_idx], 1)
+    early_exit = trace.comparisons
+
+    gs = fanout_group_size(layout.fanout, warp_size)
+    current = profile_group_size(full_scan, gs, warp_size, levels)
+    profiles = [current]
+    ratios: List[float] = []
+    while current.gs > min_gs:
+        candidate = profile_group_size(
+            early_exit, current.gs // 2, warp_size, levels
+        )
+        # Equation 4 with G = GS_before / GS_after = 2.
+        ratio = (current.avg_warp_steps / candidate.avg_warp_steps) * 2.0
+        profiles.append(candidate)
+        ratios.append(float(ratio))
+        if ratio <= 1.0:
+            break
+        current = candidate
+    return NTGSelection(group_size=current.gs, profiles=profiles, ratios=ratios)
+
+
+__all__ = [
+    "DEFAULT_PROFILE_SAMPLE",
+    "fanout_group_size",
+    "group_steps",
+    "warp_max_steps",
+    "NTGProfile",
+    "NTGSelection",
+    "profile_group_size",
+    "choose_group_size",
+]

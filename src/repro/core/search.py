@@ -1,0 +1,202 @@
+"""Query execution over a :class:`~repro.core.layout.HarmoniaLayout`.
+
+Three layers, slowest to fastest:
+
+* :func:`search_scalar` — one query, pure-Python, used as the oracle in
+  tests and for interactive use;
+* :func:`traverse_batch` — vectorized level-synchronous traversal that also
+  records the *trace* (node index and child slot per level) that both the
+  GPU simulator (:mod:`repro.gpusim`) and the gap analyses need;
+* :func:`search_batch` / :func:`range_search` — the user-facing batch
+  entry points built on it.
+
+The traversal is exactly the paper's §3.2.1: at each level, find the child
+whose range contains the target (``searchsorted`` side='right' — separators
+route equal keys right), then jump via Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import KEY_MAX, NOT_FOUND, VALUE_DTYPE
+from repro.core.layout import HarmoniaLayout
+from repro.utils.validation import ensure_key_array, ensure_scalar_key
+
+
+@dataclass(frozen=True)
+class TraversalTrace:
+    """Per-query, per-level traversal record.
+
+    ``node_idx[l, q]`` — BFS index of the node query ``q`` visits at level
+    ``l`` (level 0 is the root; level ``height-1`` the leaf).
+    ``child_slot[l, q]`` — 0-based slot of the child taken at level ``l``
+    (for the leaf level: the slot of the matched key, or the insertion slot
+    when absent).
+    ``comparisons[l, q]`` — keys a *sequential* scan would inspect at that
+    level (``child_slot + 1`` capped at the node's key count) — the quantity
+    Figure 3 plots and NTG's step model builds on.
+    """
+
+    node_idx: np.ndarray  # (height, n_queries) int64
+    child_slot: np.ndarray  # (height, n_queries) int64
+    comparisons: np.ndarray  # (height, n_queries) int64
+    found: np.ndarray  # (n_queries,) bool
+    values: np.ndarray  # (n_queries,) int64, NOT_FOUND where absent
+
+    @property
+    def height(self) -> int:
+        return self.node_idx.shape[0]
+
+    @property
+    def n_queries(self) -> int:
+        return self.node_idx.shape[1]
+
+
+def _rowwise_right(rows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-row count of entries ``<= target`` (== searchsorted side='right').
+
+    Exact because padding is ``KEY_MAX`` and targets are legal keys, hence
+    strictly below every pad.
+    """
+    return np.sum(rows <= targets[:, None], axis=1).astype(np.int64)
+
+
+def _rowwise_left(rows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-row count of entries ``< target`` (== searchsorted side='left')."""
+    return np.sum(rows < targets[:, None], axis=1).astype(np.int64)
+
+
+def search_scalar(layout: HarmoniaLayout, key: int) -> Optional[int]:
+    """Single-query lookup; returns the value or ``None``."""
+    key = ensure_scalar_key(key)
+    node = 0
+    for _ in range(layout.height - 1):
+        row = layout.key_region[node]
+        i = int(np.searchsorted(row, key, side="right"))
+        node = int(layout.prefix_sum[node]) + i  # Equation 1
+    row = layout.key_region[node]
+    pos = int(np.searchsorted(row, key, side="left"))
+    if pos < row.size and row[pos] == key:
+        return int(layout.leaf_values[node - layout.leaf_start, pos])
+    return None
+
+
+def traverse_batch(
+    layout: HarmoniaLayout, queries: Sequence[int]
+) -> TraversalTrace:
+    """Vectorized root-to-leaf traversal of every query, with trace capture.
+
+    Memory: O(height · n_queries) for the trace arrays.  When only values
+    are needed, :func:`search_batch` avoids keeping the full trace.
+    """
+    q = ensure_key_array(np.asarray(queries), "queries")
+    nq = q.size
+    h = layout.height
+    node_idx = np.empty((h, nq), dtype=np.int64)
+    child_slot = np.empty((h, nq), dtype=np.int64)
+    comparisons = np.empty((h, nq), dtype=np.int64)
+
+    node = np.zeros(nq, dtype=np.int64)
+    for lvl in range(h - 1):
+        rows = layout.key_region[node]
+        slot = _rowwise_right(rows, q)
+        node_idx[lvl] = node
+        child_slot[lvl] = slot
+        nkeys = np.sum(rows != KEY_MAX, axis=1)
+        comparisons[lvl] = np.minimum(slot + 1, nkeys)
+        node = layout.prefix_sum[node] + slot  # Equation 1, vectorized
+
+    rows = layout.key_region[node]
+    pos = _rowwise_left(rows, q)
+    node_idx[h - 1] = node
+    child_slot[h - 1] = pos
+    nkeys = np.sum(rows != KEY_MAX, axis=1)
+    comparisons[h - 1] = np.minimum(pos + 1, nkeys)
+
+    pos_c = np.minimum(pos, layout.slots - 1)
+    found = rows[np.arange(nq), pos_c] == q
+    values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+    li = node - layout.leaf_start
+    values[found] = layout.leaf_values[li[found], pos_c[found]]
+    return TraversalTrace(node_idx, child_slot, comparisons, found, values)
+
+
+def search_batch(layout: HarmoniaLayout, queries: Sequence[int]) -> np.ndarray:
+    """Batch point lookup.  Returns values aligned with ``queries``;
+    absent keys yield :data:`~repro.constants.NOT_FOUND`."""
+    q = ensure_key_array(np.asarray(queries), "queries")
+    nq = q.size
+    node = np.zeros(nq, dtype=np.int64)
+    for _ in range(layout.height - 1):
+        rows = layout.key_region[node]
+        slot = _rowwise_right(rows, q)
+        node = layout.prefix_sum[node] + slot
+    rows = layout.key_region[node]
+    pos = _rowwise_left(rows, q)
+    pos_c = np.minimum(pos, layout.slots - 1)
+    found = rows[np.arange(nq), pos_c] == q
+    values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+    li = node - layout.leaf_start
+    values[found] = layout.leaf_values[li[found], pos_c[found]]
+    return values
+
+
+def range_search(
+    layout: HarmoniaLayout, lo: int, hi: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All pairs with ``lo <= key <= hi``, exploiting the contiguous leaf
+    block: one point traversal for ``lo``, then a linear scan of the key
+    region (§3.2.1 — "since the key region is a consecutive array, range
+    queries can achieve high performance")."""
+    lo = ensure_scalar_key(lo)
+    hi = ensure_scalar_key(hi)
+    if lo > hi:
+        return (
+            np.empty(0, dtype=layout.key_region.dtype),
+            np.empty(0, dtype=VALUE_DTYPE),
+        )
+    # Locate the first and last leaves with two point traversals, then scan
+    # the contiguous leaf block between them.  (The flattened block cannot
+    # be searchsorted directly: KEY_MAX pads inside interior rows break
+    # global ordering, so bounds come from traversal and pads are masked.)
+    def _leaf_of(target: int) -> int:
+        node = 0
+        for _ in range(layout.height - 1):
+            row = layout.key_region[node]
+            i = int(np.searchsorted(row, target, side="right"))
+            node = int(layout.prefix_sum[node]) + i
+        return node - layout.leaf_start
+
+    start_leaf = _leaf_of(lo)
+    end_leaf = _leaf_of(hi)
+    window_k = layout.key_region[
+        layout.leaf_start + start_leaf : layout.leaf_start + end_leaf + 1
+    ].ravel()
+    window_v = layout.leaf_values[start_leaf : end_leaf + 1].ravel()
+    mask = (window_k >= lo) & (window_k <= hi)
+    return window_k[mask], window_v[mask]
+
+
+def range_search_batch(
+    layout: HarmoniaLayout, los: Sequence[int], his: Sequence[int]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Batch of range queries (list of per-query (keys, values) pairs)."""
+    lo_arr = ensure_key_array(np.asarray(los), "los")
+    hi_arr = ensure_key_array(np.asarray(his), "his")
+    if lo_arr.shape != hi_arr.shape:
+        raise ValueError("los and his must align")
+    return [range_search(layout, int(l), int(h)) for l, h in zip(lo_arr, hi_arr)]
+
+
+__all__ = [
+    "TraversalTrace",
+    "search_scalar",
+    "traverse_batch",
+    "search_batch",
+    "range_search",
+    "range_search_batch",
+]

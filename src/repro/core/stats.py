@@ -1,0 +1,160 @@
+"""Introspection: structural statistics of a Harmonia layout.
+
+Everything the paper reasons about quantitatively — node occupancy
+(Figure 10's premise), per-level footprints (what fits in constant
+memory/L2), expected traversal cost — computed from the arrays without
+touching per-node Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.constants import KEY_MAX
+from repro.core.layout import HarmoniaLayout
+from repro.gpusim.coalesce import align_up
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Per-level structural summary."""
+
+    level: int
+    n_nodes: int
+    key_bytes: int
+    mean_occupancy: float  #: mean fraction of key slots in use
+    min_keys: int
+    max_keys: int
+
+
+@dataclass(frozen=True)
+class LayoutStats:
+    """Whole-structure summary."""
+
+    fanout: int
+    height: int
+    n_keys: int
+    n_nodes: int
+    n_leaves: int
+    key_region_bytes: int
+    child_region_bytes: int
+    values_bytes: int
+    mean_leaf_occupancy: float
+    mean_internal_occupancy: float
+    levels: List[LevelStats]
+
+    def fits_constant_memory(self, const_bytes: int = 64 * 1024) -> bool:
+        """Does the whole prefix-sum child region fit in constant memory?
+        (Footnote 1: usually it does not; the top levels do.)"""
+        return self.child_region_bytes <= const_bytes
+
+    def const_resident_levels(self, const_bytes: int = 64 * 1024) -> int:
+        """How many top levels of the child region fit in constant memory."""
+        budget = const_bytes // 8
+        total = 0
+        for lvl in self.levels:
+            if total + lvl.n_nodes > budget:
+                return lvl.level
+            total += lvl.n_nodes
+        return self.height
+
+    def to_dict(self) -> Dict:
+        return {
+            "fanout": self.fanout,
+            "height": self.height,
+            "n_keys": self.n_keys,
+            "n_nodes": self.n_nodes,
+            "n_leaves": self.n_leaves,
+            "key_region_mb": round(self.key_region_bytes / 1e6, 3),
+            "child_region_kb": round(self.child_region_bytes / 1e3, 3),
+            "mean_leaf_occupancy": round(self.mean_leaf_occupancy, 4),
+            "mean_internal_occupancy": round(self.mean_internal_occupancy, 4),
+        }
+
+
+def layout_stats(layout: HarmoniaLayout) -> LayoutStats:
+    """Compute :class:`LayoutStats` in O(n_nodes) vectorized passes."""
+    key_counts = np.sum(layout.key_region != KEY_MAX, axis=1)
+    levels: List[LevelStats] = []
+    for lvl in range(layout.height):
+        a = int(layout.level_starts[lvl])
+        b = int(layout.level_starts[lvl + 1])
+        counts = key_counts[a:b]
+        levels.append(
+            LevelStats(
+                level=lvl,
+                n_nodes=b - a,
+                key_bytes=(b - a) * layout.slots * 8,
+                mean_occupancy=float(counts.mean() / layout.slots),
+                min_keys=int(counts.min()),
+                max_keys=int(counts.max()),
+            )
+        )
+    leaf_counts = key_counts[layout.leaf_start :]
+    internal_counts = key_counts[: layout.leaf_start]
+    return LayoutStats(
+        fanout=layout.fanout,
+        height=layout.height,
+        n_keys=layout.n_keys,
+        n_nodes=layout.n_nodes,
+        n_leaves=layout.n_leaves,
+        key_region_bytes=layout.key_region_bytes(),
+        child_region_bytes=layout.child_region_bytes(),
+        values_bytes=layout.values_bytes(),
+        mean_leaf_occupancy=float(leaf_counts.mean() / layout.slots),
+        mean_internal_occupancy=(
+            float(internal_counts.mean() / layout.slots)
+            if internal_counts.size
+            else 1.0
+        ),
+        levels=levels,
+    )
+
+
+def expected_sequential_comparisons(layout: HarmoniaLayout) -> float:
+    """Closed-form model of the mean per-level sequential comparison count
+    for uniform in-tree targets — a cross-check of the Figure 3
+    measurement.
+
+    At a node holding ``m`` keys the taken child slot is ≈uniform over
+    ``{0..m}`` and a sequential scan inspects ``min(slot + 1, m)`` keys, so
+    the per-node expectation is ``m/2 + m/(m+1)``.  Averaged per *level*
+    (every query visits exactly one node per level, and upper levels hold
+    far fewer keys than leaves, so a global node average would
+    overestimate).
+    """
+    key_counts = np.sum(layout.key_region != KEY_MAX, axis=1).astype(np.float64)
+    per_level = []
+    for lvl in range(layout.height):
+        a = int(layout.level_starts[lvl])
+        b = int(layout.level_starts[lvl + 1])
+        m = key_counts[a:b].mean()
+        per_level.append(m / 2.0 + m / (m + 1.0))
+    return float(np.mean(per_level))
+
+
+def theoretical_memory_per_query(
+    layout: HarmoniaLayout, cache_line_bytes: int = 128
+) -> Dict[str, float]:
+    """Back-of-envelope bytes a single uncached point query moves, for the
+    Harmonia layout vs the pointer layout — the §3.1 motivation numbers."""
+    slots_bytes = layout.slots * 8
+    harmonia_row = align_up(slots_bytes, cache_line_bytes)
+    pointer_row = align_up(slots_bytes + layout.fanout * 8, cache_line_bytes)
+    return {
+        "harmonia_bytes": float(layout.height * harmonia_row),
+        "pointer_bytes": float(layout.height * pointer_row + (layout.height - 1) * 8),
+        "levels": float(layout.height),
+    }
+
+
+__all__ = [
+    "LevelStats",
+    "LayoutStats",
+    "layout_stats",
+    "expected_sequential_comparisons",
+    "theoretical_memory_per_query",
+]

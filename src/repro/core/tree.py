@@ -1,0 +1,336 @@
+""":class:`HarmoniaTree` — the user-facing Harmonia index.
+
+Glues the pieces together the way the paper's system does:
+
+* queries run over the immutable :class:`~repro.core.layout.HarmoniaLayout`
+  snapshot through the PSA → search → restore pipeline (§4.1) with the NTG
+  group size chosen by static profiling (§4.2) — the group size matters for
+  the simulated-GPU execution (:func:`repro.gpusim.kernels.simulate_search`)
+  and is recorded on every :class:`PreparedBatch` so benches and the
+  simulator agree on the kernel configuration;
+* updates are collected into batches, applied by
+  :class:`~repro.core.update.BatchUpdater` under Algorithm 1 locking, and
+  folded into a fresh layout by the movement pass.
+
+The phase discipline is the paper's: a batch update replaces the layout
+snapshot, queries always run against the latest snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_FANOUT, NOT_FOUND
+from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.layout import HarmoniaLayout
+from repro.core.ntg import NTGSelection, choose_group_size, fanout_group_size
+from repro.core.psa import PSABatch, identity_batch, prepare_batch
+from repro.core.search import (
+    range_search as _range_search,
+    search_batch as _search_batch,
+    search_scalar,
+)
+from repro.core.update import BatchResult, BatchUpdater, Operation
+from repro.errors import EmptyTreeError
+from repro.utils.validation import ensure_key_array, ensure_scalar_key
+
+
+@dataclass(frozen=True)
+class PreparedBatch:
+    """A query batch after the §4 preprocessing, ready for the kernel.
+
+    Carries everything the simulator / benches need to execute it exactly
+    as configured: the issue-order queries, the PSA bookkeeping and the
+    chosen thread-group size.
+    """
+
+    psa: PSABatch
+    group_size: int
+    ntg_selection: Optional[NTGSelection]
+
+    @property
+    def queries(self) -> np.ndarray:
+        return self.psa.queries
+
+
+class HarmoniaTree:
+    """High-throughput batched B+tree index (Harmonia, PPoPP '19).
+
+    >>> t = HarmoniaTree.from_sorted(range(0, 1000, 2))
+    >>> int(t.search(4))
+    4
+    >>> t.search(5) is None
+    True
+    """
+
+    def __init__(
+        self,
+        layout: Optional[HarmoniaLayout],
+        fill: float = 1.0,
+        search_config: Optional[SearchConfig] = None,
+    ) -> None:
+        self._layout = layout
+        self._fill = fill
+        self.search_config = search_config or SearchConfig()
+        if layout is not None:
+            # Remember the branching factor so a tree that is emptied and
+            # re-populated keeps its configuration.
+            self._empty_fanout = layout.fanout
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+        search_config: Optional[SearchConfig] = None,
+    ) -> "HarmoniaTree":
+        """Bulk-build from strictly increasing keys (the evaluation path)."""
+        karr = ensure_key_array(np.asarray(keys))
+        if karr.size == 0:
+            return cls(None, fill=fill, search_config=search_config)
+        layout = HarmoniaLayout.from_sorted(karr, values, fanout=fanout, fill=fill)
+        return cls(layout, fill=fill, search_config=search_config)
+
+    @classmethod
+    def empty(
+        cls,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+        search_config: Optional[SearchConfig] = None,
+    ) -> "HarmoniaTree":
+        tree = cls(None, fill=fill, search_config=search_config)
+        tree._empty_fanout = fanout
+        return tree
+
+    _empty_fanout: int = DEFAULT_FANOUT
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def layout(self) -> HarmoniaLayout:
+        if self._layout is None:
+            raise EmptyTreeError("tree is empty; no layout snapshot exists")
+        return self._layout
+
+    @property
+    def fanout(self) -> int:
+        return self._layout.fanout if self._layout is not None else self._empty_fanout
+
+    @property
+    def height(self) -> int:
+        return self._layout.height if self._layout is not None else 0
+
+    def __len__(self) -> int:
+        return self._layout.n_keys if self._layout is not None else 0
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    # --------------------------------------------------------------- queries
+
+    def search(self, key: int) -> Optional[int]:
+        """Single-key lookup (CPU scalar path)."""
+        if self._layout is None:
+            return None
+        return search_scalar(self._layout, ensure_scalar_key(key))
+
+    def prepare_queries(
+        self, queries: Sequence[int], config: Optional[SearchConfig] = None
+    ) -> PreparedBatch:
+        """Run the §4 front half: PSA reordering + NTG group-size choice."""
+        cfg = config or self.search_config
+        layout = self.layout
+        q = ensure_key_array(np.asarray(queries), "queries")
+
+        if cfg.use_psa:
+            # Equation 2's B is the *effective* key-space width: sorting
+            # bits above the data's range would order nothing, so the sort
+            # window is anchored at the top of the stored key range.
+            space_bits = layout.key_space_bits()
+            if cfg.psa_bits is not None:
+                psa = prepare_batch(
+                    q, bits=min(cfg.psa_bits, space_bits), key_bits=space_bits
+                )
+            else:
+                psa = prepare_batch(
+                    q,
+                    tree_size=max(layout.n_keys, 1),
+                    keys_per_cacheline=cfg.keys_per_cacheline,
+                    key_bits=space_bits,
+                )
+        else:
+            psa = identity_batch(q)
+
+        selection: Optional[NTGSelection] = None
+        if isinstance(cfg.ntg, int):
+            gs = cfg.ntg
+        elif cfg.ntg == "fanout":
+            gs = fanout_group_size(layout.fanout, cfg.warp_size)
+        else:  # "model" — static profiling on a sample of the issue stream
+            sample = psa.queries[: min(cfg.profile_sample, psa.n)]
+            if sample.size == 0:
+                gs = fanout_group_size(layout.fanout, cfg.warp_size)
+            else:
+                selection = choose_group_size(
+                    layout,
+                    sample,
+                    warp_size=cfg.warp_size,
+                    levels=cfg.ntg_profile_levels,
+                )
+                gs = selection.group_size
+        return PreparedBatch(psa=psa, group_size=gs, ntg_selection=selection)
+
+    def search_batch(
+        self,
+        queries: Sequence[int],
+        config: Optional[SearchConfig] = None,
+    ) -> np.ndarray:
+        """Batched lookup through the full pipeline.
+
+        Returns values aligned with the *input* order (PSA permutation is
+        undone); absent keys map to :data:`~repro.constants.NOT_FOUND`.
+        """
+        q = ensure_key_array(np.asarray(queries), "queries")
+        if self._layout is None:
+            return np.full(q.size, NOT_FOUND, dtype=np.int64)
+        prepared = self.prepare_queries(q, config)
+        results = _search_batch(self._layout, prepared.queries)
+        return results[prepared.psa.restore]
+
+    def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All pairs with ``lo <= key <= hi`` (keys ascending)."""
+        if self._layout is None:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return _range_search(self._layout, lo, hi)
+
+    def items(self, start: Optional[int] = None):
+        """Lazy cursor over ``(key, value)`` pairs in key order.
+
+        ``start`` positions the cursor at the first key ``>= start``.
+        Iterates leaf row by leaf row over the contiguous leaf block, so a
+        partial scan touches only the rows it crosses.  The snapshot is
+        pinned at call time (later batches do not affect a live cursor).
+        """
+        layout = self._layout
+        if layout is None:
+            return
+        from repro.constants import KEY_MAX
+
+        first_leaf = 0
+        if start is not None:
+            node = 0
+            for _ in range(layout.height - 1):
+                row = layout.key_region[node]
+                i = int(np.searchsorted(row, start, side="right"))
+                node = int(layout.prefix_sum[node]) + i
+            first_leaf = node - layout.leaf_start
+        for leaf in range(first_leaf, layout.n_leaves):
+            row = layout.key_region[layout.leaf_start + leaf]
+            vals = layout.leaf_values[leaf]
+            for slot in range(layout.slots):
+                key = int(row[slot])
+                if key == KEY_MAX:
+                    break
+                if start is not None and key < start:
+                    continue
+                yield key, int(vals[slot])
+
+    def keys(self, start: Optional[int] = None):
+        """Lazy cursor over keys in order (see :meth:`items`)."""
+        for key, _ in self.items(start):
+            yield key
+
+    # --------------------------------------------------------------- updates
+
+    def apply_batch(
+        self,
+        ops: Sequence[Operation],
+        config: Optional[UpdateConfig] = None,
+    ) -> BatchResult:
+        """Apply one update batch (§3.2.2) and run the movement pass.
+
+        Returns the accounting record; the tree's layout snapshot is
+        replaced atomically at the end (phase semantics — queries issued
+        after this call see the new structure).
+        """
+        cfg = config or UpdateConfig()
+        if self._layout is None:
+            return self._bootstrap_batch(ops)
+
+        updater = BatchUpdater(self._layout, fill=self._fill)
+        with updater.result.timer.phase("apply"):
+            updater.apply_batch(ops, n_threads=cfg.n_threads)
+        with updater.result.timer.phase("movement"):
+            self._layout = updater.movement()
+        return updater.result
+
+    def _bootstrap_batch(self, ops: Sequence[Operation]) -> BatchResult:
+        """First batch on an empty tree: inserts bulk-build the layout."""
+        result = BatchResult()
+        with result.timer.phase("apply"):
+            pairs = {}
+            for op in ops:
+                if op.kind == "insert":
+                    if op.key in pairs:
+                        result.failed += 1
+                    else:
+                        pairs[op.key] = op.value
+                        result.inserted += 1
+                elif op.kind == "update":
+                    if op.key in pairs:
+                        pairs[op.key] = op.value
+                        result.updated += 1
+                    else:
+                        result.failed += 1
+                else:
+                    if pairs.pop(op.key, None) is not None:
+                        result.deleted += 1
+                    else:
+                        result.failed += 1
+        with result.timer.phase("movement"):
+            if pairs:
+                keys = np.fromiter(sorted(pairs), dtype=np.int64, count=len(pairs))
+                vals = np.asarray([pairs[int(k)] for k in keys], dtype=np.int64)
+                self._layout = HarmoniaLayout.from_sorted(
+                    keys, vals, fanout=self._empty_fanout, fill=self._fill
+                )
+        return result
+
+    # Single-operation conveniences (each is a batch of one, keeping the
+    # phase semantics honest).
+
+    def insert(self, key: int, value: int) -> bool:
+        res = self.apply_batch([Operation("insert", key, value)])
+        return res.inserted == 1
+
+    def update(self, key: int, value: int) -> bool:
+        res = self.apply_batch([Operation("update", key, value)])
+        return res.updated == 1
+
+    def delete(self, key: int) -> bool:
+        res = self.apply_batch([Operation("delete", key)])
+        return res.deleted == 1
+
+    # ------------------------------------------------------------ validation
+
+    def check_invariants(self) -> None:
+        if self._layout is not None:
+            self._layout.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        if self._layout is None:
+            return f"HarmoniaTree(empty, fanout={self._empty_fanout})"
+        return (
+            f"HarmoniaTree(fanout={self.fanout}, keys={len(self)}, "
+            f"height={self.height})"
+        )
+
+
+__all__ = ["HarmoniaTree", "PreparedBatch"]

@@ -1,0 +1,88 @@
+"""Configuration advice derived from the device model.
+
+The paper fixes fanout 64 ("due to the scale of data stored in the tree,
+the tree fanout is typically a large number such as 64 or 128", §4.2
+footnote 2).  :func:`recommend_fanout` makes the underlying reasoning
+executable: pick the fanout whose *modeled* full-pipeline throughput is
+best for a given device and tree size, using the same simulator the
+figures use — so the advice carries the model's provenance rather than a
+folklore constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.config import SearchConfig
+from repro.core.tree import HarmoniaTree
+from repro.errors import ConfigError
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.kernels import simulate_harmonia_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import ensure_positive
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+@dataclass(frozen=True)
+class FanoutRecommendation:
+    fanout: int
+    modeled_gqs_by_fanout: Dict[int, float]
+    sample_keys: int
+    device: str
+
+    def row(self) -> dict:
+        return {
+            "recommended_fanout": self.fanout,
+            "device": self.device,
+            **{f"gqs_f{f}": round(v, 3)
+               for f, v in sorted(self.modeled_gqs_by_fanout.items())},
+        }
+
+
+def recommend_fanout(
+    n_keys: int,
+    device: DeviceSpec = TITAN_V,
+    candidates: Sequence[int] = (16, 32, 64, 128),
+    sample_keys: int = 1 << 14,
+    sample_queries: int = 1 << 12,
+    rng: RngLike = None,
+) -> FanoutRecommendation:
+    """Model-driven fanout choice for a planned tree of ``n_keys`` keys.
+
+    Profiles a down-sampled tree (same density) per candidate fanout on a
+    device miniaturized to the sample, then recommends the modeled-best.
+    """
+    ensure_positive("n_keys", n_keys)
+    if not candidates:
+        raise ConfigError("candidates must be non-empty")
+    from repro.workloads.datasets import miniaturized_device
+
+    gen = ensure_rng(rng)
+    sample_keys = min(sample_keys, n_keys)
+    mini = miniaturized_device(sample_keys, sample_queries, device)
+    keys = make_key_set(sample_keys, rng=gen)
+    queries = uniform_queries(keys, sample_queries, rng=gen)
+
+    scores: Dict[int, float] = {}
+    for fanout in candidates:
+        tree = HarmoniaTree.from_sorted(keys, fanout=fanout, fill=0.7)
+        prep = tree.prepare_queries(queries, SearchConfig.full())
+        metrics = simulate_harmonia_search(
+            tree.layout, prep.queries, prep.group_size, device=mini
+        )
+        sort_s = estimate_sort_time(queries.size, prep.psa.sort_passes, mini)
+        scores[fanout] = modeled_throughput(
+            metrics, tree.layout, mini, sort_s=sort_s
+        ) / 1e9
+    best = max(scores, key=lambda f: scores[f])
+    return FanoutRecommendation(
+        fanout=best,
+        modeled_gqs_by_fanout=scores,
+        sample_keys=sample_keys,
+        device=device.name,
+    )
+
+
+__all__ = ["FanoutRecommendation", "recommend_fanout"]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the Harmonia reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidKeyError(ReproError, ValueError):
+    """A key is outside the representable range (e.g. equals the padding
+    sentinel) or has the wrong dtype/shape."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A structural invariant of a tree or layout does not hold.
+
+    Raised by the ``check_invariants`` validators; seeing this in the wild
+    means a bug in an update path, never a user error.
+    """
+
+
+class EmptyTreeError(ReproError, ValueError):
+    """An operation that requires a non-empty tree was applied to an empty
+    one."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object (SearchConfig / DeviceSpec / ...) is
+    inconsistent."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A node or region was asked to hold more entries than its fanout
+    allows."""
+
+
+__all__ = [
+    "ReproError",
+    "InvalidKeyError",
+    "InvariantViolation",
+    "EmptyTreeError",
+    "ConfigError",
+    "CapacityError",
+]

@@ -1,0 +1,11 @@
+"""Figure-regeneration harness — one module per evaluation figure.
+
+Each ``figNN_*`` module exposes ``run(scale=..., seed=...) ->
+ExperimentResult`` printing the same rows/series the paper reports, plus a
+``shape_ok(result)`` predicate encoding DESIGN.md's shape-acceptance
+criteria.  ``runner`` is the CLI (``harmonia-experiments``).
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

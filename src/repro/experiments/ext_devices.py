@@ -1,0 +1,73 @@
+"""Extension — cross-GPU scaling: TITAN V vs Tesla K80.
+
+The paper runs its NTG validation on both GPUs but plots throughput only
+for the TITAN V.  This experiment runs the full pipeline on both device
+models: the speedup *over HB+ on the same device* should be portable even
+though absolute throughput scales with the hardware.
+"""
+
+from __future__ import annotations
+
+
+from repro.baselines.hbtree import HBTree
+from repro.core import SearchConfig
+from repro.experiments.common import ExperimentResult, build_eval_point, resolve_scale
+from repro.gpusim import TESLA_K80, TITAN_V, simulate_harmonia_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+from repro.workloads.datasets import scaled_device, scaled_tree_sizes
+
+
+def run(scale="default", seed: int = 0) -> ExperimentResult:
+    sc = resolve_scale(scale)
+    n_keys = scaled_tree_sizes(sc)[0]
+    tree, keys, queries = build_eval_point(n_keys, sc.n_queries, seed)
+    hb = HBTree.from_sorted(keys, fanout=64, fill=0.7)
+
+    result = ExperimentResult(
+        experiment="ext_devices",
+        title="Full pipeline on TITAN V vs Tesla K80 (modeled)",
+        scale=sc.name,
+        paper_reference={
+            "titan_v": "primary evaluation GPU",
+            "k80": "NTG validation GPU (§4.2)",
+        },
+    )
+    for base in (TITAN_V, TESLA_K80):
+        device = scaled_device(sc, base)
+        prep = tree.prepare_queries(
+            queries, SearchConfig.full().with_(warp_size=device.warp_size)
+        )
+        m_ha = simulate_harmonia_search(
+            tree.layout, prep.queries, prep.group_size, device=device
+        )
+        sort_s = estimate_sort_time(queries.size, prep.psa.sort_passes, device)
+        tp_ha = modeled_throughput(m_ha, tree.layout, device, sort_s=sort_s)
+        m_hb = hb.simulate_search(queries, device=device)
+        tp_hb = modeled_throughput(m_hb, hb._layout, device)
+        result.add_row(
+            device=base.name,
+            harmonia_gqs=round(tp_ha / 1e9, 3),
+            hb_gqs=round(tp_hb / 1e9, 3),
+            speedup=round(tp_ha / tp_hb, 2),
+            ntg_gs=prep.group_size,
+        )
+    result.note(
+        "shape criteria: the TITAN V is absolutely faster than the K80 for "
+        "both systems; Harmonia beats HB+ on both devices"
+    )
+    return result
+
+
+def shape_ok(result: ExperimentResult) -> bool:
+    by = {r["device"]: r for r in result.rows}
+    titan = by["TITAN V"]
+    k80 = by["Tesla K80"]
+    return (
+        titan["harmonia_gqs"] > k80["harmonia_gqs"]
+        and titan["hb_gqs"] > k80["hb_gqs"]
+        and all(r["speedup"] > 1.0 for r in result.rows)
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,77 @@
+"""Extension — range-query throughput: Harmonia vs the pointer layout.
+
+§3.2.1 claims range queries are fast *because the key region is one
+consecutive array*; the paper asserts it without a plot.  This experiment
+prices the claim: the same range batch scanned over Harmonia's packed leaf
+block vs a pointer layout whose leaves are pointer-fat and chained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ntg import fanout_group_size
+from repro.experiments.common import ExperimentResult, build_eval_point, resolve_scale
+from repro.gpusim.kernels import SimConfig
+from repro.gpusim.perfmodel import estimate_kernel_time
+from repro.gpusim.range_scan import simulate_range_scan
+from repro.workloads.datasets import scaled_device, scaled_tree_sizes
+from repro.workloads.generators import range_query_bounds
+
+
+def run(scale="default", seed: int = 0) -> ExperimentResult:
+    sc = resolve_scale(scale)
+    device = scaled_device(sc)
+    n_keys = scaled_tree_sizes(sc)[0]
+    tree, keys, _ = build_eval_point(n_keys, sc.n_queries, seed)
+    layout = tree.layout
+    gs = fanout_group_size(layout.fanout, device.warp_size)
+    rng = np.random.default_rng(seed + 3)
+
+    result = ExperimentResult(
+        experiment="ext_range",
+        title="Range-query scan: Harmonia layout vs pointer layout",
+        scale=sc.name,
+        paper_reference={
+            "claim": "§3.2.1 — consecutive key region makes range queries fast"
+        },
+    )
+    n_ranges = min(sc.n_queries // 8, 4_096)
+    for span in (16, 256, 4_096):
+        los, his = range_query_bounds(keys, n_ranges, span_keys=span, rng=rng)
+        rows = {}
+        for structure in ("harmonia", "regular_pointer"):
+            cfg = SimConfig(structure=structure, group_size=gs,
+                            early_exit=False,
+                            cached_children=(structure == "harmonia"),
+                            device=device)
+            metrics, scanned = simulate_range_scan(layout, los, his, cfg)
+            kt = estimate_kernel_time(metrics, layout, device)
+            rows[structure] = {
+                "tx": metrics.gld_transactions,
+                "time_s": kt.total_s,
+                "keys_per_s": float(scanned.sum()) / kt.total_s,
+            }
+        ha, rp = rows["harmonia"], rows["regular_pointer"]
+        result.add_row(
+            span_keys=span,
+            n_ranges=n_ranges,
+            harmonia_mkeys_s=round(ha["keys_per_s"] / 1e6, 1),
+            pointer_mkeys_s=round(rp["keys_per_s"] / 1e6, 1),
+            speedup=round(ha["keys_per_s"] / rp["keys_per_s"], 2),
+            tx_ratio=round(ha["tx"] / rp["tx"], 3),
+        )
+    result.note(
+        "shape criteria: Harmonia scans faster at every span; its advantage "
+        "does not shrink as spans grow (streaming beats pointer-chasing)"
+    )
+    return result
+
+
+def shape_ok(result: ExperimentResult) -> bool:
+    speedups = [r["speedup"] for r in result.rows]
+    return all(s > 1.0 for s in speedups) and speedups[-1] >= 0.9 * speedups[0]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

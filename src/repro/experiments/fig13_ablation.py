@@ -1,0 +1,89 @@
+"""Figure 13 — impact of each design choice.
+
+Paper ladder (normalized to HB+tree, across tree sizes): Harmonia tree
+structure alone ≈1.4×; + PSA ≈2×; + PSA + NTG ≈3.4×.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hbtree import HBTree
+from repro.core import SearchConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    build_eval_point,
+    geomean,
+    resolve_scale,
+)
+from repro.gpusim import simulate_harmonia_search
+from repro.gpusim.perfmodel import estimate_sort_time, modeled_throughput
+from repro.workloads.datasets import scaled_tree_sizes
+
+#: The ablation ladder: (row label, SearchConfig, early_exit for the kernel).
+#: The first two rungs keep the traditional full-node comparison semantics;
+#: early exit is part of NTG (§4.2).
+LADDER = (
+    ("harmonia_tree", SearchConfig.baseline_tree(), False),
+    ("tree_psa", SearchConfig.tree_psa(), False),
+    ("tree_psa_ntg", SearchConfig.full(), True),
+)
+
+
+def run(scale="default", seed: int = 0) -> ExperimentResult:
+    from repro.workloads.datasets import scaled_device
+
+    sc = resolve_scale(scale)
+    device = scaled_device(sc)
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Design-choice ablation (modeled speedup over HB+tree)",
+        scale=sc.name,
+        paper_reference={
+            "harmonia_tree": "≈1.4x",
+            "tree_psa": "≈2x",
+            "tree_psa_ntg": "≈3.4x",
+        },
+    )
+    ladder_speedups = {name: [] for name, _, _ in LADDER}
+    for n_keys in scaled_tree_sizes(sc):
+        tree, keys, queries = build_eval_point(n_keys, sc.n_queries, seed)
+        hb = HBTree.from_sorted(keys, fanout=64, fill=0.7)
+        tp_hb = modeled_throughput(
+            hb.simulate_search(queries, device=device), hb._layout, device
+        )
+        row = {"log2_tree_size": n_keys.bit_length() - 1,
+               "hb_modeled_gqs": round(tp_hb / 1e9, 3)}
+        for name, cfg, early_exit in LADDER:
+            prep = tree.prepare_queries(queries, cfg)
+            metrics = simulate_harmonia_search(
+                tree.layout, prep.queries, prep.group_size,
+                device=device, early_exit=early_exit,
+            )
+            sort_s = estimate_sort_time(queries.size, prep.psa.sort_passes, device)
+            tp = modeled_throughput(metrics, tree.layout, device, sort_s=sort_s)
+            speedup = tp / tp_hb if tp_hb else 0.0
+            row[f"{name}_x"] = round(speedup, 2)
+            ladder_speedups[name].append(speedup)
+        result.add_row(**row)
+    for name, values in ladder_speedups.items():
+        result.note(f"geomean {name}: {geomean(values):.2f}x")
+    result.note(
+        "shape criteria: monotone ladder at every size; full Harmonia "
+        "geomean within [2.5, 5.0]"
+    )
+    return result
+
+
+def shape_ok(result: ExperimentResult) -> bool:
+    fulls = []
+    for row in result.rows:
+        tree_x = row["harmonia_tree_x"]
+        psa_x = row["tree_psa_x"]
+        full_x = row["tree_psa_ntg_x"]
+        if not (1.0 < tree_x <= psa_x <= full_x):
+            return False
+        fulls.append(full_x)
+    return 2.5 <= geomean(fulls) <= 5.0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,49 @@
+"""§4.2 (in-text) — NTG model choice vs empirically best group size.
+
+Paper: "the NTG size of this model is basically consistent with the NTG
+size of the best performance" across fanouts 8..128 on Tesla K80 and
+TITAN V (e.g. GS=2 for fanout 64 and GS=4 for fanout 128 on the K80).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model_check import ntg_model_sweep
+from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.gpusim.device import TESLA_K80, TITAN_V
+
+
+def run(scale="default", seed: int = 0) -> ExperimentResult:
+    sc = resolve_scale(scale)
+    n_keys = {"smoke": 1 << 13, "default": 1 << 16}.get(sc.name, 1 << 18)
+    n_queries = min(sc.n_queries, 1 << 14)
+    validations = ntg_model_sweep(
+        fanouts=(8, 16, 32, 64, 128),
+        devices=(TITAN_V, TESLA_K80),
+        rng=seed,
+        n_keys=n_keys,
+        n_queries=n_queries,
+    )
+    result = ExperimentResult(
+        experiment="ntg_model",
+        title="NTG model group size vs exhaustive best (per fanout, per GPU)",
+        scale=sc.name,
+        paper_reference={
+            "consistency": "model ≈ best for all fanouts on K80 and TITAN V"
+        },
+    )
+    for v in validations:
+        result.add_row(**v.row())
+    result.note(
+        "shape criterion: the model's pick performs within 10% of the "
+        "empirical best for at least 8 of the 10 grid points"
+    )
+    return result
+
+
+def shape_ok(result: ExperimentResult) -> bool:
+    consistent = sum(1 for r in result.rows if r["model_within_10pct"])
+    return consistent >= 8
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

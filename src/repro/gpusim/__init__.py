@@ -1,0 +1,36 @@
+"""Simulated SIMT GPU substrate.
+
+The paper's claims about Harmonia are *counting* claims about SIMT
+execution: how many global-memory transactions a warp issues (coalescing),
+how many of its execution steps are divergent, how many comparisons are
+useless.  This package reproduces exactly those counters — the nvprof
+metrics of Figure 12, the per-warp transactions of Figure 2, the comparison
+steps behind NTG — plus a roofline-style performance model that converts
+the counts into modeled throughput for Figures 8, 11 and 13.
+
+It is **not** a cycle-accurate GPU: no instruction pipelines, no MSHRs.
+Every modeled quantity is documented with the assumption it encodes, and
+the shape-level acceptance criteria in DESIGN.md only rely on the counts.
+"""
+
+from repro.gpusim.device import DeviceSpec, TITAN_V, TESLA_K80
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.kernels import (
+    SimConfig,
+    simulate_harmonia_search,
+    simulate_hbtree_search,
+)
+from repro.gpusim.perfmodel import KernelTime, estimate_kernel_time, estimate_sort_time
+
+__all__ = [
+    "DeviceSpec",
+    "TITAN_V",
+    "TESLA_K80",
+    "KernelMetrics",
+    "SimConfig",
+    "simulate_harmonia_search",
+    "simulate_hbtree_search",
+    "KernelTime",
+    "estimate_kernel_time",
+    "estimate_sort_time",
+]

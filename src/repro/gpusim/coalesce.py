@@ -1,0 +1,55 @@
+"""Memory-coalescing arithmetic.
+
+A warp's memory instruction ("request") is serviced by one transaction per
+distinct cache line touched by its active lanes (CUDA programming guide;
+paper §2.1).  These helpers count distinct lines row-wise over arrays of
+per-lane line indices, fully vectorized: one ``np.sort`` per request batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Line index marking an inactive lane; sorts after every real line.
+INACTIVE = np.int64(np.iinfo(np.int64).max)
+
+
+def transactions_per_warp(line_ids: np.ndarray) -> np.ndarray:
+    """Distinct active line indices per row.
+
+    ``line_ids`` is ``(n_warps, lanes)`` with :data:`INACTIVE` for masked
+    lanes.  Returns an ``(n_warps,)`` int64 vector; a fully inactive warp
+    counts 0 transactions.
+    """
+    if line_ids.ndim != 2:
+        raise ValueError(f"line_ids must be 2-D, got shape {line_ids.shape}")
+    s = np.sort(line_ids, axis=1)
+    active = s != INACTIVE
+    # A line is "new" if it differs from its left neighbour; first active
+    # lane always starts a line.
+    new_line = np.empty_like(active)
+    new_line[:, 0] = active[:, 0]
+    new_line[:, 1:] = active[:, 1:] & (s[:, 1:] != s[:, :-1])
+    return new_line.sum(axis=1).astype(np.int64)
+
+
+def span_line_range(
+    byte_start: np.ndarray, byte_len: int, line_bytes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """First and last line index covered by ``[byte_start, byte_start+len)``.
+
+    Vectorized over ``byte_start``; callers expand small ranges (a chunk of
+    a node row never spans more than a handful of lines) into per-lane line
+    ids or count them directly as ``last - first + 1``.
+    """
+    first = byte_start // line_bytes
+    last = (byte_start + byte_len - 1) // line_bytes
+    return first, last
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Smallest multiple of ``alignment`` ≥ ``value``."""
+    return -(-value // alignment) * alignment
+
+
+__all__ = ["INACTIVE", "transactions_per_warp", "span_line_range", "align_up"]

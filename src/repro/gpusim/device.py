@@ -1,0 +1,99 @@
+"""Device descriptions for the SIMT model.
+
+Numbers are public datasheet values for the two GPUs the paper evaluates on
+(TITAN V for the headline results, Tesla K80 for the NTG model validation).
+Only the quantities the model actually consumes appear here; everything has
+a datasheet or CUDA-programming-guide provenance noted inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_positive, ensure_power_of_two
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """The GPU parameters the simulator and performance model consume."""
+
+    name: str
+    #: Threads per warp (CUDA: 32 on every shipped architecture).
+    warp_size: int = 32
+    #: Bytes per global-memory cache line / memory transaction granularity
+    #: (CUDA programming guide: 128-byte L1 lines, 32-byte sectors; the
+    #: paper reasons in 128-byte lines — §4.1.2 example, K=16 keys).
+    cache_line_bytes: int = 128
+    #: Streaming multiprocessors.
+    n_sms: int = 80
+    #: SM clock in GHz.
+    clock_ghz: float = 1.455
+    #: Constant memory (64 KB on all CUDA GPUs — paper footnote 1).
+    const_mem_bytes: int = 64 * 1024
+    #: Per-SM read-only / texture cache.
+    readonly_cache_bytes: int = 64 * 1024
+    #: Device L2 cache.
+    l2_bytes: int = 4608 * 1024
+    #: Peak DRAM bandwidth, GB/s.
+    dram_bandwidth_gbs: float = 652.8
+    #: Aggregate L2 bandwidth, GB/s (≈3-4× DRAM on Volta-class parts).
+    l2_bandwidth_gbs: float = 2155.0
+    #: Cycles one warp-wide compute step (chunk load issue + compares +
+    #: ballot + boundary arithmetic + branch) occupies of an SM's issue
+    #: bandwidth.  The sequence is dependent, so ~16 issue slots per step is
+    #: the model's calibrated unit of compute cost (the one tuned constant;
+    #: see EXPERIMENTS.md "calibration").
+    cycles_per_step: float = 16.0
+    #: Kernel / sort-pass launch overhead in microseconds.
+    launch_overhead_us: float = 5.0
+    #: Effective host↔device (PCIe 3.0 x16) bandwidth, GB/s — used by the
+    #: batch-pipeline model (HB+Tree's transfer/compute overlap modes).
+    pcie_bandwidth_gbs: float = 12.0
+    #: Average DRAM round-trip latency in cycles (Volta ≈ 400-500; used by
+    #: the interval/latency bound and the event-driven SM validator).
+    dram_latency_cycles: float = 440.0
+    #: Average L2-hit latency in cycles (Volta ≈ 190-220).
+    l2_latency_cycles: float = 200.0
+    #: Warps an SM keeps resident to hide latency (Volta max 64; realistic
+    #: occupancy for these kernels ≈ 48).
+    resident_warps_per_sm: int = 48
+
+    def __post_init__(self) -> None:
+        ensure_power_of_two("warp_size", self.warp_size)
+        ensure_power_of_two("cache_line_bytes", self.cache_line_bytes)
+        ensure_positive("n_sms", self.n_sms)
+        for attr in ("clock_ghz", "dram_bandwidth_gbs", "l2_bandwidth_gbs",
+                     "cycles_per_step"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive")
+
+    @property
+    def keys_per_cacheline(self) -> int:
+        """8-byte keys per transaction line (K in Equation 2)."""
+        return self.cache_line_bytes // 8
+
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bandwidth_gbs / self.clock_ghz
+
+    def l2_bytes_per_cycle(self) -> float:
+        return self.l2_bandwidth_gbs / self.clock_ghz
+
+
+#: The paper's primary evaluation GPU (§5.1): NVIDIA TITAN V (Volta GV100,
+#: 80 SMs, 1.455 GHz boost, 652.8 GB/s HBM2, 4.5 MB L2).
+TITAN_V = DeviceSpec(name="TITAN V")
+
+#: The paper's secondary GPU (§4.2): Tesla K80 (one GK210: 13 SMs,
+#: 0.875 GHz, 240 GB/s, 1.5 MB L2).
+TESLA_K80 = DeviceSpec(
+    name="Tesla K80",
+    n_sms=13,
+    clock_ghz=0.875,
+    l2_bytes=1536 * 1024,
+    dram_bandwidth_gbs=240.0,
+    l2_bandwidth_gbs=750.0,
+    readonly_cache_bytes=48 * 1024,
+)
+
+__all__ = ["DeviceSpec", "TITAN_V", "TESLA_K80"]

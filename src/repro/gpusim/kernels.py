@@ -1,0 +1,356 @@
+"""SIMT execution of B+tree search kernels over the device model.
+
+One simulator, two personalities:
+
+* **harmonia** — key region read chunk-by-chunk by (possibly narrowed)
+  thread groups; child indices computed from the prefix-sum array, which is
+  served by constant memory / read-only cache when it fits
+  (``cached_children``), costing zero global transactions (§3.1);
+* **regular_pointer** — the traditional GPU layout (HB+tree's GPU part and
+  the §2.2 gap-analysis baseline): each node also carries a child-pointer
+  array in global memory, every level ends with an 8-byte pointer fetch,
+  groups are fanout-wide, and *every* key in the node is compared
+  (no early exit — §4.2: "in a fanout-based parallel comparison manner, all
+  the keys in a node are compared").
+
+Both run the *same* traversal traces (the structures are semantically
+identical trees); what differs is the address stream and the step counts —
+exactly the quantities the paper's figures measure.
+
+Execution model per warp and tree level:
+
+1. every active group issues one load per *chunk step* (``GS`` keys of its
+   node row, 8 bytes per lane); the warp's loads in one step form one
+   memory request, coalesced into as many transactions as distinct cache
+   lines are touched;
+2. a group stops after ``ceil(c / GS)`` steps, where ``c`` is its query's
+   comparison need at this level (early exit) or the node's full key count
+   (fanout-based); the warp serializes until its slowest group finishes
+   (SIMT), which is the warp-divergence cost;
+3. internal levels end with a child lookup: prefix-sum (cached or global)
+   for Harmonia, pointer array (always global) for the regular layout;
+4. the leaf level ends with a value fetch for matched queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import KEY_MAX
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import TraversalTrace, traverse_batch
+from repro.errors import ConfigError
+from repro.gpusim.coalesce import INACTIVE, align_up, transactions_per_warp
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.locality import LevelSpans, dram_transactions_per_level
+from repro.gpusim.metrics import KernelMetrics
+from repro.utils.validation import ensure_key_array, ensure_power_of_two
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """How to execute a search kernel on the device model."""
+
+    structure: str = "harmonia"  # "harmonia" | "regular_pointer"
+    group_size: int = 32
+    #: Early exit once the group locates the target child (NTG semantics).
+    early_exit: bool = True
+    #: Serve the prefix-sum child region from constant/read-only cache
+    #: (Harmonia's design; the False setting is the Figure 12 ablation).
+    cached_children: bool = True
+    #: Pad each node row to a cache-line multiple (GPU images align nodes).
+    align_rows: bool = True
+    #: Simulate the leaf value fetch for matched queries.
+    count_value_fetch: bool = True
+    #: Run the temporal-locality model (DRAM vs L2 split per level).
+    model_locality: bool = True
+    device: DeviceSpec = TITAN_V
+
+    def __post_init__(self) -> None:
+        if self.structure not in ("harmonia", "regular_pointer"):
+            raise ConfigError(f"unknown structure {self.structure!r}")
+        ensure_power_of_two("group_size", self.group_size)
+        if self.group_size > self.device.warp_size:
+            raise ConfigError(
+                f"group_size {self.group_size} exceeds warp size "
+                f"{self.device.warp_size}"
+            )
+
+
+@dataclass(frozen=True)
+class AddressModel:
+    """Byte layout of the device image the kernel reads."""
+
+    row_stride: int  #: bytes between consecutive key rows
+    node_stride: int  #: bytes between consecutive nodes (incl. pointers)
+    child_ptr_offset: int  #: offset of the child-pointer array in a node
+    keys_base: int = 0
+    values_base: int = 1 << 40  #: values live in a distinct region
+    child_region_base: int = 1 << 41  #: prefix-sum array (when global)
+
+    def key_byte(self, node: np.ndarray) -> np.ndarray:
+        return self.keys_base + node * self.node_stride
+
+    def child_ptr_byte(self, node: np.ndarray, slot: np.ndarray) -> np.ndarray:
+        return (
+            self.keys_base
+            + node * self.node_stride
+            + self.child_ptr_offset
+            + slot * 8
+        )
+
+    def prefix_byte(self, node: np.ndarray) -> np.ndarray:
+        return self.child_region_base + node * 8
+
+    def value_byte(self, leaf_local: np.ndarray, slot: np.ndarray,
+                   slots_per_row: int) -> np.ndarray:
+        return self.values_base + (leaf_local * slots_per_row + slot) * 8
+
+
+def make_address_model(layout: HarmoniaLayout, cfg: SimConfig) -> AddressModel:
+    slots = layout.slots
+    key_bytes = slots * 8
+    if cfg.structure == "harmonia":
+        stride = align_up(key_bytes, cfg.device.cache_line_bytes) if cfg.align_rows else key_bytes
+        return AddressModel(row_stride=stride, node_stride=stride, child_ptr_offset=key_bytes)
+    # Regular pointer layout: keys then fanout child pointers per node.
+    raw = key_bytes + layout.fanout * 8
+    stride = align_up(raw, cfg.device.cache_line_bytes) if cfg.align_rows else raw
+    return AddressModel(row_stride=stride, node_stride=stride, child_ptr_offset=key_bytes)
+
+
+def _warp_matrix(arr: np.ndarray, n_warps: int, qpw: int, fill) -> np.ndarray:
+    """Reshape a per-query vector into (n_warps, qpw), padding the tail."""
+    out = np.full(n_warps * qpw, fill, dtype=arr.dtype)
+    out[: arr.size] = arr
+    return out.reshape(n_warps, qpw)
+
+
+def simulate_search(
+    layout: HarmoniaLayout,
+    queries: np.ndarray,
+    cfg: SimConfig,
+    trace: Optional[TraversalTrace] = None,
+) -> KernelMetrics:
+    """Execute the search kernel on the device model and return counters.
+
+    ``queries`` must already be in **issue order** (apply PSA first when
+    simulating the optimized pipeline).  ``trace`` may be passed to reuse a
+    previously computed traversal.
+    """
+    q = ensure_key_array(np.asarray(queries), "queries")
+    device = cfg.device
+    gs = cfg.group_size
+    qpw = device.warp_size // gs
+    nq = q.size
+    n_warps = -(-nq // qpw) if nq else 0
+    h = layout.height
+    metrics = KernelMetrics(
+        n_queries=nq, n_warps=n_warps, group_size=gs, height=h
+    )
+    if nq == 0:
+        return metrics
+
+    if trace is None:
+        trace = traverse_batch(layout, q)
+    addr = make_address_model(layout, cfg)
+    slots = layout.slots
+    line = device.cache_line_bytes
+    nkeys_per_node = np.sum(layout.key_region != KEY_MAX, axis=1).astype(np.int64)
+
+    lane_in_group = np.arange(gs, dtype=np.int64)
+    valid = _warp_matrix(np.ones(nq, dtype=bool), n_warps, qpw, False)
+    line_i64 = np.int64(line)
+    #: Per-level line ranges each query touches, for the locality model.
+    key_spans: list = []
+    extra_spans: list = []  # child pointers / uncached prefix reads
+
+    for lvl in range(h):
+        node = trace.node_idx[lvl]
+        if cfg.early_exit:
+            needed = trace.comparisons[lvl]
+        else:
+            needed = nkeys_per_node[node]
+        needed = np.maximum(needed, 1)
+        steps_q = -(-needed // gs)
+
+        steps_w = _warp_matrix(steps_q, n_warps, qpw, 0)
+        steps_w = np.where(valid, steps_w, 0)
+        steps_max = steps_w.max(axis=1)
+        # Coherent steps: while even the fastest ACTIVE group is working.
+        steps_for_min = np.where(valid, steps_w, np.iinfo(np.int64).max)
+        steps_min = np.minimum(steps_for_min.min(axis=1), steps_max)
+        metrics.warp_steps[lvl] = int(steps_max.sum())
+        metrics.coherent_steps[lvl] = int(steps_min.sum())
+        metrics.useful_comparisons += int(trace.comparisons[lvl].sum())
+        metrics.executed_comparisons += int(steps_max.sum()) * device.warp_size
+
+        # --- key-region chunk loads -----------------------------------
+        base = addr.key_byte(node)
+        base_w = _warp_matrix(base, n_warps, qpw, 0)
+        max_level_steps = int(steps_max.max()) if steps_max.size else 0
+        key_tx = 0
+        n_requests = 0
+        for s in range(max_level_steps):
+            group_active = (steps_w > s) & valid
+            if not group_active.any():
+                break
+            # Per-lane byte addresses: (n_warps, qpw, gs).
+            key_idx = s * gs + lane_in_group  # (gs,)
+            lane_ok = key_idx < slots
+            bytes_ = base_w[:, :, None] + key_idx[None, None, :] * 8
+            lane_active = group_active[:, :, None] & lane_ok[None, None, :]
+            lines = np.where(lane_active, bytes_ // line, INACTIVE)
+            lines = lines.reshape(n_warps, qpw * gs)
+            tx = transactions_per_warp(lines)
+            key_tx += int(tx.sum())
+            n_requests += int((tx > 0).sum())
+        metrics.key_transactions[lvl] = key_tx
+        metrics.requests[lvl] += n_requests
+
+        # Line ranges scanned at this level (for the locality model): a
+        # query's group sweeps bytes [base, base + scanned·8).
+        scanned = np.minimum(steps_q * gs, slots)
+        key_spans.append(
+            LevelSpans(start=base // line_i64,
+                       end=(base + scanned * 8 - 1) // line_i64)
+        )
+
+        # --- child lookup (internal levels) ---------------------------
+        if lvl < h - 1:
+            if cfg.structure == "harmonia":
+                if cfg.cached_children:
+                    # Prefix-sum served on-chip: no global traffic.  The
+                    # top of the array sits in 64 KB constant memory; the
+                    # spill is served by the per-SM read-only cache
+                    # (§3.1 + footnote 1).
+                    const_capacity = device.const_mem_bytes // 8
+                    node_w = _warp_matrix(node, n_warps, qpw, np.int64(0))
+                    in_const = valid & (node_w < const_capacity)
+                    metrics.const_requests += int(in_const.any(axis=1).sum())
+                    metrics.readonly_requests += int(
+                        (valid & ~in_const).any(axis=1).sum()
+                    )
+                    extra_spans.append(None)
+                else:
+                    pbytes = addr.prefix_byte(node)
+                    pb_w = _warp_matrix(pbytes, n_warps, qpw, np.int64(-1))
+                    lines = np.where(valid, pb_w // line, INACTIVE)
+                    tx = transactions_per_warp(lines)
+                    metrics.child_transactions[lvl] = int(tx.sum())
+                    metrics.requests[lvl] += int((tx > 0).sum())
+                    pl = pbytes // line_i64
+                    extra_spans.append(LevelSpans(start=pl, end=pl))
+            else:
+                # One 8-byte pointer fetch per group from the node body.
+                slot = trace.child_slot[lvl]
+                pbytes = addr.child_ptr_byte(node, slot)
+                pb_w = _warp_matrix(pbytes, n_warps, qpw, np.int64(-1))
+                lines = np.where(valid, pb_w // line, INACTIVE)
+                tx = transactions_per_warp(lines)
+                metrics.child_transactions[lvl] = int(tx.sum())
+                metrics.requests[lvl] += int((tx > 0).sum())
+                pl = pbytes // line_i64
+                extra_spans.append(LevelSpans(start=pl, end=pl))
+        else:
+            extra_spans.append(None)
+
+    # --- leaf value fetch ---------------------------------------------
+    value_spans: Optional[LevelSpans] = None
+    if cfg.count_value_fetch:
+        found = trace.found
+        if found.any():
+            leaf_local = trace.node_idx[h - 1] - layout.leaf_start
+            vbytes = addr.value_byte(leaf_local, trace.child_slot[h - 1], slots)
+            vb_w = _warp_matrix(vbytes, n_warps, qpw, np.int64(-1))
+            found_w = _warp_matrix(found, n_warps, qpw, False) & valid
+            lines = np.where(found_w, vb_w // line, INACTIVE)
+            tx = transactions_per_warp(lines)
+            metrics.value_transactions = int(tx.sum())
+            metrics.value_requests = int((tx > 0).sum())
+            vl = vbytes // line_i64
+            value_spans = LevelSpans(start=vl, end=vl, mask=found)
+
+    # --- temporal-locality annotation -----------------------------------
+    if cfg.model_locality:
+        all_spans = list(key_spans)
+        extras = [s for s in extra_spans if s is not None]
+        all_spans.extend(extras)
+        if value_spans is not None:
+            all_spans.append(value_spans)
+        dram = dram_transactions_per_level(all_spans, nq, device)
+        per_level = dram[:h].copy()
+        # Child-pointer / uncached-prefix misses fold into their level.
+        pos = h
+        for lvl, s in enumerate(extra_spans):
+            if s is not None:
+                per_level[lvl] += dram[pos]
+                pos += 1
+        metrics.dram_transactions = np.minimum(
+            per_level, metrics.key_transactions + metrics.child_transactions
+        )
+        if value_spans is not None:
+            metrics.value_dram_transactions = int(
+                min(dram[pos], metrics.value_transactions)
+            )
+
+    return metrics
+
+
+def simulate_harmonia_search(
+    layout: HarmoniaLayout,
+    queries: np.ndarray,
+    group_size: int,
+    device: DeviceSpec = TITAN_V,
+    early_exit: bool = True,
+    cached_children: bool = True,
+    trace: Optional[TraversalTrace] = None,
+) -> KernelMetrics:
+    """Harmonia kernel (issue-ordered ``queries``; run PSA upstream)."""
+    cfg = SimConfig(
+        structure="harmonia",
+        group_size=group_size,
+        early_exit=early_exit,
+        cached_children=cached_children,
+        device=device,
+    )
+    return simulate_search(layout, queries, cfg, trace=trace)
+
+
+def simulate_hbtree_search(
+    layout: HarmoniaLayout,
+    queries: np.ndarray,
+    device: DeviceSpec = TITAN_V,
+    group_size: Optional[int] = None,
+    trace: Optional[TraversalTrace] = None,
+) -> KernelMetrics:
+    """The traditional pointer-layout GPU kernel (HB+tree's GPU part).
+
+    Group size defaults to the fanout-based width (§4.2 footnote 2); all of
+    a node's keys are compared (no early exit); child pointers are global
+    loads; rows are pointer-bearing and therefore fatter.
+    """
+    from repro.core.ntg import fanout_group_size
+
+    gs = group_size or fanout_group_size(layout.fanout, device.warp_size)
+    cfg = SimConfig(
+        structure="regular_pointer",
+        group_size=gs,
+        early_exit=False,
+        cached_children=False,
+        device=device,
+    )
+    return simulate_search(layout, queries, cfg, trace=trace)
+
+
+__all__ = [
+    "SimConfig",
+    "AddressModel",
+    "make_address_model",
+    "simulate_search",
+    "simulate_harmonia_search",
+    "simulate_hbtree_search",
+]

@@ -1,0 +1,134 @@
+"""Temporal-locality model: which transactions reach DRAM vs hit L2.
+
+The per-warp coalescing counters say how many transactions a kernel issues;
+they do not say which of those are *misses*.  PSA's whole end-to-end win
+(Figure 8, Figure 13) is temporal: after partial sorting, consecutive
+queries touch the same or adjacent cache lines, so a line fetched by one
+warp is still L2-resident when its neighbours need it — while random-order
+queries sweep a leaf-level working set far larger than L2 and miss almost
+every time.
+
+We model this with the classic *cold-misses-per-block* estimate: split the
+issue stream into blocks whose footprint is about the L2 capacity, and
+charge one DRAM transaction per distinct line per block; every further
+touch inside the block is an L2 hit.  This is exact for streaming (sorted)
+access and a good upper bound for random access, and it needs only the
+line *ranges* each query touches — no cycle-level cache simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+#: Multiplier separating (block, line) pairs in one sort key.  Line indices
+#: in the simulator stay far below 2**40 (addresses below 2**42, 128-byte
+#: lines).
+_BLOCK_STRIDE = np.int64(1) << np.int64(40)
+
+
+@dataclass
+class LevelSpans:
+    """Per-query contiguous line ranges touched at one tree level."""
+
+    #: First line index per query.
+    start: np.ndarray
+    #: Last line index per query (inclusive).
+    end: np.ndarray
+    #: Which queries actually touch memory at this level (default: all).
+    mask: Optional[np.ndarray] = None
+
+
+def _expand(spans: LevelSpans) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand ranges to (query_index, line_index) pairs."""
+    start, end = spans.start, spans.end
+    if spans.mask is not None:
+        keep = spans.mask
+        start = start[keep]
+        end = end[keep]
+        qidx = np.nonzero(keep)[0]
+    else:
+        qidx = np.arange(start.size)
+    counts = (end - start + 1).astype(np.int64)
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    total = int(counts.sum())
+    rep_q = np.repeat(qidx, counts)
+    base = np.repeat(np.cumsum(counts) - counts, counts)
+    offsets = np.arange(total, dtype=np.int64) - base
+    lines = np.repeat(start, counts) + offsets
+    return rep_q, lines
+
+
+def unique_lines_per_block(
+    spans: LevelSpans, block_of_query: np.ndarray
+) -> int:
+    """Count distinct (block, line) pairs — the modeled DRAM transactions
+    for this level."""
+    qidx, lines = _expand(spans)
+    if lines.size == 0:
+        return 0
+    combo = block_of_query[qidx] * _BLOCK_STRIDE + lines
+    return int(np.unique(combo).size)
+
+
+def choose_block_queries(
+    total_lines_touched: int, n_queries: int, device: DeviceSpec
+) -> int:
+    """Queries per reuse block: enough that the block's touched footprint is
+    roughly the L2 capacity."""
+    if n_queries == 0:
+        return 1
+    l2_lines = device.l2_bytes // device.cache_line_bytes
+    lines_per_query = max(total_lines_touched / n_queries, 1e-9)
+    return max(1, int(l2_lines / lines_per_query))
+
+
+def dram_transactions_per_level(
+    level_spans: List[LevelSpans],
+    n_queries: int,
+    device: DeviceSpec,
+    resident_fraction: float = 0.5,
+) -> np.ndarray:
+    """Modeled DRAM (miss) transactions per level for an issue-ordered
+    batch, one reuse block size shared by all levels.
+
+    Levels whose *entire touched footprint* stays below
+    ``resident_fraction`` of L2 are treated as cache-resident: each line
+    misses once in the whole run, not once per block.  This captures what
+    an LRU cache actually does with heavily-reused small sets (upper tree
+    levels, the prefix-sum array) — without it, a short reuse window would
+    absurdly charge the root line once per block.
+    """
+    total_lines = 0
+    for spans in level_spans:
+        if spans.mask is not None:
+            counts = (spans.end - spans.start + 1)[spans.mask]
+        else:
+            counts = spans.end - spans.start + 1
+        total_lines += int(counts.sum())
+    block_q = choose_block_queries(total_lines, n_queries, device)
+    block_of_query = (np.arange(n_queries, dtype=np.int64) // block_q)
+    resident_budget = resident_fraction * device.l2_bytes / device.cache_line_bytes
+    zero_blocks = np.zeros(n_queries, dtype=np.int64)
+
+    out = []
+    for spans in level_spans:
+        global_unique = unique_lines_per_block(spans, zero_blocks)
+        if global_unique <= resident_budget:
+            out.append(global_unique)  # hot set: one cold miss per line
+        else:
+            out.append(unique_lines_per_block(spans, block_of_query))
+    return np.array(out, dtype=np.int64)
+
+
+__all__ = [
+    "LevelSpans",
+    "unique_lines_per_block",
+    "choose_block_queries",
+    "dram_transactions_per_level",
+]

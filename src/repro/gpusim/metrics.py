@@ -1,0 +1,178 @@
+"""nvprof-equivalent counters produced by the kernel simulator.
+
+Definitions mirror the metrics the paper profiles (§5.2, Figure 12,
+footnote 4):
+
+* ``gld_transactions`` — global-memory transactions: distinct cache lines
+  touched per warp memory instruction, summed.
+* ``gld_requests`` — warp memory instructions issued to global memory.
+* *memory divergence* — transactions per request (1.0 = perfectly
+  coalesced).
+* *warp coherence* — fraction of warp execution steps in which every
+  active thread group in the warp participates ("the proportion of the
+  coherent step in the warp execution period; anti-correlated with warp
+  divergence").
+* *utilization* — useful lane comparisons over executed lane comparisons
+  (Figure 9's useless-comparison argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KernelMetrics:
+    """Counters for one simulated search kernel invocation."""
+
+    n_queries: int
+    n_warps: int
+    group_size: int
+    height: int
+
+    #: Global transactions from key-region reads, per tree level.
+    key_transactions: np.ndarray = field(default=None)  # (height,)
+    #: Global transactions from child-reference reads, per level (zero for
+    #: Harmonia when the prefix-sum array is cache-resident).
+    child_transactions: np.ndarray = field(default=None)  # (height,)
+    #: Global transactions from leaf value fetches.
+    value_transactions: int = 0
+    #: Global memory requests (warp loads), per level (keys + children).
+    requests: np.ndarray = field(default=None)  # (height,)
+    #: Value-fetch requests.
+    value_requests: int = 0
+    #: Constant-memory accesses (the top of the prefix-sum child region —
+    #: footnote 1: constant memory is 64 KB, usually smaller than the
+    #: whole child array).
+    const_requests: int = 0
+    #: Read-only-cache accesses (the part of the child region that spills
+    #: past constant memory, served per-SM — §3.1 "the rest is fetched
+    #: into the read-only cache").
+    readonly_requests: int = 0
+
+    #: Warp execution steps per level: sum over warps of max group steps.
+    warp_steps: np.ndarray = field(default=None)  # (height,)
+    #: Coherent steps per level: sum over warps of min active-group steps.
+    coherent_steps: np.ndarray = field(default=None)  # (height,)
+
+    #: Lane-level comparisons that a sequential scan would also perform.
+    useful_comparisons: int = 0
+    #: Lane-level comparisons actually executed (steps × active lanes).
+    executed_comparisons: int = 0
+
+    #: Modeled DRAM (L2-miss) transactions per level — filled by the
+    #: temporal-locality model (:mod:`repro.gpusim.locality`); ``None``
+    #: when the kernel was simulated without locality annotation.
+    dram_transactions: Optional[np.ndarray] = None  # (height,)
+    #: Modeled DRAM transactions of the leaf value fetches.
+    value_dram_transactions: int = 0
+
+    def __post_init__(self) -> None:
+        h = self.height
+        for name in ("key_transactions", "child_transactions", "requests",
+                     "warp_steps", "coherent_steps"):
+            if getattr(self, name) is None:
+                setattr(self, name, np.zeros(h, dtype=np.int64))
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def gld_transactions(self) -> int:
+        return int(
+            self.key_transactions.sum()
+            + self.child_transactions.sum()
+            + self.value_transactions
+        )
+
+    @property
+    def gld_requests(self) -> int:
+        return int(self.requests.sum() + self.value_requests)
+
+    @property
+    def transactions_per_request(self) -> float:
+        """The memory-divergence metric (1.0 = fully coalesced)."""
+        req = self.gld_requests
+        return self.gld_transactions / req if req else 0.0
+
+    @property
+    def warp_coherence(self) -> float:
+        """Fraction of warp-serialized issue slots that are coherent.
+
+        A warp's execution period consists of compute steps (divergent when
+        some groups have finished — the max-vs-min gap) *and* memory replay
+        slots: a request that splits into ``k`` transactions serializes the
+        warp ``k - 1`` extra times, which is incoherent work by definition
+        (only the lanes of the missed lines participate).  Counting both is
+        what makes the metric anti-correlated with memory divergence as
+        well as branch divergence (paper footnote 4).
+        """
+        onchip = self.const_requests + self.readonly_requests
+        coherent = (
+            float(self.coherent_steps.sum()) + self.gld_requests + onchip
+        )
+        total = (
+            float(self.warp_steps.sum()) + self.gld_transactions + onchip
+        )
+        return coherent / total if total else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Useful fraction of executed lane comparisons."""
+        ex = self.executed_comparisons
+        return self.useful_comparisons / ex if ex else 1.0
+
+    @property
+    def total_warp_steps(self) -> int:
+        return int(self.warp_steps.sum())
+
+    @property
+    def total_dram_transactions(self) -> Optional[int]:
+        """Modeled DRAM transactions, or ``None`` when not annotated."""
+        if self.dram_transactions is None:
+            return None
+        return int(self.dram_transactions.sum()) + self.value_dram_transactions
+
+    @property
+    def total_l2_transactions(self) -> Optional[int]:
+        """Modeled L2-hit transactions (issued − missed)."""
+        dram = self.total_dram_transactions
+        if dram is None:
+            return None
+        return max(self.gld_transactions - dram, 0)
+
+    def transactions_per_warp_level(self) -> np.ndarray:
+        """Average *key* transactions per warp at each level — the quantity
+        Figure 2 averages across levels."""
+        if self.n_warps == 0:
+            return np.zeros(self.height)
+        return self.key_transactions / self.n_warps
+
+    def avg_transactions_per_warp(self) -> float:
+        """Figure 2's headline number: mean over levels of per-warp key
+        transactions."""
+        return float(self.transactions_per_warp_level().mean())
+
+    def per_query(self, value: float) -> float:
+        return value / self.n_queries if self.n_queries else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot for experiment tables."""
+        return {
+            "queries": self.n_queries,
+            "warps": self.n_warps,
+            "group_size": self.group_size,
+            "gld_transactions": self.gld_transactions,
+            "gld_requests": self.gld_requests,
+            "transactions_per_request": round(self.transactions_per_request, 4),
+            "warp_coherence": round(self.warp_coherence, 4),
+            "utilization": round(self.utilization, 4),
+            "warp_steps": self.total_warp_steps,
+            "const_requests": self.const_requests,
+            "readonly_requests": self.readonly_requests,
+        }
+
+
+__all__ = ["KernelMetrics"]

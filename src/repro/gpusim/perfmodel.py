@@ -1,0 +1,207 @@
+"""Roofline-style performance model: counters → modeled kernel time.
+
+The simulator (:mod:`repro.gpusim.kernels`) produces exact *counts*; this
+module converts them into time with three explicitly stated assumptions:
+
+1. **Compute**: each warp execution step occupies an SM for
+   ``cycles_per_step`` cycles; the device retires ``n_sms`` warp-steps per
+   cycle-group in parallel, and warp scheduling overlaps everything else —
+   so compute time = ``total_warp_steps × cycles_per_step / n_sms``.
+2. **Memory**: each global transaction moves one cache line.  Transactions
+   whose source level is *L2-resident* (cumulative key-region footprint
+   from the root still below ``l2_bytes``) are charged to L2 bandwidth;
+   the rest to DRAM bandwidth.  Constant/read-only traffic is charged a
+   per-access cycle cost so the cached-children design is cheap but not
+   free.
+3. **Overlap**: GPUs hide latency by multithreading, so kernel time is the
+   *max* of the compute and memory times (perfect overlap), plus a fixed
+   launch overhead.
+
+Sort passes (for PSA) are modeled as bandwidth-bound scatter/gather over
+the batch (read + write of key and payload index per pass) plus a launch
+overhead per pass — matching the "time proportional to sorted bits"
+behaviour of GPU radix sorts that Figure 8 exercises.
+
+These are modeling choices, not measurements; EXPERIMENTS.md reports all
+paper-vs-model comparisons as *shape* checks (ratios and orderings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layout import HarmoniaLayout
+from repro.gpusim.coalesce import align_up
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.gpusim.metrics import KernelMetrics
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Modeled execution time breakdown (seconds)."""
+
+    compute_s: float
+    dram_s: float
+    l2_s: float
+    const_s: float
+    launch_s: float
+    #: Memory-level-parallelism bound: per-warp latency chains divided by
+    #: the device's resident-warp complement (0 when not computed).
+    latency_s: float = 0.0
+
+    @property
+    def memory_s(self) -> float:
+        return self.dram_s + self.l2_s + self.const_s
+
+    @property
+    def total_s(self) -> float:
+        """Max-overlap roofline plus launch overhead."""
+        return max(self.compute_s, self.memory_s, self.latency_s) + self.launch_s
+
+    def throughput(self, n_queries: int) -> float:
+        """Modeled queries per second."""
+        t = self.total_s
+        return n_queries / t if t > 0 else 0.0
+
+
+def l2_resident_levels(
+    layout: HarmoniaLayout, device: DeviceSpec, row_stride: int
+) -> np.ndarray:
+    """Boolean per level: does the cumulative key-region footprint from the
+    root through this level still fit in L2?
+
+    Upper levels are touched by every warp, so once they fit they stay hot;
+    this is the standard inclusive-cache working-set argument.
+    """
+    sizes = np.diff(layout.level_starts) * row_stride
+    cumulative = np.cumsum(sizes)
+    return cumulative <= device.l2_bytes
+
+
+def latency_bound_seconds(
+    metrics: KernelMetrics, device: DeviceSpec = TITAN_V
+) -> float:
+    """Memory-level-parallelism lower bound.
+
+    Each warp's traversal is a dependent chain: one memory wait per level
+    (DRAM or L2 latency per the locality split).  The device overlaps
+    ``n_sms × resident_warps_per_sm`` such chains; when that product can't
+    cover the batch's total chain cycles, latency — not bandwidth — is the
+    binding constraint (small batches, shallow occupancy).  Validated
+    against the event-driven SM simulator (:mod:`repro.gpusim.eventsim`).
+    """
+    if metrics.n_warps == 0:
+        return 0.0
+    total_tx = metrics.key_transactions + metrics.child_transactions
+    chain_cycles = 0.0
+    for lvl in range(metrics.height):
+        tx = int(total_tx[lvl])
+        if tx == 0 and int(metrics.requests[lvl]) == 0:
+            continue
+        if metrics.dram_transactions is not None and tx:
+            dram_frac = min(float(metrics.dram_transactions[lvl]) / tx, 1.0)
+        else:
+            dram_frac = 1.0
+        chain_cycles += (
+            dram_frac * device.dram_latency_cycles
+            + (1.0 - dram_frac) * device.l2_latency_cycles
+        )
+    total_chain = chain_cycles * metrics.n_warps
+    parallel = device.n_sms * device.resident_warps_per_sm
+    return total_chain / parallel / (device.clock_ghz * 1e9)
+
+
+def estimate_kernel_time(
+    metrics: KernelMetrics,
+    layout: HarmoniaLayout,
+    device: DeviceSpec = TITAN_V,
+    row_stride: int = None,
+    include_latency_bound: bool = True,
+) -> KernelTime:
+    """Convert kernel counters into modeled time."""
+    if row_stride is None:
+        row_stride = align_up(layout.slots * 8, device.cache_line_bytes)
+
+    # Compute: warp steps over all SMs.
+    compute_cycles = metrics.total_warp_steps * device.cycles_per_step / device.n_sms
+    compute_s = compute_cycles / (device.clock_ghz * 1e9)
+
+    # Memory: split transactions into DRAM misses and L2 hits.  Prefer the
+    # temporal-locality annotation (reuse-window model) when the simulator
+    # recorded it; otherwise fall back to static working-set residency.
+    if metrics.dram_transactions is not None:
+        dram_tx = metrics.total_dram_transactions
+        l2_tx = metrics.total_l2_transactions
+    else:
+        resident = l2_resident_levels(layout, device, row_stride)
+        per_level_tx = metrics.key_transactions + metrics.child_transactions
+        l2_tx = int(per_level_tx[resident[: metrics.height]].sum())
+        dram_tx = int(per_level_tx[~resident[: metrics.height]].sum())
+        dram_tx += metrics.value_transactions  # values are never resident
+
+    line = device.cache_line_bytes
+    dram_s = dram_tx * line / (device.dram_bandwidth_gbs * 1e9)
+    l2_s = l2_tx * line / (device.l2_bandwidth_gbs * 1e9)
+
+    # Constant/read-only accesses: one access per warp per level is nearly
+    # free but charge an issue cycle each so it is not literally zero.
+    const_cycles = (
+        metrics.const_requests + metrics.readonly_requests
+    ) / device.n_sms
+    const_s = const_cycles / (device.clock_ghz * 1e9)
+
+    launch_s = device.launch_overhead_us * 1e-6
+    latency_s = (
+        latency_bound_seconds(metrics, device) if include_latency_bound else 0.0
+    )
+    return KernelTime(
+        compute_s=compute_s,
+        dram_s=dram_s,
+        l2_s=l2_s,
+        const_s=const_s,
+        launch_s=launch_s,
+        latency_s=latency_s,
+    )
+
+
+def estimate_sort_time(
+    n: int, passes: int, device: DeviceSpec = TITAN_V, payload_bytes: int = 8
+) -> float:
+    """Modeled seconds for ``passes`` radix passes over ``n`` 8-byte keys.
+
+    Each counting pass of a key+payload radix sort performs a histogram
+    sweep (read), a scatter sweep (read), and a scattered write whose poor
+    coalescing roughly doubles its effective traffic — about four effective
+    key+payload sweeps per pass, bandwidth-bound, plus a kernel-launch
+    overhead per pass.  This is the CUB-like "time proportional to sorted
+    bits" behaviour PSA's cost argument relies on (§4.1.2).
+    """
+    if n <= 0 or passes <= 0:
+        return 0.0
+    bytes_per_pass = 4 * (8 + payload_bytes) * n
+    stream_s = passes * bytes_per_pass / (device.dram_bandwidth_gbs * 1e9)
+    return stream_s + passes * device.launch_overhead_us * 1e-6
+
+
+def modeled_throughput(
+    metrics: KernelMetrics,
+    layout: HarmoniaLayout,
+    device: DeviceSpec = TITAN_V,
+    sort_s: float = 0.0,
+    row_stride: int = None,
+) -> float:
+    """End-to-end modeled queries/second including preprocessing time."""
+    kt = estimate_kernel_time(metrics, layout, device, row_stride)
+    total = kt.total_s + sort_s
+    return metrics.n_queries / total if total > 0 else 0.0
+
+
+__all__ = [
+    "KernelTime",
+    "l2_resident_levels",
+    "estimate_kernel_time",
+    "estimate_sort_time",
+    "modeled_throughput",
+]

@@ -1,0 +1,119 @@
+"""Host↔device batch pipeline model (HB+Tree's collaboration modes, §6).
+
+HB+Tree "discusses several heterogeneous collaboration modes to make CPU
+and GPU cooperation more efficient such as CPU-GPU pipelining, double
+buffering".  A query batch passes through three stages:
+
+    H2D transfer (queries in) → search kernel → D2H transfer (results out)
+
+* ``serial`` — one batch at a time, stages back to back (the naive mode);
+* ``double_buffer`` — transfers of batch *i+1* overlap the kernel of
+  batch *i* (two staging buffers, one copy engine);
+* ``pipeline`` — full three-stage software pipeline (both copy engines
+  busy): steady-state cost per batch is the *slowest* stage.
+
+The model exposes where each design is bottlenecked — with Harmonia's
+fast kernel the pipeline goes transfer-bound, which is why end-to-end
+systems keep queries resident or batch aggressively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.gpusim.device import DeviceSpec, TITAN_V
+
+MODES = ("serial", "double_buffer", "pipeline")
+
+
+@dataclass(frozen=True)
+class PipelinePoint:
+    """Modeled steady-state cost of streaming ``n_batches`` batches."""
+
+    mode: str
+    n_batches: int
+    h2d_s: float  #: per-batch host→device time
+    kernel_s: float  #: per-batch kernel time
+    d2h_s: float  #: per-batch device→host time
+    total_s: float
+
+    @property
+    def bottleneck(self) -> str:
+        stages = {"h2d": self.h2d_s, "kernel": self.kernel_s, "d2h": self.d2h_s}
+        return max(stages, key=lambda k: stages[k])
+
+    def throughput(self, queries_per_batch: int) -> float:
+        if self.total_s <= 0:
+            return 0.0
+        return self.n_batches * queries_per_batch / self.total_s
+
+
+def transfer_time_s(
+    n_bytes: int, device: DeviceSpec = TITAN_V, fixed_us: float = 8.0
+) -> float:
+    """One DMA transfer: fixed setup latency + bandwidth term."""
+    if n_bytes < 0:
+        raise ConfigError("n_bytes must be >= 0")
+    return fixed_us * 1e-6 + n_bytes / (device.pcie_bandwidth_gbs * 1e9)
+
+
+def pipeline_time(
+    mode: str,
+    n_batches: int,
+    queries_per_batch: int,
+    kernel_s: float,
+    device: DeviceSpec = TITAN_V,
+    query_bytes: int = 8,
+    result_bytes: int = 8,
+) -> PipelinePoint:
+    """Model streaming ``n_batches`` query batches under a collaboration
+    mode.  ``kernel_s`` is the per-batch kernel time (take it from
+    :func:`repro.gpusim.perfmodel.estimate_kernel_time`)."""
+    if mode not in MODES:
+        raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+    if n_batches <= 0 or queries_per_batch <= 0:
+        raise ConfigError("n_batches and queries_per_batch must be positive")
+    if kernel_s < 0:
+        raise ConfigError("kernel_s must be >= 0")
+
+    h2d = transfer_time_s(queries_per_batch * query_bytes, device)
+    d2h = transfer_time_s(queries_per_batch * result_bytes, device)
+
+    if mode == "serial":
+        total = n_batches * (h2d + kernel_s + d2h)
+    elif mode == "double_buffer":
+        # One copy engine: the two transfers contend with each other but
+        # overlap the kernel; per batch in steady state:
+        # max(kernel, h2d + d2h), plus the first fill and last drain.
+        steady = max(kernel_s, h2d + d2h)
+        total = h2d + steady * (n_batches - 1) + kernel_s + d2h
+    else:  # full pipeline, two copy engines
+        steady = max(kernel_s, h2d, d2h)
+        total = h2d + kernel_s + d2h + steady * (n_batches - 1)
+
+    return PipelinePoint(
+        mode=mode,
+        n_batches=n_batches,
+        h2d_s=h2d,
+        kernel_s=kernel_s,
+        d2h_s=d2h,
+        total_s=total,
+    )
+
+
+def compare_modes(
+    n_batches: int,
+    queries_per_batch: int,
+    kernel_s: float,
+    device: DeviceSpec = TITAN_V,
+) -> Dict[str, PipelinePoint]:
+    """All three modes on the same workload."""
+    return {
+        mode: pipeline_time(mode, n_batches, queries_per_batch, kernel_s, device)
+        for mode in MODES
+    }
+
+
+__all__ = ["MODES", "PipelinePoint", "transfer_time_s", "pipeline_time", "compare_modes"]

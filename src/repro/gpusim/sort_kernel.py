@@ -1,0 +1,160 @@
+"""SIMT execution model of the radix-sort kernels PSA runs (CUB [12]).
+
+`repro.sort.radix` provides the *algorithm* (and a closed-form cost
+model); this module prices a batch's actual sort on the device model, the
+way :mod:`repro.gpusim.kernels` prices the search kernel.  Each LSD pass
+is two data-dependent kernels:
+
+* **histogram** — every thread reads one key (perfectly coalesced stream)
+  and bumps a shared-memory bucket counter; global traffic is the key
+  stream;
+* **scatter** — every thread re-reads its key + payload and writes them to
+  the bucket's output cursor.  Write coalescing is *data-dependent*: lanes
+  of a warp writing to the same bucket land on consecutive addresses (few
+  lines), lanes spread over many buckets scatter (many lines).  This is
+  why sorting nearly-sorted data is cheaper — and it is measured here by
+  actually binning each pass's digits, not assumed.
+
+The per-pass digit layout matches :func:`repro.sort.radix.partial_radix_argsort`
+(top-aligned whole digits), so simulated passes correspond one-to-one to
+the passes the algorithm executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpusim.coalesce import INACTIVE, transactions_per_warp
+from repro.gpusim.device import DeviceSpec, TITAN_V
+from repro.sort.radix import DEFAULT_DIGIT_BITS, radix_passes
+from repro.utils.validation import ensure_key_array
+
+
+@dataclass(frozen=True)
+class SortPassMetrics:
+    """Counters of one radix pass (histogram + scatter kernels)."""
+
+    shift: int
+    digit_bits: int
+    read_transactions: int  #: coalesced key/payload streams (both kernels)
+    write_transactions: int  #: data-dependent scatter writes
+    scatter_divergence: float  #: write transactions per warp write request
+
+    @property
+    def total_transactions(self) -> int:
+        return self.read_transactions + self.write_transactions
+
+
+@dataclass(frozen=True)
+class SortKernelMetrics:
+    """Aggregate over all passes of one (partial) sort."""
+
+    n: int
+    passes: List[SortPassMetrics]
+
+    @property
+    def n_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(p.total_transactions for p in self.passes)
+
+    def modeled_seconds(self, device: DeviceSpec = TITAN_V) -> float:
+        """Bandwidth-bound time + per-kernel launch overhead (two kernel
+        launches per pass)."""
+        bytes_moved = self.total_transactions * device.cache_line_bytes
+        stream = bytes_moved / (device.dram_bandwidth_gbs * 1e9)
+        return stream + 2 * self.n_passes * device.launch_overhead_us * 1e-6
+
+
+def _pass_shifts(bits: int, key_bits: int, digit_bits: int) -> List[int]:
+    """Shift of each LSD pass, low digit first — mirrors
+    ``partial_radix_argsort``'s top-aligned digit ladder."""
+    n_passes = radix_passes(bits, digit_bits)
+    start = key_bits - n_passes * digit_bits
+    return [start + p * digit_bits for p in range(n_passes)]
+
+
+def simulate_radix_sort(
+    keys: np.ndarray,
+    bits: int,
+    key_bits: int = 64,
+    digit_bits: int = DEFAULT_DIGIT_BITS,
+    device: DeviceSpec = TITAN_V,
+    payload_bytes: int = 8,
+) -> SortKernelMetrics:
+    """Execute a top-``bits`` partial radix sort of ``keys`` on the device
+    model and return its per-pass memory counters.
+
+    The permutation is carried through the passes so each scatter sees the
+    key order the previous pass actually produced (exactly the stability
+    the algorithm guarantees).
+    """
+    arr = ensure_key_array(np.asarray(keys), "keys")
+    if not 0 <= bits <= key_bits:
+        raise ConfigError(f"bits must be in [0, {key_bits}], got {bits}")
+    n = arr.size
+    if n == 0 or bits == 0:
+        return SortKernelMetrics(n=n, passes=[])
+
+    line = device.cache_line_bytes
+    warp = device.warp_size
+    record_bytes = 8 + payload_bytes
+    mask = (1 << digit_bits) - 1
+
+    # Coalesced stream transactions (histogram read + scatter read): the
+    # arrays are contiguous, so this is a pure footprint term.
+    keys_lines = -(-n * 8 // line)
+    records_lines = -(-n * record_bytes // line)
+
+    order = np.arange(n, dtype=np.int64)
+    n_warps = -(-n // warp)
+    lane_pad = n_warps * warp
+    passes: List[SortPassMetrics] = []
+
+    for shift in _pass_shifts(bits, key_bits, digit_bits):
+        if shift < 0:
+            span_mask = (1 << (digit_bits + shift)) - 1
+            digits = arr[order] & span_mask
+            shift_eff = 0
+        else:
+            digits = (arr[order] >> shift) & mask
+            shift_eff = shift
+        # Stable counting sort of this digit (the scatter's destinations).
+        counts = np.bincount(digits, minlength=mask + 1)
+        starts = np.zeros(mask + 2, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        # Destination index of each element: bucket start + rank in bucket.
+        dest = np.empty(n, dtype=np.int64)
+        sorted_positions = np.argsort(digits, kind="stable")
+        dest[sorted_positions] = np.arange(n, dtype=np.int64)
+
+        # Scatter writes: lane i of a warp writes record `i` (read in
+        # stream order) to `dest[i] * record_bytes` — count distinct lines
+        # per warp.
+        write_lines = np.full(lane_pad, INACTIVE, dtype=np.int64)
+        write_lines[:n] = dest * record_bytes // line
+        tx = transactions_per_warp(write_lines.reshape(n_warps, warp))
+        write_tx = int(tx.sum())
+        requests = int((tx > 0).sum())
+
+        passes.append(
+            SortPassMetrics(
+                shift=shift_eff,
+                digit_bits=digit_bits,
+                read_transactions=keys_lines + records_lines,
+                write_transactions=write_tx,
+                scatter_divergence=write_tx / requests if requests else 0.0,
+            )
+        )
+        order = order[sorted_positions]
+
+    return SortKernelMetrics(n=n, passes=passes)
+
+
+__all__ = ["SortPassMetrics", "SortKernelMetrics", "simulate_radix_sort"]

@@ -1,0 +1,27 @@
+"""Bit-wise (radix) sorting substrate.
+
+The paper's PSA optimization (§4.1) relies on two properties of GPU radix
+sorts like CUB's [12]: they are *stable* and their **execution time is
+proportional to the number of sorted bits**.  :mod:`repro.sort.radix`
+implements an LSD radix sort with exactly those properties, including
+partial sorts restricted to the most-significant ``N`` bits, plus the cost
+model the Figure 8 experiment uses.
+"""
+
+from repro.sort.radix import (
+    RadixSortResult,
+    full_sort_cost,
+    partial_radix_argsort,
+    partial_sort_cost,
+    radix_argsort,
+    radix_passes,
+)
+
+__all__ = [
+    "RadixSortResult",
+    "radix_argsort",
+    "partial_radix_argsort",
+    "radix_passes",
+    "full_sort_cost",
+    "partial_sort_cost",
+]

@@ -1,0 +1,154 @@
+"""LSD radix sort with partial (top-N-bit) variants and a cost model.
+
+A least-significant-digit radix sort over ``d``-bit digits makes
+``ceil(bits / d)`` stable counting passes, each touching every element once;
+total work is therefore proportional to the number of *digit passes* — the
+property PSA exploits to cut sorting cost by sorting only the top ``N`` bits
+(§4.1.2: "for these bit-wise sorting algorithms, the execution time is
+proportional to the sorted bits").
+
+Keys here are non-negative int64 views of the query batch (B+tree keys in
+the evaluation are uniform in [0, 2^63)), so no sign-flip pass is needed;
+:func:`radix_argsort` asserts that precondition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import KEY_BITS
+from repro.errors import ConfigError
+
+#: Digit width in bits.  8 matches common GPU radix implementations
+#: (256-bucket histogram per pass).
+DEFAULT_DIGIT_BITS = 8
+
+
+def radix_passes(bits: int, digit_bits: int = DEFAULT_DIGIT_BITS) -> int:
+    """Number of counting passes needed to sort ``bits`` key bits."""
+    if bits < 0:
+        raise ConfigError(f"bits must be >= 0, got {bits}")
+    if digit_bits <= 0:
+        raise ConfigError(f"digit_bits must be positive, got {digit_bits}")
+    return -(-bits // digit_bits)  # ceil
+
+
+@dataclass(frozen=True)
+class RadixSortResult:
+    """Outcome of a (partial) radix argsort.
+
+    ``order`` is the permutation: ``keys[order]`` is (partially) sorted.
+    ``passes`` counts the stable counting passes executed — the unit of the
+    cost model.  ``bits_sorted`` records how much of the key participated.
+    """
+
+    order: np.ndarray
+    passes: int
+    bits_sorted: int
+
+    def inverse(self) -> np.ndarray:
+        """Permutation mapping sorted positions back to original positions:
+        ``results_in_original_order = sorted_results[inverse_of_order]``.
+
+        Satisfies ``inverse()[order] == arange(n)``.
+        """
+        inv = np.empty_like(self.order)
+        inv[self.order] = np.arange(self.order.size, dtype=self.order.dtype)
+        return inv
+
+
+def _counting_pass(keys: np.ndarray, order: np.ndarray, shift: int, mask: int) -> np.ndarray:
+    """One stable counting pass on digit ``(keys >> shift) & mask``."""
+    digits = (keys[order] >> shift) & mask
+    # ``np.argsort(kind="stable")`` on a small-range integer array is a
+    # counting sort in NumPy — O(n) per pass, matching the model.
+    return order[np.argsort(digits, kind="stable")]
+
+
+def radix_argsort(
+    keys: np.ndarray, digit_bits: int = DEFAULT_DIGIT_BITS, key_bits: int = KEY_BITS
+) -> RadixSortResult:
+    """Full stable radix argsort of non-negative integer ``keys``."""
+    return partial_radix_argsort(keys, bits=key_bits, digit_bits=digit_bits, key_bits=key_bits)
+
+
+def partial_radix_argsort(
+    keys: np.ndarray,
+    bits: int,
+    digit_bits: int = DEFAULT_DIGIT_BITS,
+    key_bits: int = KEY_BITS,
+) -> RadixSortResult:
+    """Stable argsort on only the most-significant ``bits`` of each key.
+
+    Equivalent to a full LSD radix sort that skips the low
+    ``key_bits - bits`` bits: elements equal on the top bits keep their
+    input order (stability), exactly the PSA grouping semantics — queries
+    land in the right *group*, unordered within it (§4.1.2, Figure 6c).
+    """
+    arr = np.asarray(keys)
+    if arr.ndim != 1:
+        raise ConfigError(f"keys must be 1-D, got shape {arr.shape}")
+    if not 0 <= bits <= key_bits:
+        raise ConfigError(f"bits must be in [0, {key_bits}], got {bits}")
+    if arr.size and int(arr.min()) < 0:
+        # Signed keys: flip the sign bit to get an order-preserving
+        # unsigned image (the standard radix trick), and sort the full
+        # 64-bit width — a signed range spans the top of the bit space.
+        arr = arr.astype(np.uint64) ^ np.uint64(1 << 63)
+        key_bits = 64
+
+    order = np.arange(arr.size, dtype=np.int64)
+    if bits == 0 or arr.size <= 1:
+        return RadixSortResult(order=order, passes=0, bits_sorted=0)
+
+    # A partial sort narrower than one digit runs a single pass on exactly
+    # the top ``bits`` bits; otherwise LSD passes over the participating
+    # range, aligned to digit width from the *top* — so a 19-bit partial
+    # sort with 8-bit digits runs 3 passes covering bits [40..64), a
+    # superset of the requested range, just as a GPU implementation would
+    # round to whole digits.
+    digit_bits = min(digit_bits, bits)
+    mask = (1 << digit_bits) - 1
+    passes = 0
+    n_passes = radix_passes(bits, digit_bits)
+    start = key_bits - n_passes * digit_bits
+    for p in range(n_passes):
+        shift = start + p * digit_bits
+        if shift < 0:
+            # Key narrower than a whole digit ladder: clamp and shrink mask
+            # so the pass still covers exactly the intended bits.
+            span_mask = (1 << (digit_bits + shift)) - 1
+            order = _counting_pass(arr, order, 0, span_mask)
+        else:
+            order = _counting_pass(arr, order, shift, mask)
+        passes += 1
+    return RadixSortResult(
+        order=order, passes=passes, bits_sorted=min(n_passes * digit_bits, key_bits)
+    )
+
+
+def full_sort_cost(n: int, key_bits: int = KEY_BITS, digit_bits: int = DEFAULT_DIGIT_BITS) -> float:
+    """Model cost (element-passes) of a full sort of ``n`` keys."""
+    return float(n * radix_passes(key_bits, digit_bits))
+
+
+def partial_sort_cost(
+    n: int, bits: int, key_bits: int = KEY_BITS, digit_bits: int = DEFAULT_DIGIT_BITS
+) -> float:
+    """Model cost (element-passes) of a top-``bits`` partial sort."""
+    if not 0 <= bits <= key_bits:
+        raise ConfigError(f"bits must be in [0, {key_bits}], got {bits}")
+    return float(n * radix_passes(bits, digit_bits))
+
+
+__all__ = [
+    "DEFAULT_DIGIT_BITS",
+    "RadixSortResult",
+    "radix_passes",
+    "radix_argsort",
+    "partial_radix_argsort",
+    "full_sort_cost",
+    "partial_sort_cost",
+]

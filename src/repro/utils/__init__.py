@@ -1,0 +1,25 @@
+"""Shared low-level helpers (validation, RNG, prefix sums, timing)."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    ensure_fanout,
+    ensure_key_array,
+    ensure_positive,
+    ensure_power_of_two,
+    ensure_scalar_key,
+)
+from repro.utils.prefix import exclusive_prefix_sum, children_counts_from_prefix
+from repro.utils.timer import Timer
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "ensure_fanout",
+    "ensure_key_array",
+    "ensure_positive",
+    "ensure_power_of_two",
+    "ensure_scalar_key",
+    "exclusive_prefix_sum",
+    "children_counts_from_prefix",
+    "Timer",
+]

@@ -1,0 +1,75 @@
+"""Prefix-sum helpers for the Harmonia child region.
+
+The child region (paper §3.1) is an array ``PS`` of length ``n_nodes + 1``
+where ``PS[i]`` is the key-region index of node ``i``'s first child and
+``PS[i+1] - PS[i]`` is node ``i``'s child count (0 for leaves).  ``PS[0]`` is
+always 1 for a non-empty tree (the root occupies index 0, its first child —
+if any — index 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import INDEX_DTYPE
+from repro.errors import InvariantViolation
+
+
+def exclusive_prefix_sum(counts: np.ndarray, base: int = 0) -> np.ndarray:
+    """Return the length ``len(counts)+1`` exclusive prefix sum of ``counts``
+    shifted by ``base``.
+
+    ``out[i] = base + sum(counts[:i])``, so ``out[i+1]-out[i] == counts[i]``.
+    """
+    counts = np.asarray(counts, dtype=INDEX_DTYPE)
+    out = np.empty(counts.size + 1, dtype=INDEX_DTYPE)
+    out[0] = base
+    np.cumsum(counts, out=out[1:])
+    if base:
+        out[1:] += base
+    return out
+
+
+def children_counts_from_prefix(prefix: np.ndarray) -> np.ndarray:
+    """Invert :func:`exclusive_prefix_sum`: per-node child counts."""
+    prefix = np.asarray(prefix, dtype=INDEX_DTYPE)
+    if prefix.ndim != 1 or prefix.size < 1:
+        raise InvariantViolation("prefix-sum array must be 1-D and non-empty")
+    counts = np.diff(prefix)
+    if counts.size and counts.min() < 0:
+        raise InvariantViolation("prefix-sum array must be non-decreasing")
+    return counts
+
+
+def validate_prefix_array(prefix: np.ndarray, n_nodes: int) -> None:
+    """Check the structural properties the child region must satisfy:
+
+    * length is ``n_nodes + 1``;
+    * non-decreasing;
+    * every referenced child index lies inside the key region;
+    * internal prefix starts at 1 (root is node 0).
+    """
+    prefix = np.asarray(prefix)
+    if prefix.shape != (n_nodes + 1,):
+        raise InvariantViolation(
+            f"prefix-sum array has shape {prefix.shape}, expected ({n_nodes + 1},)"
+        )
+    counts = children_counts_from_prefix(prefix)
+    if n_nodes and prefix[0] != 1:
+        raise InvariantViolation(f"prefix[0] must be 1, got {prefix[0]}")
+    if n_nodes and prefix[-1] != n_nodes:
+        raise InvariantViolation(
+            f"prefix[-1] must equal n_nodes={n_nodes}, got {prefix[-1]}"
+        )
+    # A node's children must start after the node itself (BFS order).
+    idx = np.arange(n_nodes, dtype=INDEX_DTYPE)
+    has_children = counts > 0
+    if bool(np.any(prefix[:-1][has_children] <= idx[has_children])):
+        raise InvariantViolation("a node's first child must follow it in BFS order")
+
+
+__all__ = [
+    "exclusive_prefix_sum",
+    "children_counts_from_prefix",
+    "validate_prefix_array",
+]

@@ -1,0 +1,55 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library accepts an ``rng`` argument that is
+normalized through :func:`ensure_rng`, so experiments are reproducible from a
+single integer seed and independent streams can be split off deterministically
+with :func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` or
+    :class:`numpy.random.SeedSequence` seeds a new PCG64 generator; a
+    ``Generator`` is passed through unchanged.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot interpret {type(rng).__name__!r} as an RNG")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
+    """Split ``n`` statistically independent generators off ``rng``.
+
+    Deterministic when ``rng`` is a seed or a seeded generator: the children
+    are derived via ``SeedSequence.spawn`` semantics using integers drawn from
+    the parent stream.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: RngLike, salt: int = 0) -> int:
+    """Derive a stable integer seed from ``rng`` (used to seed subprocesses
+    or hashed workload generators)."""
+    parent = ensure_rng(rng)
+    return int(parent.integers(0, 2**63 - 1)) ^ (salt * 0x9E3779B97F4A7C15 % (2**63))
+
+
+__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_seed"]

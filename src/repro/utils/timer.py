@@ -1,0 +1,57 @@
+"""Tiny wall-clock timing utility used by the experiment harness.
+
+``pytest-benchmark`` handles the statistically careful timing in
+``benchmarks/``; :class:`Timer` is for the experiment scripts that print
+paper-style rows, where one ``perf_counter`` pair per phase is enough.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulates named phase durations.
+
+    >>> t = Timer()
+    >>> with t.phase("sort"):
+    ...     pass
+    >>> "sort" in t.seconds
+    True
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return float(sum(self.seconds.values()))
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.seconds.get(name, default)
+
+    def reset(self) -> None:
+        self.seconds.clear()
+
+
+def throughput(n_ops: int, seconds: float) -> float:
+    """Operations per second, guarding against zero-duration phases."""
+    if seconds <= 0.0:
+        return float("inf") if n_ops else 0.0
+    return n_ops / seconds
+
+
+__all__ = ["Timer", "throughput"]

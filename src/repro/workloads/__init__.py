@@ -1,0 +1,33 @@
+"""Workload generation: key sets, query batches, update mixes, scales."""
+
+from repro.workloads.generators import (
+    make_key_set,
+    normal_queries,
+    sequential_queries,
+    uniform_queries,
+    zipf_queries,
+)
+from repro.workloads.mixes import UpdateMix, make_update_batch, PAPER_UPDATE_MIX
+from repro.workloads.datasets import (
+    PAPER_TREE_SIZES,
+    Scale,
+    scaled_tree_sizes,
+    scaled_query_count,
+    scaled_batch_size,
+)
+
+__all__ = [
+    "make_key_set",
+    "uniform_queries",
+    "zipf_queries",
+    "normal_queries",
+    "sequential_queries",
+    "UpdateMix",
+    "PAPER_UPDATE_MIX",
+    "make_update_batch",
+    "PAPER_TREE_SIZES",
+    "Scale",
+    "scaled_tree_sizes",
+    "scaled_query_count",
+    "scaled_batch_size",
+]

@@ -1,0 +1,126 @@
+"""Experiment scales.
+
+The paper's evaluation sizes (2^23–2^26 keys, 100M queries, 4096K-op
+batches) are out of reach for a pure-Python execution in sensible time, so
+every experiment is parameterized by a :class:`Scale`:
+
+* ``paper``  — the literal §5.1 sizes (documented, runnable if you have the
+  patience and RAM);
+* ``default`` — sizes chosen so the full suite finishes in minutes while
+  every *shape* criterion (see DESIGN.md §4) is still resolvable;
+* ``smoke`` — seconds-level sizes for CI and tests.
+
+The scaling preserves the ratios that matter: queries ≫ tree nodes at the
+top levels (so caches see the same reuse pattern) and the tree-size sweep
+stays a factor-8 span like the paper's 2^23→2^26.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+
+#: §5.1: trees of 2^23 .. 2^26 keys.
+PAPER_TREE_SIZES: List[int] = [2**23, 2**24, 2**25, 2**26]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """A named experiment scale."""
+
+    name: str
+    #: log2 of the smallest tree in the sweep (paper: 23).
+    tree_log2_lo: int
+    #: log2 of the largest tree in the sweep (paper: 26).
+    tree_log2_hi: int
+    #: queries per batch (paper: 100M).
+    n_queries: int
+    #: update-batch size (paper: 4096K).
+    update_batch: int
+    #: sample queries for gap-analysis experiments.
+    n_sample: int = 1000
+
+
+SCALES = {
+    "paper": Scale("paper", 23, 26, 100_000_000, 4096 * 1024),
+    "default": Scale("default", 17, 20, 1 << 16, 1 << 14),
+    "smoke": Scale("smoke", 14, 16, 1 << 14, 1 << 10),
+}
+
+#: log2 of the smallest paper tree — the anchor for device miniaturization.
+_PAPER_TREE_LOG2 = 23
+_PAPER_QUERIES = 100_000_000
+
+
+def miniaturized_device(n_keys: int, n_queries: int, base=None):
+    """Miniaturize a device for a reduced workload.
+
+    Running the paper's experiments at 1/64th the tree size against a
+    full-size L2 would flip the memory behaviour (the whole tree becomes
+    cache-resident and PSA has nothing to win); shrinking the L2 by the
+    same factor preserves the working-set-to-cache ratio that the paper's
+    memory effects depend on.  Launch overheads likewise scale with the
+    batch size so fixed costs stay as negligible as they are at 100M
+    queries.  At paper-scale inputs this is the identity.
+    """
+    from dataclasses import replace
+
+    from repro.gpusim.device import TITAN_V
+
+    if base is None:
+        base = TITAN_V
+    tree_factor = n_keys / float(1 << _PAPER_TREE_LOG2)
+    query_factor = n_queries / _PAPER_QUERIES
+    if tree_factor >= 1.0 and query_factor >= 1.0:
+        return base
+    return replace(
+        base,
+        name=f"{base.name} (mini x{tree_factor:g})",
+        l2_bytes=max(int(base.l2_bytes * min(tree_factor, 1.0)), 4096),
+        launch_overhead_us=base.launch_overhead_us * min(query_factor, 1.0),
+    )
+
+
+def scaled_device(scale: "Scale", base=None):
+    """Miniaturize the device to match a :class:`Scale`'s workload (see
+    :func:`miniaturized_device`)."""
+    return miniaturized_device(
+        1 << scale.tree_log2_lo, scale.n_queries, base
+    )
+
+
+def get_scale(name: str) -> Scale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def scaled_tree_sizes(scale: Scale) -> List[int]:
+    """The tree-size sweep at this scale (log-spaced like 2^23..2^26)."""
+    return [1 << e for e in range(scale.tree_log2_lo, scale.tree_log2_hi + 1)]
+
+
+def scaled_query_count(scale: Scale) -> int:
+    return scale.n_queries
+
+
+def scaled_batch_size(scale: Scale) -> int:
+    return scale.update_batch
+
+
+__all__ = [
+    "PAPER_TREE_SIZES",
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "scaled_tree_sizes",
+    "scaled_query_count",
+    "scaled_batch_size",
+    "scaled_device",
+    "miniaturized_device",
+]

@@ -1,0 +1,170 @@
+"""Key-set and query-batch generators.
+
+The paper's search evaluation (§5.1) draws 100-million-query batches from a
+uniform distribution over trees of 2^23–2^26 64-bit keys.  We reproduce the
+uniform workload exactly (at configurable scale) and add the distributions
+other B+tree papers conventionally report (zipf for skew, normal for
+clustered targets, sequential for scan-like streams) — all seeded and all
+producing a configurable hit ratio by mixing stored keys with misses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import KEY_DTYPE
+from repro.errors import ConfigError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import ensure_positive
+
+
+def make_key_set(
+    n: int,
+    key_space_bits: int = 40,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` distinct sorted keys drawn uniformly from ``[0, 2^bits)``.
+
+    ``key_space_bits`` defaults to 40 so that default-scale trees stay
+    sparse in their space (the paper's trees are 2^23-2^26 keys in a 64-bit
+    space; what matters for PSA is keys-per-space *density*, which Equation
+    2 handles through the tree size anyway).
+    """
+    n = ensure_positive("n", n)
+    if not 1 <= key_space_bits <= 62:
+        raise ConfigError(f"key_space_bits must be in [1, 62], got {key_space_bits}")
+    space = 1 << key_space_bits
+    if n > space:
+        raise ConfigError(f"cannot draw {n} distinct keys from 2^{key_space_bits}")
+    gen = ensure_rng(rng)
+    if n > space // 2:
+        # Dense regime: permute the space.
+        keys = gen.permutation(space)[:n]
+    else:
+        # Sparse: oversample then dedupe (two rounds suffice w.h.p.).
+        keys = np.unique(gen.integers(0, space, size=int(n * 1.2), dtype=np.int64))
+        while keys.size < n:
+            extra = gen.integers(0, space, size=n, dtype=np.int64)
+            keys = np.unique(np.concatenate([keys, extra]))
+        keys = gen.permutation(keys)[:n]
+    return np.sort(keys.astype(KEY_DTYPE))
+
+
+def _mix_hits_and_misses(
+    keys: np.ndarray,
+    hit_targets: np.ndarray,
+    hit_ratio: float,
+    key_space: int,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ConfigError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+    n = hit_targets.size
+    if hit_ratio >= 1.0:
+        return hit_targets
+    miss_mask = gen.random(n) >= hit_ratio
+    out = hit_targets.copy()
+    misses = gen.integers(0, key_space, size=int(miss_mask.sum()), dtype=np.int64)
+    out[miss_mask] = misses
+    return out
+
+
+def uniform_queries(
+    keys: np.ndarray,
+    n: int,
+    hit_ratio: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """The paper's workload: targets uniform over the stored keys, with an
+    optional fraction of uniform misses over the key space."""
+    n = ensure_positive("n", n)
+    gen = ensure_rng(rng)
+    targets = keys[gen.integers(0, keys.size, size=n)]
+    space = int(keys.max()) + 1
+    return _mix_hits_and_misses(keys, targets, hit_ratio, space, gen)
+
+
+def zipf_queries(
+    keys: np.ndarray,
+    n: int,
+    alpha: float = 1.2,
+    hit_ratio: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Skewed targets: key *ranks* follow a Zipf law (hot keys hit often).
+
+    The rank permutation is seeded from the same stream, so hot keys are
+    scattered over the key space (skew without spatial locality).
+    """
+    n = ensure_positive("n", n)
+    if alpha <= 1.0:
+        raise ConfigError(f"zipf alpha must be > 1, got {alpha}")
+    gen = ensure_rng(rng)
+    ranks = gen.zipf(alpha, size=n)
+    ranks = np.minimum(ranks - 1, keys.size - 1)
+    perm = gen.permutation(keys.size)
+    targets = keys[perm[ranks]]
+    space = int(keys.max()) + 1
+    return _mix_hits_and_misses(keys, targets, hit_ratio, space, gen)
+
+
+def normal_queries(
+    keys: np.ndarray,
+    n: int,
+    center: Optional[float] = None,
+    spread: float = 0.05,
+    hit_ratio: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Targets clustered around a region of the key space (index positions
+    drawn from a clipped normal)."""
+    n = ensure_positive("n", n)
+    if spread <= 0:
+        raise ConfigError("spread must be positive")
+    gen = ensure_rng(rng)
+    c = 0.5 if center is None else center
+    pos = gen.normal(c, spread, size=n)
+    idx = np.clip((pos * keys.size).astype(np.int64), 0, keys.size - 1)
+    targets = keys[idx]
+    space = int(keys.max()) + 1
+    return _mix_hits_and_misses(keys, targets, hit_ratio, space, gen)
+
+
+def sequential_queries(
+    keys: np.ndarray,
+    n: int,
+    start: int = 0,
+    stride: int = 1,
+) -> np.ndarray:
+    """Scan-like stream: stored keys in index order (wraps around)."""
+    n = ensure_positive("n", n)
+    if stride == 0:
+        raise ConfigError("stride must be non-zero")
+    idx = (start + stride * np.arange(n, dtype=np.int64)) % keys.size
+    return keys[idx]
+
+
+def range_query_bounds(
+    keys: np.ndarray,
+    n: int,
+    span_keys: int = 64,
+    rng: RngLike = None,
+) -> tuple:
+    """``n`` (lo, hi) bounds each covering about ``span_keys`` stored keys."""
+    n = ensure_positive("n", n)
+    gen = ensure_rng(rng)
+    lo_idx = gen.integers(0, max(keys.size - span_keys, 1), size=n)
+    hi_idx = np.minimum(lo_idx + span_keys - 1, keys.size - 1)
+    return keys[lo_idx], keys[hi_idx]
+
+
+__all__ = [
+    "make_key_set",
+    "uniform_queries",
+    "zipf_queries",
+    "normal_queries",
+    "sequential_queries",
+    "range_query_bounds",
+]

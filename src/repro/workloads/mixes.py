@@ -1,0 +1,95 @@
+"""Update-operation mixes for the batch-update evaluation (Figure 14).
+
+The paper evaluates updates with "a data set mixed by 5% inserts and 95%
+updates with a batch size of 4096K" (§5.1).  :data:`PAPER_UPDATE_MIX`
+encodes that; :func:`make_update_batch` generates concrete operation lists
+against a given key set, keeping inserts disjoint from stored keys so the
+accounting is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.update import DELETE, INSERT, UPDATE, Operation
+from repro.errors import ConfigError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class UpdateMix:
+    """Operation-kind proportions of an update batch (must sum to 1)."""
+
+    insert: float = 0.05
+    update: float = 0.95
+    delete: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("insert", "update", "delete"):
+            frac = getattr(self, name)
+            if not 0.0 <= frac <= 1.0:
+                raise ConfigError(f"{name} fraction must be in [0, 1]")
+        total = self.insert + self.update + self.delete
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"mix fractions must sum to 1, got {total}")
+
+
+#: §5.1: 5% inserts, 95% updates.
+PAPER_UPDATE_MIX = UpdateMix(insert=0.05, update=0.95, delete=0.0)
+
+#: The paper's batch size (4096K operations).
+PAPER_BATCH_SIZE = 4096 * 1024
+
+
+def make_update_batch(
+    keys: np.ndarray,
+    n_ops: int,
+    mix: UpdateMix = PAPER_UPDATE_MIX,
+    key_space_bits: int = 40,
+    rng: RngLike = None,
+) -> List[Operation]:
+    """Generate a shuffled operation batch against stored ``keys``.
+
+    * updates/deletes target stored keys uniformly (deletes without
+      replacement so each targets a live key);
+    * inserts draw fresh keys disjoint from ``keys``.
+    """
+    n_ops = ensure_positive("n_ops", n_ops)
+    gen = ensure_rng(rng)
+    n_ins = int(round(n_ops * mix.insert))
+    n_del = int(round(n_ops * mix.delete))
+    n_upd = n_ops - n_ins - n_del
+    if n_del > keys.size:
+        raise ConfigError(f"cannot delete {n_del} of {keys.size} stored keys")
+
+    ops: List[Operation] = []
+    if n_ins:
+        space = 1 << key_space_bits
+        key_set = set(int(k) for k in keys)
+        fresh: List[int] = []
+        while len(fresh) < n_ins:
+            cands = gen.integers(0, space, size=2 * (n_ins - len(fresh)))
+            for c in cands:
+                ci = int(c)
+                if ci not in key_set:
+                    key_set.add(ci)
+                    fresh.append(ci)
+                    if len(fresh) == n_ins:
+                        break
+        ops.extend(Operation(INSERT, k, k * 2 + 1) for k in fresh)
+    if n_upd:
+        targets = keys[gen.integers(0, keys.size, size=n_upd)]
+        ops.extend(Operation(UPDATE, int(k), int(k) * 3 + 7) for k in targets)
+    if n_del:
+        victims = gen.choice(keys, size=n_del, replace=False)
+        ops.extend(Operation(DELETE, int(k)) for k in victims)
+
+    perm = gen.permutation(len(ops))
+    return [ops[i] for i in perm]
+
+
+__all__ = ["UpdateMix", "PAPER_UPDATE_MIX", "PAPER_BATCH_SIZE", "make_update_batch"]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the Harmonia reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.btree.bulk import bulk_load
+from repro.core.layout import HarmoniaLayout
+from repro.core.tree import HarmoniaTree
+from repro.workloads.generators import make_key_set
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def small_keys():
+    """~3k distinct sorted keys, reused across read-only tests."""
+    return make_key_set(3_000, key_space_bits=24, rng=11)
+
+
+@pytest.fixture(scope="session")
+def medium_keys():
+    """~50k distinct sorted keys for batch-level tests."""
+    return make_key_set(50_000, key_space_bits=34, rng=12)
+
+
+@pytest.fixture(scope="session")
+def small_layout(small_keys):
+    return HarmoniaLayout.from_sorted(small_keys, fanout=8, fill=0.8)
+
+
+@pytest.fixture(scope="session")
+def medium_layout(medium_keys):
+    return HarmoniaLayout.from_sorted(medium_keys, fanout=64, fill=0.7)
+
+
+@pytest.fixture
+def small_tree(small_keys):
+    """A fresh mutable HarmoniaTree per test."""
+    return HarmoniaTree.from_sorted(small_keys, fanout=8, fill=0.8)
+
+
+@pytest.fixture
+def regular_tree(small_keys):
+    return bulk_load(small_keys, fanout=8, fill=0.8)
+
+
+def reference_lookup(keys: np.ndarray, values: np.ndarray):
+    """Plain-dict oracle for search results."""
+    return {int(k): int(v) for k, v in zip(keys, values)}

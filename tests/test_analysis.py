@@ -1,0 +1,105 @@
+"""Tests for the analysis experiments (gaps, node usage, NTG check)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gaps import (
+    build_gap_tree,
+    memory_transaction_gap,
+    query_divergence_gap,
+)
+from repro.analysis.model_check import validate_ntg_model
+from repro.analysis.node_usage import (
+    build_random_insertion_tree,
+    node_quarter_distribution,
+    quarter_sweep,
+)
+
+
+class TestGapTree:
+    def test_requested_shape(self):
+        layout = build_gap_tree(fanout=8, height=4, rng=1)
+        assert layout.fanout == 8
+        assert layout.height == 4
+        layout.check_invariants()
+
+    def test_other_heights(self):
+        layout = build_gap_tree(fanout=4, height=3, rng=1)
+        assert layout.height == 3
+
+
+class TestMemoryGap:
+    def test_figure2_shape(self):
+        gap = memory_transaction_gap(n_queries=20_000, rng=2)
+        assert gap.worst == pytest.approx(3.25)
+        assert gap.best == 1.0
+        assert 0.9 * gap.worst <= gap.measured <= gap.worst
+        assert gap.per_level[0] == pytest.approx(1.0)  # root coalesced
+
+    def test_rows_format(self):
+        gap = memory_transaction_gap(n_queries=5_000, rng=2)
+        rows = gap.rows()
+        assert [r["case"] for r in rows] == ["worst", "queries", "best"]
+
+
+class TestQueryDivergence:
+    def test_figure3_shape(self):
+        div = query_divergence_gap(n_queries=100, rng=3)
+        assert div.levels.tolist() == [1, 2, 3, 4]
+        assert np.all(div.min_comparisons <= div.avg_comparisons)
+        assert np.all(div.avg_comparisons <= div.max_comparisons)
+        # fanout 8: averages near 4, real spread.
+        assert 2.0 <= div.avg_comparisons.mean() <= 6.0
+        assert (div.max_comparisons - div.min_comparisons).max() >= 2
+
+    def test_reuses_supplied_layout(self):
+        layout = build_gap_tree(rng=4)
+        div = query_divergence_gap(n_queries=50, layout=layout, rng=4)
+        assert div.levels.size == layout.height
+
+
+class TestNodeUsage:
+    def test_random_insertion_occupancy(self):
+        layout = build_random_insertion_tree(3_000, fanout=16, rng=5)
+        layout.check_invariants()
+        from repro.constants import KEY_MAX
+
+        leaf_counts = np.sum(
+            layout.key_region[layout.leaf_start :] != KEY_MAX, axis=1
+        )
+        mean_fill = leaf_counts.mean() / layout.slots
+        assert 0.55 <= mean_fill <= 0.85  # ~ln2 with slack
+
+    def test_quarters_sum_to_one(self):
+        layout = build_random_insertion_tree(3_000, fanout=16, rng=5)
+        dist = node_quarter_distribution(layout, n_queries=2_000, rng=5)
+        assert dist.quarters.sum() == pytest.approx(1.0)
+        assert dist.front_half == pytest.approx(dist.quarters[:2].sum())
+
+    def test_front_loaded(self):
+        layout = build_random_insertion_tree(4_000, fanout=32, rng=6)
+        dist = node_quarter_distribution(layout, n_queries=4_000, rng=6)
+        assert dist.front_half > 0.6
+        assert dist.quarters[0] > dist.quarters[3]
+
+    def test_sweep_covers_fanouts(self):
+        dists = quarter_sweep(fanouts=(8, 16), keys_per_tree=1_500,
+                              n_queries=1_000, rng=7)
+        assert [d.fanout for d in dists] == [8, 16]
+
+
+class TestNTGValidation:
+    def test_validation_runs_and_reports(self):
+        v = validate_ntg_model(fanout=32, n_keys=1 << 13, n_queries=1 << 11,
+                               rng=8)
+        assert v.fanout == 32
+        assert v.model_gs in v.throughput_by_gs
+        assert v.best_gs in v.throughput_by_gs
+        assert v.row()["model_within_10pct"] in (True, False)
+
+    def test_model_competitive(self):
+        v = validate_ntg_model(fanout=64, n_keys=1 << 14, n_queries=1 << 12,
+                               rng=9)
+        best = v.throughput_by_gs[v.best_gs]
+        mine = v.throughput_by_gs[v.model_gs]
+        assert mine >= 0.75 * best

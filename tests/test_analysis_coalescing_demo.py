@@ -1,0 +1,61 @@
+"""Tests for the Figures 5-7 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coalescing_demo import (
+    PAPER_EXAMPLE_TARGETS,
+    coalescing_demo,
+    demo_tree,
+)
+
+
+class TestCoalescingDemo:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return coalescing_demo(demo_tree())
+
+    def test_all_orderings_present(self, results):
+        assert set(results) == {"original", "sorted", "partially_sorted"}
+
+    def test_orderings_are_permutations(self, results):
+        for r in results.values():
+            assert sorted(r.issue_order) == sorted(PAPER_EXAMPLE_TARGETS)
+
+    def test_sorted_is_sorted(self, results):
+        assert results["sorted"].issue_order == sorted(PAPER_EXAMPLE_TARGETS)
+
+    def test_partial_groups_without_full_order(self, results):
+        ps = results["partially_sorted"].issue_order
+        # 1 and 2 share a group; coarse bits keep arrival order within it:
+        # 2 (arrived first) precedes 1 — the Figure 6c point.
+        assert ps.index(2) < ps.index(1)
+        # ...but the small-key group still precedes 20 and 35.
+        assert max(ps.index(1), ps.index(2)) < min(ps.index(20), ps.index(35))
+
+    def test_figure6_relationship(self, results):
+        """6a (original) needs at least as many transactions as 6b
+        (sorted); 6c (partial) matches 6b exactly."""
+        orig = results["original"].total_transactions
+        full = results["sorted"].total_transactions
+        part = results["partially_sorted"].total_transactions
+        assert orig >= full
+        assert part == full
+
+    def test_root_always_one_transaction(self, results):
+        for r in results.values():
+            assert r.transactions_per_level[0] == 1
+
+    def test_larger_batch_same_direction(self):
+        layout = demo_tree(fanout=8)
+        rng = np.random.default_rng(0)
+        targets = rng.choice(layout.all_keys(), 64)
+        res = coalescing_demo(layout, targets, group_size=8)
+        assert (
+            res["sorted"].total_transactions
+            <= res["original"].total_transactions
+        )
+        assert (
+            res["partially_sorted"].total_transactions
+            <= res["original"].total_transactions
+        )

@@ -1,0 +1,32 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_cycles_per_step
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return sweep_cycles_per_step(
+            values=(8.0, 16.0, 24.0), n_keys=1 << 13, n_queries=1 << 11, rng=5
+        )
+
+    def test_points_cover_sweep(self, report):
+        assert [p.cycles_per_step for p in report.points] == [8.0, 16.0, 24.0]
+
+    def test_throughput_monotone_in_compute_cost(self, report):
+        gqs = [p.harmonia_gqs for p in report.points]
+        assert gqs == sorted(gqs, reverse=True)
+
+    def test_speedup_always_above_one(self, report):
+        assert all(p.speedup > 1.0 for p in report.points)
+
+    def test_shape_is_calibration_robust(self, report):
+        # The docs/model.md claim: ratios move < ~15% over the 8-24 range.
+        assert report.max_ratio_swing < 0.35
+
+    def test_rows_render(self, report):
+        rows = report.rows()
+        assert len(rows) == 3
+        assert {"cycles_per_step", "speedup"} <= set(rows[0])

@@ -1,0 +1,123 @@
+"""Tests for the braided GPU baseline and the CSS-tree CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.braided import simulate_braided_search
+from repro.baselines.css_tree import CSSTree
+from repro.baselines.hbtree import HBTree
+from repro.constants import NOT_FOUND
+from repro.core.layout import HarmoniaLayout
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def layout():
+    keys = np.arange(0, 80_000, 4, dtype=np.int64)
+    return HarmoniaLayout.from_sorted(keys, fanout=64, fill=0.7)
+
+
+class TestBraided:
+    def test_one_query_per_thread(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 1_024)
+        m = simulate_braided_search(layout, q)
+        assert m.group_size == 1
+        assert m.n_warps == 1_024 // 32
+
+    def test_worst_memory_divergence(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 2_048)
+        braided = simulate_braided_search(layout, q)
+        from repro.gpusim.kernels import simulate_hbtree_search
+
+        grouped = simulate_hbtree_search(layout, q)
+        assert (
+            braided.transactions_per_request
+            > grouped.transactions_per_request
+        )
+
+    def test_better_utilization_than_full_scan(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 2_048)
+        braided = simulate_braided_search(layout, q)
+        from repro.gpusim.kernels import simulate_hbtree_search
+
+        grouped = simulate_hbtree_search(layout, q)
+        # A lone thread's sequential scan does no useless comparisons.
+        assert braided.utilization > grouped.utilization
+
+
+class TestCSSTree:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        keys = np.arange(0, 30_000, 3, dtype=np.int64)
+        return CSSTree(keys, values=keys * 2)
+
+    def test_doctest_cases(self):
+        t = CSSTree(np.arange(0, 100, 2))
+        assert t.search(4) == 4
+        assert t.search(5) is None
+
+    def test_hits_and_misses(self, tree, rng):
+        q = np.concatenate([
+            np.arange(0, 3_000, 3), np.arange(1, 3_000, 3)
+        ]).astype(np.int64)
+        out = tree.search_batch(q)
+        hits = q % 3 == 0
+        assert np.array_equal(out[hits], q[hits] * 2)
+        assert np.all(out[~hits] == NOT_FOUND)
+
+    def test_matches_dict_oracle(self, tree, rng):
+        q = rng.integers(0, 31_000, size=3_000)
+        out = tree.search_batch(q)
+        expect = np.where((q % 3 == 0) & (q < 30_000), q * 2, NOT_FOUND)
+        assert np.array_equal(out, expect)
+
+    def test_boundary_keys(self, tree):
+        assert tree.search(0) == 0
+        assert tree.search(29_997) == 29_997 * 2
+        assert tree.search(30_000) is None
+        assert tree.search(-3) is None
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 100, 5_000])
+    def test_sizes(self, n):
+        keys = np.arange(n, dtype=np.int64) * 2
+        t = CSSTree(keys)
+        assert len(t) == n
+        if n:
+            assert t.search(0) == 0
+            assert t.search(2 * (n - 1)) == 2 * (n - 1)
+            assert t.search(1) is None
+
+    def test_directory_is_pointerless_and_small(self, tree):
+        # Directory ≈ keys / node_keys_n entries — far below the data.
+        assert tree.directory_bytes < tree.keys.nbytes
+
+    def test_cache_line_sizing(self):
+        t = CSSTree(np.arange(1_000), cache_line_bytes=128)
+        assert t.node_keys_n == 16
+        assert t.search(500) == 500
+
+    def test_bad_cache_line(self):
+        with pytest.raises(ConfigError):
+            CSSTree(np.arange(10), cache_line_bytes=10)
+
+    def test_rebuild(self, tree):
+        t = CSSTree(np.arange(0, 100, 2))
+        t.rebuild(np.arange(0, 50, 5), values=np.arange(0, 50, 5) + 1)
+        assert len(t) == 10
+        assert t.search(5) == 6
+        assert t.search(2) is None
+
+    def test_empty(self):
+        t = CSSTree(np.array([], dtype=np.int64))
+        assert t.search_batch(np.array([1, 2], dtype=np.int64)).tolist() == [
+            NOT_FOUND, NOT_FOUND
+        ]
+
+
+class TestExtBaselinesExperiment:
+    def test_shape(self):
+        from repro.experiments import ext_baselines
+
+        result = ext_baselines.run(scale="smoke", seed=0)
+        assert len(result.rows) == 3
+        assert ext_baselines.shape_ok(result), result.render()

@@ -1,0 +1,46 @@
+"""Tests for the multi-threaded CPU searcher baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_btree import CPUBTreeSearcher
+from repro.constants import NOT_FOUND
+
+
+@pytest.fixture(scope="module")
+def searcher():
+    keys = np.arange(0, 30_000, 3, dtype=np.int64)
+    return CPUBTreeSearcher.from_sorted(keys, fanout=16, n_threads=4)
+
+
+class TestCPUSearcher:
+    def test_hits_and_misses(self, searcher):
+        q = np.array([0, 3, 1, 29_997, 10**7], dtype=np.int64)
+        out = searcher.search_batch(q)
+        assert out.tolist() == [0, 3, NOT_FOUND, 29_997, NOT_FOUND]
+
+    def test_empty_batch(self, searcher):
+        assert searcher.search_batch(np.array([], dtype=np.int64)).size == 0
+
+    def test_single_thread_equals_multi(self, searcher, rng):
+        q = rng.integers(0, 31_000, size=2_000)
+        single = CPUBTreeSearcher(searcher.tree, n_threads=1)
+        assert np.array_equal(single.search_batch(q), searcher.search_batch(q))
+
+    def test_small_batch_shortcut(self, searcher):
+        q = np.array([3, 6], dtype=np.int64)
+        assert searcher.search_batch(q).tolist() == [3, 6]
+
+    def test_result_order_preserved(self, searcher, rng):
+        q = rng.integers(0, 31_000, size=999)  # odd size across 4 chunks
+        out = searcher.search_batch(q)
+        hits = q % 3 == 0
+        hits &= q < 30_000
+        hits &= q >= 0
+        assert np.array_equal(out[hits], q[hits])
+
+    def test_invalid_threads(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            CPUBTreeSearcher.from_sorted(np.arange(10), n_threads=0)

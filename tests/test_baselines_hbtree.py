@@ -1,0 +1,100 @@
+"""Tests for the HB+Tree comparator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hbtree import HBTree, HBTreeDeviceImage
+from repro.btree.bulk import bulk_load
+from repro.constants import NOT_FOUND
+from repro.core.update import Operation
+from repro.errors import EmptyTreeError
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(41)
+    return np.sort(rng.choice(1 << 26, 20_000, replace=False)).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def hb(keys):
+    return HBTree.from_sorted(keys, fanout=16, fill=0.7)
+
+
+class TestDeviceImage:
+    def test_empty_rejected(self):
+        from repro.btree.regular import RegularBPlusTree
+
+        with pytest.raises(EmptyTreeError):
+            HBTreeDeviceImage.from_regular(RegularBPlusTree(4))
+
+    def test_child_pointers_consistent(self, keys):
+        tree = bulk_load(keys[:2_000], fanout=8, fill=0.8)
+        img = HBTreeDeviceImage.from_regular(tree)
+        # Every internal node's children must point forward in BFS order.
+        for node in range(img.leaf_start):
+            ptrs = img.child_ptr[node]
+            valid = ptrs[ptrs >= 0]
+            assert valid.size >= 2
+            assert np.all(valid > node)
+        # Leaves have no children.
+        assert np.all(img.child_ptr[img.leaf_start:] == -1)
+
+    def test_search_matches_master(self, hb, keys, rng):
+        q = np.concatenate([rng.choice(keys, 1_000),
+                            rng.integers(0, 1 << 26, 1_000)])
+        out = hb.image.search_batch(q)
+        for qi, r in zip(q[:200], out[:200]):
+            master = hb.master.search(int(qi))
+            if master is None:
+                assert r == NOT_FOUND
+            else:
+                assert r == master
+
+
+class TestHBTreeQueries:
+    def test_scalar(self, hb, keys):
+        assert hb.search(int(keys[0])) == int(keys[0])
+        assert hb.search(int(keys[-1]) + 1) is None
+
+    def test_len_height_fanout(self, hb, keys):
+        assert len(hb) == keys.size
+        assert hb.fanout == 16
+        assert hb.height == hb.master.height
+
+    def test_simulate_produces_metrics(self, hb, keys, rng):
+        q = rng.choice(keys, 512)
+        m = hb.simulate_search(q)
+        assert m.n_queries == 512
+        assert m.gld_transactions > 0
+        assert m.child_transactions.sum() > 0  # pointer layout
+
+
+class TestHBTreeUpdates:
+    def test_batch_update_and_sync(self, keys):
+        hb = HBTree.from_sorted(keys[:5_000], fanout=16, fill=0.7)
+        stored = keys[:5_000]
+        fresh = np.setdiff1d(np.arange(1, 2_000), stored)[:200]
+        ops = (
+            [Operation("insert", int(k), 1) for k in fresh]
+            + [Operation("update", int(k), 2) for k in stored[:300]]
+            + [Operation("delete", int(k)) for k in stored[-100:]]
+        )
+        counts = hb.apply_batch(ops, n_threads=4)
+        assert counts["inserted"] == 200
+        assert counts["updated"] == 300
+        assert counts["deleted"] == 100
+        assert counts["total_s"] > 0
+        hb.master.check_invariants()
+        # The device image must reflect the new state (sync happened).
+        out = hb.search_batch(fresh)
+        assert np.all(out == 1)
+        out = hb.search_batch(stored[-100:])
+        assert np.all(out == NOT_FOUND)
+
+    def test_single_thread_path(self, keys):
+        hb = HBTree.from_sorted(keys[:500], fanout=8)
+        counts = hb.apply_batch([Operation("update", int(keys[0]), 9)],
+                                n_threads=1)
+        assert counts["updated"] == 1
+        assert hb.search(int(keys[0])) == 9

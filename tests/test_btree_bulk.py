@@ -1,0 +1,124 @@
+"""Tests for bulk loading (repro.btree.bulk)."""
+
+import numpy as np
+import pytest
+
+from repro.btree.bulk import _chunk_sizes, bulk_load
+from repro.errors import ConfigError, InvalidKeyError
+
+
+class TestChunkSizes:
+    def test_empty(self):
+        assert _chunk_sizes(0, 4, 2, 7) == []
+
+    def test_single_small_chunk(self):
+        # n below 2*minimum: one (possibly underfull) chunk — root case.
+        assert _chunk_sizes(3, 4, 2, 7) == [3]
+        assert _chunk_sizes(1, 4, 2, 7) == [1]
+
+    def test_exact_multiple(self):
+        assert _chunk_sizes(12, 4, 2, 7) == [4, 4, 4]
+
+    def test_tail_rebalanced(self):
+        sizes = _chunk_sizes(9, 4, 3, 7)
+        assert sum(sizes) == 9
+        assert all(3 <= s <= 7 for s in sizes)
+
+    @pytest.mark.parametrize("n", range(1, 200))
+    def test_all_sizes_legal(self, n):
+        minimum, maximum, target = 3, 7, 5
+        sizes = _chunk_sizes(n, target, minimum, maximum)
+        assert sum(sizes) == n
+        if n >= 2 * minimum:
+            assert all(minimum <= s <= maximum for s in sizes)
+        else:
+            assert len(sizes) == 1
+
+    @pytest.mark.parametrize("minimum,maximum", [(2, 3), (32, 63), (32, 64), (4, 7)])
+    def test_btree_occupancy_bounds(self, minimum, maximum):
+        for n in list(range(1, 50)) + [999, 1000, 1001]:
+            sizes = _chunk_sizes(n, maximum, minimum, maximum)
+            assert sum(sizes) == n
+            if n >= 2 * minimum:
+                assert all(minimum <= s <= maximum for s in sizes)
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        t = bulk_load([])
+        assert len(t) == 0
+        t.check_invariants()
+
+    def test_single(self):
+        t = bulk_load([7], fanout=4)
+        assert t.search(7) == 7
+        t.check_invariants()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 63, 64, 100, 4097])
+    @pytest.mark.parametrize("fill", [1.0, 0.7, 0.5])
+    def test_sizes_and_fills(self, n, fill):
+        keys = np.arange(n) * 5
+        t = bulk_load(keys, fanout=8, fill=fill)
+        t.check_invariants()
+        assert len(t) == n
+        assert list(t.keys()) == keys.tolist()
+
+    def test_values_default_to_keys(self):
+        t = bulk_load([1, 2, 3], fanout=4)
+        assert t.search(2) == 2
+
+    def test_explicit_values(self):
+        t = bulk_load([1, 2, 3], values=[10, 20, 30], fanout=4)
+        assert t.search(2) == 20
+
+    def test_values_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            bulk_load([1, 2], values=[1], fanout=4)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            bulk_load([3, 1, 2], fanout=4)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            bulk_load([1, 1, 2], fanout=4)
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(ConfigError):
+            bulk_load([1, 2, 3], fill=0.0)
+        with pytest.raises(ConfigError):
+            bulk_load([1, 2, 3], fill=1.5)
+
+    def test_fill_controls_leaf_occupancy(self):
+        keys = np.arange(10_000)
+        full = bulk_load(keys, fanout=16, fill=1.0)
+        half = bulk_load(keys, fanout=16, fill=0.5)
+        # Lower fill => more leaves.
+        n_leaves_full = len(full.level_nodes()[-1])
+        n_leaves_half = len(half.level_nodes()[-1])
+        assert n_leaves_half > n_leaves_full * 1.5
+
+    def test_leaf_chain_complete(self):
+        t = bulk_load(np.arange(1_000), fanout=8, fill=0.8)
+        leaf = t._leftmost_leaf()
+        seen = []
+        while leaf is not None:
+            seen.extend(leaf.keys)
+            leaf = leaf.next_leaf
+        assert seen == list(range(1_000))
+
+    def test_bulk_tree_supports_mutation(self):
+        t = bulk_load(np.arange(0, 1_000, 2), fanout=8)
+        assert t.insert(1, 11)
+        assert t.delete(0)
+        t.check_invariants()
+        assert t.search(1) == 11
+        assert t.search(0) is None
+
+    def test_matches_insertion_built_tree(self):
+        keys = np.arange(0, 500, 3)
+        bulk = bulk_load(keys, fanout=5)
+        manual = __import__("repro.btree.regular", fromlist=["RegularBPlusTree"]).RegularBPlusTree(5)
+        for k in keys:
+            manual.insert(int(k), int(k))
+        assert list(bulk.items()) == list(manual.items())

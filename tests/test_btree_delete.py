@@ -1,0 +1,109 @@
+"""Tests for RegularBPlusTree deletion: borrow, merge, root collapse."""
+
+import numpy as np
+import pytest
+
+from repro.btree.regular import RegularBPlusTree
+
+
+def build(keys, fanout=4):
+    t = RegularBPlusTree(fanout=fanout)
+    for k in keys:
+        t.insert(int(k), int(k) * 10)
+    return t
+
+
+class TestSimpleDelete:
+    def test_delete_from_leaf_root(self):
+        t = build([1, 2])
+        assert t.delete(1)
+        assert t.search(1) is None
+        assert t.search(2) == 20
+        t.check_invariants()
+
+    def test_delete_missing(self):
+        t = build([1, 2])
+        assert not t.delete(9)
+        assert len(t) == 2
+
+    def test_delete_to_empty(self):
+        t = build([1, 2, 3])
+        for k in (1, 2, 3):
+            assert t.delete(k)
+        assert len(t) == 0
+        assert t.height == 1
+        t.check_invariants()
+
+    def test_delete_then_reinsert(self):
+        t = build(range(50))
+        assert t.delete(25)
+        assert t.insert(25, 999)
+        assert t.search(25) == 999
+        t.check_invariants()
+
+
+class TestRebalancing:
+    def test_sequential_deletes_front(self):
+        t = build(range(200))
+        for k in range(150):
+            assert t.delete(k)
+            if k % 25 == 0:
+                t.check_invariants()
+        t.check_invariants()
+        assert len(t) == 50
+        assert t.min_key() == 150
+
+    def test_sequential_deletes_back(self):
+        t = build(range(200))
+        for k in reversed(range(50, 200)):
+            assert t.delete(k)
+        t.check_invariants()
+        assert t.max_key() == 49
+
+    def test_random_deletes(self):
+        rng = np.random.default_rng(3)
+        keys = rng.permutation(1_000)
+        t = build(keys, fanout=5)
+        victims = keys[:700]
+        for i, k in enumerate(victims):
+            assert t.delete(int(k))
+            if i % 100 == 0:
+                t.check_invariants()
+        t.check_invariants()
+        survivors = sorted(int(k) for k in keys[700:])
+        assert list(t.keys()) == survivors
+
+    def test_root_collapse_reduces_height(self):
+        t = build(range(200), fanout=4)
+        h0 = t.height
+        for k in range(195):
+            t.delete(k)
+        t.check_invariants()
+        assert t.height < h0
+
+    def test_delete_all_then_rebuild(self):
+        t = build(range(300), fanout=6)
+        for k in range(300):
+            t.delete(k)
+        assert len(t) == 0
+        for k in range(100):
+            t.insert(k, k)
+        t.check_invariants()
+        assert len(t) == 100
+
+    @pytest.mark.parametrize("fanout", [3, 4, 5, 8, 16])
+    def test_fanouts_interleaved_ops(self, fanout):
+        rng = np.random.default_rng(fanout)
+        t = RegularBPlusTree(fanout=fanout)
+        ref = {}
+        for _ in range(1_500):
+            k = int(rng.integers(0, 400))
+            if rng.random() < 0.55:
+                if t.insert(k, k):
+                    ref[k] = k
+            else:
+                removed = t.delete(k)
+                assert removed == (k in ref)
+                ref.pop(k, None)
+        t.check_invariants()
+        assert sorted(ref) == list(t.keys())

@@ -1,0 +1,112 @@
+"""Tests for the implicit (BFS-array) B+tree."""
+
+import numpy as np
+import pytest
+
+from repro.btree.implicit import ImplicitBPlusTree
+from repro.constants import NOT_FOUND
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = ImplicitBPlusTree([], fanout=4)
+        assert len(t) == 0
+        assert t.search(1) is None
+        t.check_invariants()
+
+    @pytest.mark.parametrize("n", [1, 3, 7, 8, 64, 1000])
+    def test_sizes(self, n):
+        keys = np.arange(n) * 2
+        t = ImplicitBPlusTree(keys, fanout=8)
+        t.check_invariants()
+        assert len(t) == n
+
+    def test_completeness_arithmetic(self):
+        t = ImplicitBPlusTree(np.arange(100), fanout=4)
+        # n_internal = (n_leaves - 1) / (fanout - 1) for a complete tree.
+        assert t.n_internal == (t.n_leaves - 1) // 3
+        assert t.n_nodes == t.n_internal + t.n_leaves
+
+    def test_child_index_arithmetic(self):
+        t = ImplicitBPlusTree(np.arange(100), fanout=4)
+        assert t.child_index(0, 0) == 1
+        assert t.child_index(0, 3) == 4
+        assert t.child_index(2, 1) == 2 * 4 + 2
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return ImplicitBPlusTree(np.arange(0, 4_000, 3), fanout=8)
+
+    def test_hits(self, tree):
+        for k in (0, 3, 1998, 3996):
+            assert tree.search(k) == k
+
+    def test_misses(self, tree):
+        for k in (1, 2, 4_000, 10**9):
+            assert tree.search(k) is None
+
+    def test_batch_matches_scalar(self, tree, rng):
+        q = rng.integers(0, 4_100, size=500)
+        batch = tree.search_batch(q)
+        for qi, r in zip(q, batch):
+            scalar = tree.search(int(qi))
+            assert (r == NOT_FOUND) == (scalar is None)
+            if scalar is not None:
+                assert r == scalar
+
+
+class TestUpdates:
+    def test_update_in_place(self):
+        t = ImplicitBPlusTree([1, 2, 3], fanout=4)
+        assert t.update(2, 99)
+        assert t.search(2) == 99
+        t.check_invariants()
+
+    def test_update_missing(self):
+        t = ImplicitBPlusTree([1, 2, 3], fanout=4)
+        assert not t.update(9, 99)
+
+    def test_insert_restructures(self):
+        t = ImplicitBPlusTree(np.arange(0, 100, 2), fanout=4)
+        nodes_before = t.n_nodes
+        assert t.insert(1, 11)
+        t.check_invariants()
+        assert t.search(1) == 11
+        assert len(t) == 51
+        # restructure may change the node count — the paper's point is the
+        # full rebuild, not the count; at minimum the keys are re-packed.
+        assert t.n_nodes >= 1 and nodes_before >= 1
+
+    def test_insert_duplicate(self):
+        t = ImplicitBPlusTree([1, 2], fanout=4)
+        assert not t.insert(2, 99)
+        assert t.search(2) == 2
+
+    def test_delete(self):
+        t = ImplicitBPlusTree(np.arange(50), fanout=4)
+        assert t.delete(25)
+        assert t.search(25) is None
+        assert len(t) == 49
+        t.check_invariants()
+
+    def test_delete_missing(self):
+        t = ImplicitBPlusTree([1, 2], fanout=4)
+        assert not t.delete(9)
+
+    def test_insert_preserves_values(self):
+        t = ImplicitBPlusTree([1, 3], values=[10, 30], fanout=4)
+        t.insert(2, 20)
+        assert t.search(1) == 10
+        assert t.search(2) == 20
+        assert t.search(3) == 30
+
+    def test_grow_across_height_boundary(self):
+        t = ImplicitBPlusTree(np.arange(3), fanout=4)
+        h0 = t.height
+        for k in range(3, 40):
+            t.insert(int(k), int(k))
+        t.check_invariants()
+        assert t.height > h0
+        assert all(t.search(k) == k for k in range(40))

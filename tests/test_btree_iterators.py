@@ -1,0 +1,68 @@
+"""Tests for BFS traversal utilities."""
+
+import numpy as np
+
+from repro.btree.bulk import bulk_load
+from repro.btree.iterators import (
+    bfs_index_map,
+    bfs_nodes,
+    leaves_in_order,
+    level_of_nodes,
+    traversal_path,
+)
+
+
+def make_tree(n=500, fanout=5):
+    return bulk_load(np.arange(n) * 2, fanout=fanout, fill=0.8)
+
+
+class TestBFS:
+    def test_root_first(self):
+        t = make_tree()
+        nodes = list(bfs_nodes(t))
+        assert nodes[0] is t.root
+
+    def test_count_matches(self):
+        t = make_tree()
+        assert len(list(bfs_nodes(t))) == t.node_count()
+
+    def test_levels_are_contiguous(self):
+        t = make_tree()
+        levels = [lvl for lvl, _ in level_of_nodes(t)]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+        assert max(levels) == t.height - 1
+
+    def test_index_map_bijective(self):
+        t = make_tree()
+        m = bfs_index_map(t)
+        assert sorted(m.values()) == list(range(t.node_count()))
+
+    def test_leaves_last_and_ordered(self):
+        t = make_tree()
+        nodes = list(bfs_nodes(t))
+        leaves = leaves_in_order(t)
+        assert nodes[-len(leaves):] == leaves
+        firsts = [lf.keys[0] for lf in leaves]
+        assert firsts == sorted(firsts)
+
+
+class TestTraversalPath:
+    def test_path_length_is_height(self):
+        t = make_tree()
+        path = traversal_path(t, 100)
+        assert len(path) == t.height
+        assert path[0] is t.root
+        assert path[-1].is_leaf
+
+    def test_path_reaches_correct_leaf(self):
+        t = make_tree()
+        for k in (0, 200, 998):
+            leaf = traversal_path(t, k)[-1]
+            assert k in leaf.keys
+
+    def test_absent_key_reaches_covering_leaf(self):
+        t = make_tree()
+        leaf = traversal_path(t, 101)[-1]  # odd => absent
+        assert leaf.is_leaf
+        assert 101 not in leaf.keys

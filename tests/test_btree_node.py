@@ -1,0 +1,90 @@
+"""Tests for repro.btree.node — leaf and internal node primitives."""
+
+import pytest
+
+from repro.btree.node import InternalNode, LeafNode
+from repro.errors import CapacityError
+
+
+class TestLeafNode:
+    def test_starts_empty(self):
+        leaf = LeafNode()
+        assert leaf.is_leaf
+        assert leaf.n_keys() == 0
+        assert leaf.next_leaf is None
+
+    def test_insert_keeps_order(self):
+        leaf = LeafNode()
+        for k in (5, 1, 3):
+            leaf.insert_entry(k, k * 10, max_keys=7)
+        assert leaf.keys == [1, 3, 5]
+        assert leaf.values == [10, 30, 50]
+
+    def test_insert_overflow_rejected(self):
+        leaf = LeafNode()
+        leaf.insert_entry(1, 1, max_keys=1)
+        with pytest.raises(CapacityError):
+            leaf.insert_entry(2, 2, max_keys=1)
+
+    def test_find(self):
+        leaf = LeafNode()
+        leaf.insert_entry(4, 44, max_keys=3)
+        assert leaf.find(4) == 44
+        assert leaf.find(5) is None
+
+    def test_set_value(self):
+        leaf = LeafNode()
+        leaf.insert_entry(4, 44, max_keys=3)
+        assert leaf.set_value(4, 99)
+        assert leaf.find(4) == 99
+        assert not leaf.set_value(5, 0)
+
+    def test_remove_entry(self):
+        leaf = LeafNode()
+        leaf.insert_entry(4, 44, max_keys=3)
+        assert leaf.remove_entry(4)
+        assert leaf.keys == [] and leaf.values == []
+        assert not leaf.remove_entry(4)
+
+    def test_value_zero_findable(self):
+        leaf = LeafNode()
+        leaf.insert_entry(1, 0, max_keys=3)
+        assert leaf.find(1) == 0
+
+
+class TestInternalNode:
+    def _node(self, keys):
+        node = InternalNode()
+        node.keys = list(keys)
+        node.children = [LeafNode() for _ in range(len(keys) + 1)]
+        return node
+
+    def test_not_leaf(self):
+        assert not self._node([10]).is_leaf
+
+    def test_child_index_left(self):
+        node = self._node([10, 20])
+        assert node.child_index_for(5) == 0
+
+    def test_child_index_equal_goes_right(self):
+        # Right-inclusive separator convention (module docstring).
+        node = self._node([10, 20])
+        assert node.child_index_for(10) == 1
+        assert node.child_index_for(20) == 2
+
+    def test_child_index_between(self):
+        node = self._node([10, 20])
+        assert node.child_index_for(15) == 1
+
+    def test_child_index_above_all(self):
+        node = self._node([10, 20])
+        assert node.child_index_for(99) == 2
+
+    def test_child_slot_of_identity(self):
+        node = self._node([10])
+        assert node.child_slot_of(node.children[1]) == 1
+
+    def test_child_slot_of_foreign_node(self):
+        node = self._node([10])
+        with pytest.raises(ValueError):
+            node.child_slot_of(LeafNode())

@@ -1,0 +1,164 @@
+"""Tests for RegularBPlusTree: search / insert / update / range."""
+
+import numpy as np
+import pytest
+
+from repro.btree.regular import RegularBPlusTree
+from repro.errors import ConfigError, EmptyTreeError, InvalidKeyError
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        t = RegularBPlusTree(fanout=4)
+        assert len(t) == 0
+        assert not t
+        assert t.height == 1
+        assert t.search(1) is None
+        t.check_invariants()
+
+    def test_min_max_on_empty_raise(self):
+        t = RegularBPlusTree(fanout=4)
+        with pytest.raises(EmptyTreeError):
+            t.min_key()
+        with pytest.raises(EmptyTreeError):
+            t.max_key()
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ConfigError):
+            RegularBPlusTree(fanout=2)
+
+    def test_single_insert(self):
+        t = RegularBPlusTree(fanout=4)
+        assert t.insert(5, 50)
+        assert t.search(5) == 50
+        assert 5 in t
+        assert len(t) == 1
+
+    def test_duplicate_insert_returns_false(self):
+        t = RegularBPlusTree(fanout=4)
+        t.insert(5, 50)
+        assert not t.insert(5, 99)
+        assert t.search(5) == 50  # original value preserved
+
+    def test_upsert_overwrites(self):
+        t = RegularBPlusTree(fanout=4)
+        assert t.upsert(5, 50)
+        assert not t.upsert(5, 99)
+        assert t.search(5) == 99
+
+    def test_update_existing(self):
+        t = RegularBPlusTree(fanout=4)
+        t.insert(5, 50)
+        assert t.update(5, 60)
+        assert t.search(5) == 60
+
+    def test_update_missing(self):
+        t = RegularBPlusTree(fanout=4)
+        assert not t.update(5, 60)
+
+    def test_sentinel_key_rejected(self):
+        t = RegularBPlusTree(fanout=4)
+        with pytest.raises(InvalidKeyError):
+            t.insert(np.iinfo(np.int64).max, 1)
+
+
+class TestSplits:
+    def test_root_leaf_split(self):
+        t = RegularBPlusTree(fanout=3)  # max 2 keys per node
+        for k in (1, 2, 3):
+            t.insert(k, k)
+        assert t.height == 2
+        t.check_invariants()
+        assert [t.search(k) for k in (1, 2, 3)] == [1, 2, 3]
+
+    def test_sequential_inserts_stay_balanced(self):
+        t = RegularBPlusTree(fanout=4)
+        for k in range(500):
+            t.insert(k, k * 2)
+        t.check_invariants()
+        assert len(t) == 500
+        assert t.min_key() == 0 and t.max_key() == 499
+
+    def test_reverse_inserts(self):
+        t = RegularBPlusTree(fanout=4)
+        for k in reversed(range(300)):
+            t.insert(k, k)
+        t.check_invariants()
+        assert list(t.keys()) == list(range(300))
+
+    def test_random_inserts_match_dict(self, rng):
+        t = RegularBPlusTree(fanout=5)
+        ref = {}
+        for k in rng.permutation(2_000):
+            t.insert(int(k), int(k) * 3)
+            ref[int(k)] = int(k) * 3
+        t.check_invariants()
+        sample = rng.choice(2_000, size=200)
+        for k in sample:
+            assert t.search(int(k)) == ref[int(k)]
+
+    def test_height_grows_logarithmically(self):
+        t = RegularBPlusTree(fanout=8)
+        for k in range(4_000):
+            t.insert(k, k)
+        # 4000 keys, fanout 8: height must stay small.
+        assert t.height <= 6
+        t.check_invariants()
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def tree(self):
+        t = RegularBPlusTree(fanout=4)
+        for k in range(0, 100, 2):  # evens 0..98
+            t.insert(k, k * 10)
+        return t
+
+    def test_full_range(self, tree):
+        out = tree.range_search(0, 98)
+        assert len(out) == 50
+        assert out[0] == (0, 0) and out[-1] == (98, 980)
+
+    def test_inclusive_bounds(self, tree):
+        out = tree.range_search(10, 20)
+        assert [k for k, _ in out] == [10, 12, 14, 16, 18, 20]
+
+    def test_bounds_between_keys(self, tree):
+        out = tree.range_search(11, 19)
+        assert [k for k, _ in out] == [12, 14, 16, 18]
+
+    def test_empty_range(self, tree):
+        assert tree.range_search(11, 11) == []
+
+    def test_inverted_range(self, tree):
+        assert tree.range_search(20, 10) == []
+
+    def test_range_beyond_max(self, tree):
+        out = tree.range_search(96, 10_000)
+        assert [k for k, _ in out] == [96, 98]
+
+    def test_range_before_min(self, tree):
+        out = tree.range_search(-100, 2)
+        assert [k for k, _ in out] == [0, 2]
+
+    def test_results_sorted(self, tree):
+        out = tree.range_search(0, 98)
+        keys = [k for k, _ in out]
+        assert keys == sorted(keys)
+
+
+class TestIteration:
+    def test_items_in_order(self):
+        t = RegularBPlusTree(fanout=4)
+        for k in (5, 1, 9, 3):
+            t.insert(k, k)
+        assert list(t.items()) == [(1, 1), (3, 3), (5, 5), (9, 9)]
+
+    def test_level_nodes_structure(self):
+        t = RegularBPlusTree(fanout=3)
+        for k in range(20):
+            t.insert(k, k)
+        levels = t.level_nodes()
+        assert len(levels) == t.height
+        assert len(levels[0]) == 1  # root
+        assert t.node_count() == sum(len(l) for l in levels)

@@ -1,0 +1,97 @@
+"""Tests for the harmonia-tool CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def index_path(tmp_path):
+    path = tmp_path / "idx.npz"
+    assert main(["build", "--random", "5000", "--out", str(path),
+                 "--fanout", "16", "--seed", "3"]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_random(self, tmp_path, capsys):
+        path = tmp_path / "idx.npz"
+        assert main(["build", "--random", "5000", "--out", str(path),
+                     "--fanout", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "5000 keys" in out and "fanout 16" in out
+
+    def test_build_from_text_file(self, tmp_path, capsys):
+        keys = tmp_path / "keys.txt"
+        keys.write_text("\n".join(str(k) for k in range(0, 1000, 2)))
+        path = tmp_path / "idx.npz"
+        assert main(["build", "--keys", str(keys), "--out", str(path)]) == 0
+        assert "500 keys" in capsys.readouterr().out
+
+    def test_build_from_npy(self, tmp_path, capsys):
+        keys = tmp_path / "keys.npy"
+        np.save(keys, np.arange(100, dtype=np.int64))
+        path = tmp_path / "idx.npz"
+        assert main(["build", "--keys", str(keys), "--out", str(path)]) == 0
+
+    def test_missing_file_is_reported(self, tmp_path, capsys):
+        code = main(["build", "--keys", str(tmp_path / "nope.txt"),
+                     "--out", str(tmp_path / "x.npz")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_args(self, tmp_path, capsys):
+        keys = tmp_path / "keys.txt"
+        keys.write_text("\n".join(str(k) for k in range(0, 100, 2)))
+        path = tmp_path / "idx.npz"
+        main(["build", "--keys", str(keys), "--out", str(path)])
+        capsys.readouterr()
+        assert main(["query", str(path), "4", "5"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert lines[0] == "4\t4"
+        assert lines[1] == "5\tMISS"
+        assert "1/2 hits" in captured.err
+
+    def test_query_file(self, tmp_path, capsys):
+        keys = tmp_path / "keys.txt"
+        keys.write_text("\n".join(str(k) for k in range(0, 100, 2)))
+        path = tmp_path / "idx.npz"
+        main(["build", "--keys", str(keys), "--out", str(path)])
+        qfile = tmp_path / "queries.txt"
+        qfile.write_text("2\n3\n")
+        capsys.readouterr()
+        assert main(["query", str(path), "--file", str(qfile),
+                     "--no-optimized"]) == 0
+        out = capsys.readouterr().out
+        assert "2\t2" in out and "3\tMISS" in out
+
+
+class TestRangeStatsSimulate:
+    def test_range(self, tmp_path, capsys):
+        keys = tmp_path / "keys.txt"
+        keys.write_text("\n".join(str(k) for k in range(0, 100, 10)))
+        path = tmp_path / "idx.npz"
+        main(["build", "--keys", str(keys), "--out", str(path)])
+        capsys.readouterr()
+        assert main(["range", str(path), "15", "45"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["20\t20", "30\t30", "40\t40"]
+
+    def test_stats(self, index_path, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fanout" in out and "level 0" in out
+
+    def test_simulate(self, index_path, capsys):
+        capsys.readouterr()
+        assert main(["simulate", str(index_path), "--queries", "2048",
+                     "--device", "k80"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled throughput" in out
+        assert "Tesla K80" in out
+        assert "gld_transactions" in out

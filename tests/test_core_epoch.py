@@ -1,0 +1,130 @@
+"""Tests for the epoch manager (phase-discipline wrapper)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.constants import NOT_FOUND
+from repro.core.epoch import EpochManager
+from repro.core.tree import HarmoniaTree
+from repro.core.update import Operation
+from repro.errors import ConfigError
+
+
+def manager(n=2_000, capacity=1 << 16):
+    keys = np.arange(0, n * 2, 2, dtype=np.int64)
+    tree = HarmoniaTree.from_sorted(keys, fanout=8, fill=0.8)
+    return EpochManager(tree, batch_capacity=capacity), keys
+
+
+class TestBasics:
+    def test_reads_pass_through(self):
+        em, keys = manager()
+        assert em.search(int(keys[3])) == int(keys[3])
+        out = em.search_batch(keys[:10])
+        assert np.array_equal(out, keys[:10])
+        k, _ = em.range_search(int(keys[0]), int(keys[5]))
+        assert k.size == 6
+        assert len(em) == keys.size
+
+    def test_submit_buffers_until_flush(self):
+        em, keys = manager()
+        assert em.submit(Operation("insert", 1, 11)) is None
+        assert em.pending_operations() == 1
+        # Not visible before the flush (phase semantics).
+        assert em.search(1) is None
+        res = em.flush()
+        assert res.inserted == 1
+        assert em.search(1) == 11
+        assert em.pending_operations() == 0
+
+    def test_flush_empty_is_noop(self):
+        em, _ = manager()
+        assert em.flush() is None
+        assert em.epoch == 0
+
+    def test_epoch_counter(self):
+        em, _ = manager()
+        em.submit(Operation("insert", 1, 1))
+        em.flush()
+        em.submit(Operation("delete", 1))
+        em.flush()
+        assert em.epoch == 2
+
+    def test_auto_flush_at_capacity(self):
+        em, _ = manager(capacity=4)
+        results = []
+        for k in (1, 3, 5, 7):
+            r = em.submit(Operation("insert", k, k))
+            if r is not None:
+                results.append(r)
+        assert len(results) == 1
+        assert results[0].inserted == 4
+        assert em.pending_operations() == 0
+
+    def test_submit_many(self):
+        em, _ = manager(capacity=10)
+        ops = [Operation("insert", k, k) for k in range(1, 50, 2)]
+        flushes = em.submit_many(ops)
+        assert len(flushes) == len(ops) // 10
+        em.flush()
+        assert em.search(1) == 1
+
+    def test_submit_type_checked(self):
+        em, _ = manager()
+        with pytest.raises(ConfigError):
+            em.submit(("insert", 1, 2))
+
+
+class TestSnapshotIsolation:
+    def test_pinned_snapshot_survives_flush(self):
+        em, keys = manager()
+        snap = em._snapshot()
+        victim = int(keys[10])
+        em.submit(Operation("delete", victim))
+        em.flush()
+        # New reads miss the key; the pinned snapshot still has it.
+        assert em.search(victim) is None
+        assert snap.search(victim) == victim
+
+    def test_concurrent_readers_during_flush(self):
+        em, keys = manager(n=5_000)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                out = em.search_batch(keys[:256])
+                # Snapshot reads are all-or-nothing: stored keys always
+                # resolve to their (current or previous) value, never to
+                # garbage.
+                bad = (out == NOT_FOUND) & (keys[:256] % 4 != 0)
+                if bad.any():
+                    errors.append(int(bad.sum()))
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        # Delete every key divisible by 4, in several epochs.
+        for start in range(0, 5_000, 1_000):
+            ops = [
+                Operation("delete", int(k))
+                for k in keys[start : start + 1_000]
+                if k % 4 == 0
+            ]
+            em.submit_many(ops)
+            em.flush()
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert em.epoch == 5
+        em._tree.check_invariants()
+
+    def test_bootstrap_through_epoch_manager(self):
+        em = EpochManager(HarmoniaTree.empty(fanout=8))
+        em.submit_many([Operation("insert", k, k) for k in range(50)])
+        em.flush()
+        assert len(em) == 50
+        assert em.search(25) == 25

@@ -1,0 +1,76 @@
+"""Tests for the vectorized layout builder (equivalence with the object
+path is the contract)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bulk import bulk_load
+from repro.core.fastbuild import build_layout_fast
+from repro.core.layout import HarmoniaLayout
+from repro.errors import ConfigError, EmptyTreeError
+
+
+def via_objects(keys, values, fanout, fill):
+    return HarmoniaLayout.from_regular(
+        bulk_load(keys, values, fanout=fanout, fill=fill)
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 7, 8, 63, 64, 1_000, 4_097])
+    @pytest.mark.parametrize("fanout,fill", [(4, 1.0), (8, 0.7), (64, 0.5)])
+    def test_byte_identical(self, n, fanout, fill):
+        keys = np.arange(n, dtype=np.int64) * 5
+        values = keys + 1
+        fast = build_layout_fast(keys, values, fanout=fanout, fill=fill)
+        slow = via_objects(keys, values, fanout=fanout, fill=fill)
+        assert np.array_equal(fast.key_region, slow.key_region)
+        assert np.array_equal(fast.prefix_sum, slow.prefix_sum)
+        assert np.array_equal(fast.leaf_values, slow.leaf_values)
+        assert np.array_equal(fast.level_starts, slow.level_starts)
+        assert fast.height == slow.height
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        keys=st.sets(st.integers(0, (1 << 40) - 1), min_size=1, max_size=300),
+        fanout=st.sampled_from([4, 8, 16, 64]),
+        fill=st.sampled_from([0.5, 0.8, 1.0]),
+    )
+    def test_byte_identical_property(self, keys, fanout, fill):
+        arr = np.array(sorted(keys), dtype=np.int64)
+        fast = build_layout_fast(arr, fanout=fanout, fill=fill)
+        slow = via_objects(arr, None, fanout=fanout, fill=fill)
+        assert np.array_equal(fast.key_region, slow.key_region)
+        assert np.array_equal(fast.prefix_sum, slow.prefix_sum)
+
+
+class TestValidationAndScale:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTreeError):
+            build_layout_fast(np.array([], dtype=np.int64))
+
+    def test_misaligned_values(self):
+        with pytest.raises(ConfigError):
+            build_layout_fast(np.arange(5), values=np.arange(4))
+
+    def test_bad_fill(self):
+        with pytest.raises(ConfigError):
+            build_layout_fast(np.arange(5), fill=0.0)
+
+    def test_large_tree_fast_and_sound(self):
+        keys = np.arange(1 << 19, dtype=np.int64) * 7
+        layout = build_layout_fast(keys, fanout=64, fill=0.7)
+        layout.check_invariants()
+        from repro.core.search import search_batch
+
+        probe = keys[:: 1 << 10]
+        assert np.array_equal(search_batch(layout, probe), probe)
+
+    def test_from_sorted_now_delegates(self):
+        keys = np.arange(1_000, dtype=np.int64)
+        a = HarmoniaLayout.from_sorted(keys, fanout=8, fill=0.7)
+        b = build_layout_fast(keys, fanout=8, fill=0.7)
+        assert np.array_equal(a.key_region, b.key_region)

@@ -1,0 +1,83 @@
+"""Tests for layout/tree persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.io import FORMAT_VERSION, load_layout, load_tree, save_layout, save_tree
+from repro.core.layout import HarmoniaLayout
+from repro.core.tree import HarmoniaTree
+from repro.errors import ConfigError, InvariantViolation
+
+
+@pytest.fixture
+def layout(small_keys):
+    return HarmoniaLayout.from_sorted(small_keys, values=small_keys * 2,
+                                      fanout=8, fill=0.8)
+
+
+class TestRoundtrip:
+    def test_layout_roundtrip(self, layout, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_layout(layout, path)
+        loaded = load_layout(path)
+        assert loaded.fanout == layout.fanout
+        assert loaded.height == layout.height
+        assert loaded.n_keys == layout.n_keys
+        assert np.array_equal(loaded.key_region, layout.key_region)
+        assert np.array_equal(loaded.prefix_sum, layout.prefix_sum)
+        assert np.array_equal(loaded.leaf_values, layout.leaf_values)
+
+    def test_loaded_layout_searchable(self, layout, small_keys, tmp_path):
+        from repro.core.search import search_batch
+
+        path = tmp_path / "tree.npz"
+        save_layout(layout, path)
+        loaded = load_layout(path)
+        out = search_batch(loaded, small_keys[:100])
+        assert np.array_equal(out, small_keys[:100] * 2)
+
+    def test_tree_roundtrip(self, small_keys, tmp_path):
+        tree = HarmoniaTree.from_sorted(small_keys, fanout=8, fill=0.8)
+        path = tmp_path / "t.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path, fill=0.8)
+        assert len(loaded) == len(tree)
+        assert loaded.search(int(small_keys[5])) == int(small_keys[5])
+        # Loaded trees accept updates (fill policy threaded through).
+        assert loaded.insert(int(small_keys[-1]) + 10, 1)
+        loaded.check_invariants()
+
+
+class TestValidationAndErrors:
+    def test_empty_tree_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            save_tree(HarmoniaTree.empty(), tmp_path / "x.npz")
+
+    def test_version_guard(self, layout, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_layout(layout, path)
+        data = dict(np.load(path))
+        data["format_version"] = np.int64(FORMAT_VERSION + 1)
+        np.savez(path, **data)
+        with pytest.raises(ConfigError, match="format version"):
+            load_layout(path)
+
+    def test_missing_fields_detected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(ConfigError, match="missing"):
+            load_layout(path)
+
+    def test_corruption_caught_by_validation(self, layout, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_layout(layout, path)
+        data = dict(np.load(path))
+        kr = data["key_region"].copy()
+        kr[0, :2] = kr[0, :2][::-1]  # unsort the root row
+        data["key_region"] = kr
+        np.savez(path, **data)
+        with pytest.raises(InvariantViolation):
+            load_layout(path)
+        # ...unless validation is explicitly skipped.
+        loaded = load_layout(path, validate=False)
+        assert loaded.n_keys == layout.n_keys

@@ -1,0 +1,132 @@
+"""Tests for narrowed thread-group traversal (NTG, §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.ntg import (
+    NTGSelection,
+    choose_group_size,
+    fanout_group_size,
+    group_steps,
+    profile_group_size,
+    warp_max_steps,
+)
+from repro.errors import ConfigError
+
+
+class TestFanoutGroupSize:
+    @pytest.mark.parametrize(
+        "fanout,expect", [(4, 4), (8, 8), (16, 16), (32, 32), (64, 32), (128, 32)]
+    )
+    def test_cap_at_warp(self, fanout, expect):
+        # Footnote 2: groups wider than a warp collapse to the warp.
+        assert fanout_group_size(fanout, warp_size=32) == expect
+
+    def test_non_power_of_two_fanout_rounds_up(self):
+        assert fanout_group_size(6, warp_size=32) == 8
+        assert fanout_group_size(33, warp_size=64) == 64
+
+
+class TestGroupSteps:
+    def test_exact_division(self):
+        cmp = np.array([8, 16])
+        assert group_steps(cmp, 8).tolist() == [1, 2]
+
+    def test_ceiling(self):
+        cmp = np.array([9, 1])
+        assert group_steps(cmp, 8).tolist() == [2, 1]
+
+    def test_minimum_one_step(self):
+        assert group_steps(np.array([0]), 8).tolist() == [1]
+
+
+class TestWarpMaxSteps:
+    def test_single_query_per_warp(self):
+        cmp = np.array([[4, 8, 12, 16]])
+        out = warp_max_steps(cmp, gs=32, warp_size=32)
+        assert out.shape == (1, 4)
+        assert out.tolist() == [[1, 1, 1, 1]]
+
+    def test_two_queries_take_max(self):
+        cmp = np.array([[2, 30, 4, 4]])  # gs=16 -> 2 queries/warp
+        out = warp_max_steps(cmp, gs=16, warp_size=32)
+        # warp 0: max(ceil(2/16), ceil(30/16)) = 2; warp 1: 1
+        assert out.tolist() == [[2, 1]]
+
+    def test_padding_does_not_inflate(self):
+        cmp = np.array([[10, 10, 10]])  # 3 queries, 2 per warp -> 2 warps
+        out = warp_max_steps(cmp, gs=16, warp_size=32)
+        assert out.shape == (1, 2)
+
+    def test_gs_larger_than_warp_rejected(self):
+        with pytest.raises(ConfigError):
+            warp_max_steps(np.ones((1, 4), dtype=np.int64), gs=64, warp_size=32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            warp_max_steps(np.ones((1, 4), dtype=np.int64), gs=3, warp_size=32)
+
+
+class TestProfileAndChoose:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        keys = np.sort(
+            np.random.default_rng(5).choice(1 << 30, 60_000, replace=False)
+        ).astype(np.int64)
+        return HarmoniaLayout.from_sorted(keys, fanout=64, fill=0.6)
+
+    def test_profile_counts(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 1_000)
+        from repro.core.search import traverse_batch
+
+        cmp = traverse_batch(layout, q).comparisons
+        prof = profile_group_size(cmp, gs=8, warp_size=32)
+        assert prof.queries_per_warp == 4
+        assert prof.avg_warp_steps > 0
+        assert prof.per_level.shape == (layout.height,)
+
+    def test_levels_restriction(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 1_000)
+        from repro.core.search import traverse_batch
+
+        cmp = traverse_batch(layout, q).comparisons
+        full = profile_group_size(cmp, gs=8, warp_size=32, levels=None)
+        last2 = profile_group_size(cmp, gs=8, warp_size=32, levels=2)
+        assert last2.per_level.shape == (2,)
+        assert last2.avg_warp_steps <= full.avg_warp_steps
+
+    def test_choose_returns_power_of_two_within_warp(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 1_000)
+        sel = choose_group_size(layout, q, warp_size=32)
+        assert isinstance(sel, NTGSelection)
+        gs = sel.group_size
+        assert gs & (gs - 1) == 0 and 1 <= gs <= 32
+
+    def test_choose_narrows_below_fanout_width(self, layout, rng):
+        # With early exit vs full-scan baseline, narrowing must help at
+        # least once for a 64-fanout tree of half-full nodes (the paper's
+        # whole premise).
+        q = rng.choice(layout.all_keys(), 1_000)
+        sel = choose_group_size(layout, q, warp_size=32)
+        assert sel.group_size < fanout_group_size(layout.fanout, 32)
+        assert sel.ratios[0] > 1.0
+
+    def test_ratio_trail_consistent(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 1_000)
+        sel = choose_group_size(layout, q, warp_size=32)
+        # Every accepted halving had ratio > 1; a trailing rejected one <= 1.
+        assert all(r > 1.0 for r in sel.ratios[:-1])
+        assert len(sel.profiles) == len(sel.ratios) + 1
+
+    def test_min_gs_respected(self, layout, rng):
+        q = rng.choice(layout.all_keys(), 500)
+        sel = choose_group_size(layout, q, warp_size=32, min_gs=8)
+        assert sel.group_size >= 8
+
+    def test_throughput_proxy(self):
+        from repro.core.ntg import NTGProfile
+
+        p = NTGProfile(gs=4, queries_per_warp=8, avg_warp_steps=2.0,
+                       per_level=np.array([1.0, 1.0]))
+        assert p.throughput_proxy() == pytest.approx(4.0)

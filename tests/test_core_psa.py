@@ -1,0 +1,154 @@
+"""Tests for partially-sorted aggregation (PSA, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.psa import (
+    PSABatch,
+    fully_sorted_batch,
+    identity_batch,
+    optimal_sort_bits,
+    prepare_batch,
+    sort_cost_ratio,
+)
+from repro.errors import ConfigError
+
+
+class TestEquation2:
+    def test_paper_example(self):
+        # B=64, T=2^23, K=16  =>  N = 19  (§4.1.2)
+        assert optimal_sort_bits(2**23, 16) == 19
+
+    @pytest.mark.parametrize(
+        "tree_size,k,expect",
+        [(2**24, 16, 20), (2**26, 16, 22), (2**23, 8, 20), (16, 16, 0)],
+    )
+    def test_formula(self, tree_size, k, expect):
+        assert optimal_sort_bits(tree_size, k) == expect
+
+    def test_clamped_to_key_bits(self):
+        assert optimal_sort_bits(2**60, 1, key_bits=32) == 32
+
+    def test_never_negative(self):
+        assert optimal_sort_bits(1, 1024) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            optimal_sort_bits(0)
+
+
+class TestAdaptiveBits:
+    def test_full_span_matches_eq2(self):
+        from repro.core.psa import adaptive_sort_bits
+
+        sample = np.array([0, (1 << 40) - 1], dtype=np.int64)
+        assert adaptive_sort_bits(sample, 2**23) == optimal_sort_bits(2**23)
+
+    def test_narrow_span_caps_bits(self):
+        from repro.core.psa import adaptive_sort_bits
+
+        sample = np.array([100, 140], dtype=np.int64)  # 6-bit span
+        assert adaptive_sort_bits(sample, 2**23) == 6
+
+    def test_degenerate_samples(self):
+        from repro.core.psa import adaptive_sort_bits
+
+        assert adaptive_sort_bits(np.array([5], dtype=np.int64), 100) == 0
+        assert adaptive_sort_bits(np.array([5, 5], dtype=np.int64), 100) == 0
+
+    def test_never_exceeds_eq2(self, rng):
+        from repro.core.psa import adaptive_sort_bits
+
+        sample = rng.integers(0, 1 << 20, size=100)
+        assert adaptive_sort_bits(sample, 2**23) <= optimal_sort_bits(2**23)
+
+
+class TestPrepareBatch:
+    @pytest.fixture
+    def queries(self, rng):
+        return rng.integers(0, 1 << 30, size=4_000)
+
+    def test_restore_permutation(self, queries):
+        psa = prepare_batch(queries, bits=12, key_bits=30)
+        assert np.array_equal(psa.queries[psa.restore], queries)
+        assert np.array_equal(queries[psa.order], psa.queries)
+
+    def test_grouped_by_top_bits(self, queries):
+        bits = 10
+        psa = prepare_batch(queries, bits=bits, key_bits=30)
+        tops = psa.queries >> (30 - bits)
+        assert np.all(np.diff(tops) >= 0)
+
+    def test_stability_within_groups(self):
+        # Equal top bits keep arrival order (Figure 6c semantics).  Use a
+        # digit-aligned split (top 8 of 16 bits) since partial sorts round
+        # to whole radix digits.
+        top = 1 << 8
+        q = np.array(
+            [5 * top + 1, 5 * top + 0, 1 * top + 3, 5 * top + 2], dtype=np.int64
+        )
+        psa = prepare_batch(q, bits=8, key_bits=16)
+        assert psa.queries.tolist() == [
+            1 * top + 3, 5 * top + 1, 5 * top + 0, 5 * top + 2
+        ]
+
+    def test_bits_zero_is_identity_order(self, queries):
+        psa = prepare_batch(queries, bits=0)
+        assert np.array_equal(psa.queries, queries)
+        assert psa.sort_passes == 0
+        assert psa.sort_cost == 0.0
+
+    def test_tree_size_path_uses_equation2(self, queries):
+        psa = prepare_batch(queries, tree_size=2**23, key_bits=30)
+        # N = 19 -> 3 radix passes at 8-bit digits.
+        assert psa.sort_passes == 3
+
+    def test_bits_and_tree_size_exclusive(self, queries):
+        with pytest.raises(ConfigError):
+            prepare_batch(queries, bits=4, tree_size=100)
+
+    def test_neither_given(self, queries):
+        with pytest.raises(ConfigError):
+            prepare_batch(queries)
+
+    def test_bits_out_of_range(self, queries):
+        with pytest.raises(ConfigError):
+            prepare_batch(queries, bits=99)
+
+    def test_empty_batch(self):
+        psa = prepare_batch(np.array([], dtype=np.int64), bits=8)
+        assert psa.n == 0
+        assert psa.restore.size == 0
+
+
+class TestConvenienceBatches:
+    def test_identity(self, rng):
+        q = rng.integers(0, 100, size=50)
+        psa = identity_batch(q)
+        assert np.array_equal(psa.queries, q)
+        assert psa.sort_cost == 0.0
+
+    def test_fully_sorted(self, rng):
+        q = rng.integers(0, 1 << 40, size=500)
+        psa = fully_sorted_batch(q)
+        assert np.all(np.diff(psa.queries) >= 0)
+        assert psa.sort_passes == 8  # 64 bits / 8-bit digits
+
+    def test_fully_sorted_restore(self, rng):
+        q = rng.integers(0, 1 << 40, size=500)
+        psa = fully_sorted_batch(q)
+        assert np.array_equal(psa.queries[psa.restore], q)
+
+
+class TestCostModel:
+    def test_paper_35_percent(self):
+        # 19 of 64 bits => 3/8 passes = 0.375 ≈ "about 35%".
+        assert sort_cost_ratio(19) == pytest.approx(0.375)
+
+    def test_zero_and_full(self):
+        assert sort_cost_ratio(0) == 0.0
+        assert sort_cost_ratio(64) == 1.0
+
+    def test_monotone_in_bits(self):
+        ratios = [sort_cost_ratio(b) for b in range(0, 65, 8)]
+        assert ratios == sorted(ratios)

@@ -1,0 +1,87 @@
+"""Tests for range queries over the Harmonia layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import range_search, range_search_batch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    keys = np.arange(0, 10_000, 3, dtype=np.int64)  # 0,3,6,...
+    layout = HarmoniaLayout.from_sorted(keys, values=keys * 2, fanout=8, fill=0.6)
+    return layout, keys
+
+
+class TestRangeSearch:
+    def test_inclusive_both_ends(self, setup):
+        layout, keys = setup
+        k, v = range_search(layout, 3, 12)
+        assert k.tolist() == [3, 6, 9, 12]
+        assert v.tolist() == [6, 12, 18, 24]
+
+    def test_bounds_between_keys(self, setup):
+        layout, _ = setup
+        k, _ = range_search(layout, 4, 11)
+        assert k.tolist() == [6, 9]
+
+    def test_full_span(self, setup):
+        layout, keys = setup
+        k, v = range_search(layout, -5, 10**6)
+        assert np.array_equal(k, keys)
+        assert np.array_equal(v, keys * 2)
+
+    def test_empty_window(self, setup):
+        layout, _ = setup
+        k, v = range_search(layout, 4, 5)
+        assert k.size == 0 and v.size == 0
+
+    def test_inverted(self, setup):
+        layout, _ = setup
+        k, v = range_search(layout, 10, 5)
+        assert k.size == 0
+
+    def test_single_key_window(self, setup):
+        layout, _ = setup
+        k, v = range_search(layout, 9, 9)
+        assert k.tolist() == [9] and v.tolist() == [18]
+
+    def test_crosses_many_leaves(self, setup):
+        layout, keys = setup
+        lo, hi = int(keys[100]), int(keys[800])
+        k, _ = range_search(layout, lo, hi)
+        assert np.array_equal(k, keys[100:801])
+
+    def test_matches_bruteforce(self, setup, rng):
+        layout, keys = setup
+        for _ in range(25):
+            lo, hi = sorted(rng.integers(0, 10_100, size=2).tolist())
+            k, v = range_search(layout, lo, hi)
+            ref = keys[(keys >= lo) & (keys <= hi)]
+            assert np.array_equal(k, ref)
+            assert np.array_equal(v, ref * 2)
+
+    def test_padding_never_leaks(self, rng):
+        # Half-full leaves put KEY_MAX padding inside the scan window.
+        keys = np.sort(rng.choice(1 << 20, 4_000, replace=False)).astype(np.int64)
+        layout = HarmoniaLayout.from_sorted(keys, fanout=16, fill=0.5)
+        k, _ = range_search(layout, int(keys[10]), int(keys[-10]))
+        assert np.array_equal(k, keys[10:-9])
+
+
+class TestRangeBatch:
+    def test_batch_matches_single(self, setup):
+        layout, keys = setup
+        los = [0, 100, 5_000]
+        his = [30, 200, 5_100]
+        batch = range_search_batch(layout, los, his)
+        for (bk, bv), lo, hi in zip(batch, los, his):
+            sk, sv = range_search(layout, lo, hi)
+            assert np.array_equal(bk, sk)
+            assert np.array_equal(bv, sv)
+
+    def test_misaligned_bounds_rejected(self, setup):
+        layout, _ = setup
+        with pytest.raises(ValueError):
+            range_search_batch(layout, [1, 2], [3])

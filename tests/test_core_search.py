@@ -1,0 +1,115 @@
+"""Tests for Harmonia traversal and batch search."""
+
+import numpy as np
+import pytest
+
+from repro.constants import NOT_FOUND
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import (
+    range_search,
+    search_batch,
+    search_scalar,
+    traverse_batch,
+)
+
+
+class TestScalarSearch:
+    def test_hits(self, small_layout, small_keys):
+        for k in small_keys[[0, 1, len(small_keys) // 2, -1]]:
+            assert search_scalar(small_layout, int(k)) == int(k)
+
+    def test_misses(self, small_layout, small_keys):
+        missing = int(small_keys[-1]) + 1
+        assert search_scalar(small_layout, missing) is None
+        assert search_scalar(small_layout, -1) is None
+
+    def test_between_keys(self, small_layout, small_keys):
+        gaps = np.setdiff1d(small_keys[:-1] + 1, small_keys)
+        if gaps.size:
+            assert search_scalar(small_layout, int(gaps[0])) is None
+
+
+class TestBatchSearch:
+    def test_matches_scalar_oracle(self, small_layout, rng):
+        top = int(small_layout.max_key()) + 10
+        q = rng.integers(0, top, size=2_000)
+        batch = search_batch(small_layout, q)
+        for i in rng.choice(q.size, 200, replace=False):
+            scalar = search_scalar(small_layout, int(q[i]))
+            if scalar is None:
+                assert batch[i] == NOT_FOUND
+            else:
+                assert batch[i] == scalar
+
+    def test_empty_batch(self, small_layout):
+        out = search_batch(small_layout, np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_all_hits(self, medium_layout, medium_keys, rng):
+        q = rng.choice(medium_keys, 5_000)
+        out = search_batch(medium_layout, q)
+        assert np.array_equal(out, q)  # default values == keys
+
+    def test_all_misses(self, medium_layout, medium_keys):
+        q = medium_keys[:1000] + 1
+        q = np.setdiff1d(q, medium_keys)
+        out = search_batch(medium_layout, q)
+        assert np.all(out == NOT_FOUND)
+
+    def test_duplicated_queries(self, small_layout, small_keys):
+        k = int(small_keys[3])
+        out = search_batch(small_layout, np.full(64, k))
+        assert np.all(out == k)
+
+    @pytest.mark.parametrize("fanout,fill", [(4, 1.0), (8, 0.5), (64, 0.7), (128, 1.0)])
+    def test_fanout_fill_grid(self, fanout, fill, rng):
+        keys = np.sort(rng.choice(1 << 24, 5_000, replace=False)).astype(np.int64)
+        layout = HarmoniaLayout.from_sorted(keys, fanout=fanout, fill=fill)
+        q = np.concatenate([rng.choice(keys, 500), rng.integers(0, 1 << 24, 500)])
+        out = search_batch(layout, q)
+        inset = np.isin(q, keys)
+        assert np.array_equal(out[inset], q[inset])
+        assert np.all(out[~inset] == NOT_FOUND)
+
+
+class TestTraverseBatch:
+    def test_shapes(self, small_layout, small_keys):
+        q = small_keys[:50]
+        tr = traverse_batch(small_layout, q)
+        h = small_layout.height
+        assert tr.node_idx.shape == (h, 50)
+        assert tr.child_slot.shape == (h, 50)
+        assert tr.comparisons.shape == (h, 50)
+        assert tr.found.shape == (50,)
+        assert tr.height == h and tr.n_queries == 50
+
+    def test_starts_at_root(self, small_layout, small_keys):
+        tr = traverse_batch(small_layout, small_keys[:10])
+        assert np.all(tr.node_idx[0] == 0)
+
+    def test_ends_at_leaves(self, small_layout, small_keys):
+        tr = traverse_batch(small_layout, small_keys[:10])
+        assert np.all(tr.node_idx[-1] >= small_layout.leaf_start)
+
+    def test_path_follows_equation1(self, small_layout, small_keys):
+        tr = traverse_batch(small_layout, small_keys[:20])
+        for lvl in range(small_layout.height - 1):
+            expect = (
+                small_layout.prefix_sum[tr.node_idx[lvl]] + tr.child_slot[lvl]
+            )
+            assert np.array_equal(tr.node_idx[lvl + 1], expect)
+
+    def test_found_flags_and_values(self, small_layout, small_keys):
+        q = np.concatenate([small_keys[:10], small_keys[:10] + 1])
+        q = q[np.isin(q, small_keys) | ~np.isin(q, small_keys)]
+        tr = traverse_batch(small_layout, q)
+        hits = np.isin(q, small_keys)
+        assert np.array_equal(tr.found, hits)
+        assert np.all(tr.values[hits] == q[hits])
+        assert np.all(tr.values[~hits] == NOT_FOUND)
+
+    def test_comparisons_positive_and_bounded(self, medium_layout, medium_keys, rng):
+        q = rng.choice(medium_keys, 500)
+        tr = traverse_batch(medium_layout, q)
+        assert tr.comparisons.min() >= 1
+        assert tr.comparisons.max() <= medium_layout.slots

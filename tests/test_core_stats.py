@@ -1,0 +1,66 @@
+"""Tests for layout statistics/introspection."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.stats import (
+    expected_sequential_comparisons,
+    layout_stats,
+    theoretical_memory_per_query,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    keys = np.arange(0, 60_000, 3, dtype=np.int64)
+    return HarmoniaLayout.from_sorted(keys, fanout=16, fill=0.7)
+
+
+class TestLayoutStats:
+    def test_totals_consistent(self, layout):
+        st = layout_stats(layout)
+        assert st.n_nodes == layout.n_nodes
+        assert st.n_leaves == layout.n_leaves
+        assert st.n_keys == layout.n_keys
+        assert sum(l.n_nodes for l in st.levels) == st.n_nodes
+
+    def test_occupancy_near_fill(self, layout):
+        st = layout_stats(layout)
+        assert 0.6 <= st.mean_leaf_occupancy <= 0.8
+
+    def test_level_key_bytes(self, layout):
+        st = layout_stats(layout)
+        assert st.levels[0].n_nodes == 1  # root
+        total = sum(l.key_bytes for l in st.levels)
+        assert total == st.key_region_bytes
+
+    def test_const_residency(self, layout):
+        st = layout_stats(layout)
+        # A 20k-key tree's child region is < 64KB: fully resident.
+        assert st.fits_constant_memory()
+        assert st.const_resident_levels() == layout.height
+        # With a tiny 64-byte budget only the top levels fit.
+        tiny = st.const_resident_levels(const_bytes=64)
+        assert 0 < tiny < layout.height
+
+    def test_to_dict_keys(self, layout):
+        d = layout_stats(layout).to_dict()
+        for k in ("fanout", "height", "n_keys", "key_region_mb",
+                  "mean_leaf_occupancy"):
+            assert k in d
+
+
+class TestModels:
+    def test_expected_comparisons_matches_measurement(self, layout, rng):
+        from repro.core.search import traverse_batch
+
+        q = rng.choice(layout.all_keys(), 4_000)
+        measured = traverse_batch(layout, q).comparisons.mean()
+        model = expected_sequential_comparisons(layout)
+        assert model == pytest.approx(measured, rel=0.25)
+
+    def test_pointer_layout_moves_more_bytes(self, layout):
+        t = theoretical_memory_per_query(layout)
+        assert t["pointer_bytes"] > t["harmonia_bytes"]
+        assert t["levels"] == layout.height

@@ -1,0 +1,196 @@
+"""Tests for the batch-update machinery (§3.2.2): in-place edits,
+auxiliary nodes, and the movement pass."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KEY_MAX, NOT_FOUND
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import search_batch, search_scalar
+from repro.core.update import (
+    AuxiliaryNode,
+    BatchUpdater,
+    Operation,
+)
+from repro.errors import ConfigError
+
+
+def layout_of(keys, fanout=8, fill=0.8):
+    return HarmoniaLayout.from_sorted(np.asarray(keys, dtype=np.int64),
+                                      fanout=fanout, fill=fill)
+
+
+class TestOperation:
+    def test_valid(self):
+        Operation("insert", 1, 2)
+        Operation("update", 1, 2)
+        Operation("delete", 1)
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigError):
+            Operation("upsert", 1, 2)
+
+    def test_sentinel_key_rejected(self):
+        with pytest.raises(Exception):
+            Operation("insert", KEY_MAX, 0)
+
+
+class TestAuxiliaryNode:
+    def test_from_row_skips_padding(self):
+        row = np.array([1, 5, KEY_MAX, KEY_MAX], dtype=np.int64)
+        vals = np.array([10, 50, NOT_FOUND, NOT_FOUND], dtype=np.int64)
+        aux = AuxiliaryNode.from_row(row, vals)
+        assert aux.keys == [1, 5] and aux.values == [10, 50]
+
+    def test_insert_sorted(self):
+        aux = AuxiliaryNode(keys=[1, 5], values=[10, 50])
+        assert aux.insert(3, 30)
+        assert aux.keys == [1, 3, 5]
+
+    def test_insert_duplicate(self):
+        aux = AuxiliaryNode(keys=[1], values=[10])
+        assert not aux.insert(1, 99)
+        assert aux.values == [10]
+
+    def test_update_delete_find(self):
+        aux = AuxiliaryNode(keys=[1, 2], values=[10, 20])
+        assert aux.update(2, 22)
+        assert aux.find(2) == 22
+        assert aux.delete(1)
+        assert aux.find(1) is None
+        assert not aux.delete(1)
+
+
+class TestInPlaceOps:
+    def test_update_in_place(self):
+        layout = layout_of(range(0, 100, 2))
+        up = BatchUpdater(layout, fill=0.8)
+        up.apply_op(Operation("update", 10, 999))
+        assert search_scalar(layout, 10) == 999
+        assert up.result.updated == 1
+        assert not up.aux
+
+    def test_update_missing_fails(self):
+        layout = layout_of(range(0, 100, 2))
+        up = BatchUpdater(layout, fill=0.8)
+        up.apply_op(Operation("update", 11, 999))
+        assert up.result.failed == 1
+
+    def test_insert_into_free_slot(self):
+        layout = layout_of(range(0, 100, 2), fill=0.5)  # room in leaves
+        up = BatchUpdater(layout, fill=0.5)
+        up.apply_op(Operation("insert", 11, 111))
+        assert up.result.inserted == 1
+        assert search_scalar(layout, 11) == 111
+        assert not up.aux  # no split needed
+
+    def test_insert_duplicate_fails(self):
+        layout = layout_of(range(0, 100, 2), fill=0.5)
+        up = BatchUpdater(layout, fill=0.5)
+        up.apply_op(Operation("insert", 10, 1))
+        assert up.result.failed == 1
+
+    def test_delete_in_place(self):
+        layout = layout_of(range(0, 200, 2), fill=1.0)  # full leaves
+        up = BatchUpdater(layout, fill=1.0)
+        up.apply_op(Operation("delete", 10))
+        assert up.result.deleted == 1
+        assert search_scalar(layout, 10) is None
+
+
+class TestStructuralOps:
+    def test_insert_into_full_leaf_stages_aux(self):
+        layout = layout_of(range(0, 100, 2), fill=1.0)
+        up = BatchUpdater(layout, fill=1.0)
+        up.apply_op(Operation("insert", 11, 111))
+        assert up.result.inserted == 1
+        assert up.result.split_leaves == 1
+        assert len(up.aux) == 1
+        # The key region itself is untouched until movement.
+        assert search_scalar(layout, 11) is None
+
+    def test_ops_on_aux_leaf_redirect(self):
+        layout = layout_of(range(0, 100, 2), fill=1.0)
+        up = BatchUpdater(layout, fill=1.0)
+        up.apply_op(Operation("insert", 11, 111))
+        leaf = next(iter(up.aux))
+        # A later update to a key in that leaf must hit the aux node.
+        target = up.aux[leaf].keys[0]
+        up.apply_op(Operation("update", int(target), 4242))
+        assert up.aux[leaf].find(int(target)) == 4242
+
+    def test_delete_below_min_goes_structural(self):
+        layout = layout_of(range(0, 40, 2), fanout=8, fill=0.5)
+        up = BatchUpdater(layout, fill=0.5)
+        # Leaves at fill 0.5 hold ~the minimum; deleting twice from one leaf
+        # must escalate to the structural path.
+        row = layout.key_region[layout.leaf_start]
+        victims = row[row != KEY_MAX][:2]
+        for v in victims:
+            up.apply_op(Operation("delete", int(v)))
+        assert up.result.deleted == 2
+        assert up.result.split_leaves >= 1  # aux was created
+
+
+class TestMovement:
+    def test_noop_batch_keeps_layout_equal(self):
+        layout = layout_of(range(0, 100, 2))
+        up = BatchUpdater(layout, fill=0.8)
+        new = up.movement()
+        new.check_invariants()
+        assert np.array_equal(new.all_keys(), layout.all_keys())
+
+    def test_split_materializes(self):
+        layout = layout_of(range(0, 100, 2), fill=1.0)
+        up = BatchUpdater(layout, fill=1.0)
+        up.apply_op(Operation("insert", 11, 111))
+        new = up.movement()
+        new.check_invariants()
+        assert search_scalar(new, 11) == 111
+        assert new.n_keys == layout.n_keys + 1
+
+    def test_mass_inserts_grow_height_legally(self):
+        layout = layout_of(range(0, 2_000, 2), fanout=8, fill=1.0)
+        up = BatchUpdater(layout, fill=1.0)
+        for k in range(1, 2_000, 2):
+            up.apply_op(Operation("insert", k, k))
+        new = up.movement()
+        new.check_invariants()
+        assert new.n_keys == 2_000
+        out = search_batch(new, np.arange(2_000))
+        assert np.array_equal(out, np.where(np.arange(2000) % 2 == 0,
+                                            np.arange(2000), np.arange(2000)))
+
+    def test_mass_deletes_shrink(self):
+        layout = layout_of(range(1_000), fanout=8, fill=0.8)
+        up = BatchUpdater(layout, fill=0.8)
+        for k in range(0, 1_000, 2):
+            up.apply_op(Operation("delete", k))
+        new = up.movement()
+        new.check_invariants()
+        assert new.n_keys == 500
+        assert search_scalar(new, 0) is None
+        assert search_scalar(new, 1) == 1
+
+    def test_delete_everything_returns_none(self):
+        layout = layout_of(range(10), fanout=8)
+        up = BatchUpdater(layout, fill=1.0)
+        for k in range(10):
+            up.apply_op(Operation("delete", k))
+        assert up.movement() is None
+
+    def test_clean_rows_reused_verbatim(self):
+        layout = layout_of(range(0, 10_000, 2), fanout=16, fill=0.7)
+        up = BatchUpdater(layout, fill=0.7)
+        up.apply_op(Operation("update", 0, 42))  # in-place, leaf 0 stays clean
+        new = up.movement()
+        assert up.result.moved_clean > 0
+        assert search_scalar(new, 0) == 42
+
+    def test_movement_counts_add_up(self):
+        layout = layout_of(range(0, 1_000, 2), fanout=8, fill=1.0)
+        up = BatchUpdater(layout, fill=1.0)
+        for k in range(1, 200, 2):
+            up.apply_op(Operation("insert", k, k))
+        new = up.movement()
+        assert up.result.moved_clean + up.result.rebuilt_dirty == new.n_leaves

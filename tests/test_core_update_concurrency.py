@@ -1,0 +1,154 @@
+"""Concurrency tests for Algorithm 1 (two-grained locking).
+
+These run real threads against the protocol: the mutual-exclusion
+guarantees must hold under the GIL's arbitrary interleavings.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import search_batch
+from repro.core.update import BatchUpdater, Operation, TwoGrainedLocks
+
+
+class TestTwoGrainedLocks:
+    def test_fine_ops_run_concurrently_on_distinct_leaves(self):
+        locks = TwoGrainedLocks()
+        inside = []
+        barrier = threading.Barrier(2, timeout=5)
+
+        def body():
+            inside.append(threading.get_ident())
+            barrier.wait()  # both fine ops must be inside simultaneously
+
+        threads = [
+            threading.Thread(target=locks.fine_op, args=(i, body))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 2
+        assert locks.global_count == 0
+
+    def test_fine_ops_serialize_on_same_leaf(self):
+        locks = TwoGrainedLocks()
+        active = []
+        overlap = []
+
+        def body():
+            active.append(1)
+            if len(active) > 1:
+                overlap.append(True)
+            time.sleep(0.01)
+            active.pop()
+
+        threads = [
+            threading.Thread(target=locks.fine_op, args=(7, body))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not overlap
+
+    def test_coarse_waits_for_fine_drain(self):
+        locks = TwoGrainedLocks()
+        order = []
+        release = threading.Event()
+
+        def slow_fine():
+            order.append("fine-start")
+            release.wait(timeout=5)
+            order.append("fine-end")
+
+        def structural():
+            order.append("coarse")
+
+        t1 = threading.Thread(target=locks.fine_op, args=(1, slow_fine))
+        t1.start()
+        time.sleep(0.05)  # let the fine op take the counter
+        t2 = threading.Thread(target=locks.coarse_op, args=(structural,))
+        t2.start()
+        time.sleep(0.05)
+        assert "coarse" not in order  # must be spinning
+        release.set()
+        t1.join(timeout=5)
+        t2.join(timeout=5)
+        assert order == ["fine-start", "fine-end", "coarse"]
+
+    def test_counter_returns_to_zero_after_exception(self):
+        locks = TwoGrainedLocks()
+
+        def boom():
+            raise RuntimeError("op failed")
+
+        with pytest.raises(RuntimeError):
+            locks.fine_op(1, boom)
+        assert locks.global_count == 0
+        # Coarse path must not be blocked afterwards.
+        done = []
+        locks.coarse_op(lambda: done.append(1))
+        assert done == [1]
+
+    def test_fine_lock_reused_per_leaf(self):
+        locks = TwoGrainedLocks()
+        assert locks.fine_lock_for(3) is locks.fine_lock_for(3)
+        assert locks.fine_lock_for(3) is not locks.fine_lock_for(4)
+
+
+class TestConcurrentBatches:
+    @pytest.mark.parametrize("n_threads", [1, 2, 8])
+    def test_parallel_batch_equals_reference(self, n_threads):
+        rng = np.random.default_rng(99)
+        base = np.arange(0, 40_000, 4, dtype=np.int64)
+        layout = HarmoniaLayout.from_sorted(base, fanout=16, fill=0.7)
+        up = BatchUpdater(layout, fill=0.7)
+
+        # Disjoint key sets per op kind so results are order-independent.
+        inserts = rng.choice(np.arange(1, 40_000, 4), 3_000, replace=False)
+        updates = rng.choice(base[: base.size // 2], 2_000, replace=False)
+        deletes = rng.choice(base[base.size // 2 :], 1_000, replace=False)
+        ops = (
+            [Operation("insert", int(k), int(k) * 2) for k in inserts]
+            + [Operation("update", int(k), -1) for k in updates]
+            + [Operation("delete", int(k)) for k in deletes]
+        )
+        rng.shuffle(ops)
+        up.apply_batch(ops, n_threads=n_threads)
+        new = up.movement()
+        new.check_invariants()
+
+        assert up.result.inserted == 3_000
+        assert up.result.updated == 2_000
+        assert up.result.deleted == 1_000
+        assert up.result.failed == 0
+        assert new.n_keys == base.size + 3_000 - 1_000
+
+        got = search_batch(new, inserts)
+        assert np.array_equal(got, inserts * 2)
+        got = search_batch(new, updates)
+        assert np.all(got == -1)
+        from repro.constants import NOT_FOUND
+
+        got = search_batch(new, deletes)
+        assert np.all(got == NOT_FOUND)
+
+    def test_contended_single_leaf(self):
+        # Hammer one leaf from many threads: all inserts must land.
+        layout = HarmoniaLayout.from_sorted(
+            np.arange(0, 4_000, 40, dtype=np.int64), fanout=64, fill=0.9
+        )
+        up = BatchUpdater(layout, fill=0.9)
+        ops = [Operation("insert", k, k) for k in range(1, 39)]  # one leaf
+        up.apply_batch(ops, n_threads=8)
+        new = up.movement()
+        new.check_invariants()
+        got = search_batch(new, np.arange(1, 39))
+        assert np.array_equal(got, np.arange(1, 39))

@@ -1,0 +1,78 @@
+"""Smoke-run every figure experiment and check its shape criteria.
+
+These are the repository's acceptance tests: each paper figure must
+regenerate with the right qualitative shape at the smoke scale.
+"""
+
+import importlib
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, geomean, resolve_scale
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+class TestCommon:
+    def test_table_rendering(self):
+        r = ExperimentResult(experiment="x", title="t", scale="smoke")
+        r.add_row(a=1, b="y")
+        r.add_row(a=22, c=3.5)
+        table = r.to_table()
+        assert "| a " in table and "22" in table and "3.5" in table
+        assert r.columns() == ["a", "b", "c"]
+
+    def test_render_includes_reference_and_notes(self):
+        r = ExperimentResult(
+            experiment="figx", title="t", scale="smoke",
+            paper_reference={"speedup": "3.4x"},
+        )
+        r.add_row(a=1)
+        r.note("hello")
+        text = r.render()
+        assert "3.4x" in text and "hello" in text
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_resolve_scale(self):
+        assert resolve_scale("smoke").name == "smoke"
+        sc = resolve_scale(resolve_scale("default"))
+        assert sc.name == "default"
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_shape(name):
+    """Every experiment regenerates with the paper's qualitative shape."""
+    module = importlib.import_module(EXPERIMENTS[name])
+    result = module.run(scale="smoke", seed=0)
+    assert result.rows, f"{name} produced no rows"
+    assert module.shape_ok(result), (
+        f"{name} failed its shape criteria:\n{result.render()}"
+    )
+
+
+def test_runner_batch():
+    out = run_experiments(["fig02", "fig03"], scale="smoke", seed=0)
+    assert len(out) == 2
+    for name, result, ok, elapsed in out:
+        assert ok
+        assert elapsed >= 0
+        assert result.experiment == name
+
+
+def test_runner_cli(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    report = tmp_path / "report.md"
+    code = main(["--scale", "smoke", "--only", "fig03", "--out", str(report)])
+    assert code == 0
+    assert report.exists()
+    assert "fig03" in report.read_text()
+
+
+def test_runner_rejects_unknown():
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["--only", "fig99"])

@@ -1,0 +1,64 @@
+"""Tests for coalescing arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.coalesce import (
+    INACTIVE,
+    align_up,
+    span_line_range,
+    transactions_per_warp,
+)
+
+
+class TestTransactionsPerWarp:
+    def test_fully_coalesced(self):
+        lines = np.full((3, 32), 7, dtype=np.int64)
+        assert transactions_per_warp(lines).tolist() == [1, 1, 1]
+
+    def test_fully_divergent(self):
+        lines = np.arange(32, dtype=np.int64)[None, :]
+        assert transactions_per_warp(lines).tolist() == [32]
+
+    def test_mixed(self):
+        row = np.array([1, 1, 2, 2, 9, 9, 9, 3], dtype=np.int64)[None, :]
+        assert transactions_per_warp(row).tolist() == [4]
+
+    def test_inactive_lanes_ignored(self):
+        row = np.array([5, INACTIVE, 5, INACTIVE], dtype=np.int64)[None, :]
+        assert transactions_per_warp(row).tolist() == [1]
+
+    def test_all_inactive(self):
+        row = np.full((2, 8), INACTIVE, dtype=np.int64)
+        assert transactions_per_warp(row).tolist() == [0, 0]
+
+    def test_unsorted_input_ok(self):
+        row = np.array([9, 1, 9, 1, 5], dtype=np.int64)[None, :]
+        assert transactions_per_warp(row).tolist() == [3]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            transactions_per_warp(np.array([1, 2, 3], dtype=np.int64))
+
+
+class TestSpanLineRange:
+    def test_within_one_line(self):
+        first, last = span_line_range(np.array([0]), 64, 128)
+        assert first.tolist() == [0] and last.tolist() == [0]
+
+    def test_straddles(self):
+        first, last = span_line_range(np.array([100]), 64, 128)
+        assert first.tolist() == [0] and last.tolist() == [1]
+
+    def test_exact_boundary(self):
+        first, last = span_line_range(np.array([128]), 128, 128)
+        assert first.tolist() == [1] and last.tolist() == [1]
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "value,alignment,expect",
+        [(0, 128, 0), (1, 128, 128), (128, 128, 128), (129, 128, 256), (504, 128, 512)],
+    )
+    def test_values(self, value, alignment, expect):
+        assert align_up(value, alignment) == expect

@@ -1,0 +1,46 @@
+"""Tests for device specs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.device import DeviceSpec, TESLA_K80, TITAN_V
+
+
+class TestPresets:
+    def test_titan_v_datasheet(self):
+        assert TITAN_V.warp_size == 32
+        assert TITAN_V.n_sms == 80
+        assert TITAN_V.cache_line_bytes == 128
+        assert TITAN_V.const_mem_bytes == 64 * 1024
+
+    def test_k80_weaker(self):
+        assert TESLA_K80.n_sms < TITAN_V.n_sms
+        assert TESLA_K80.dram_bandwidth_gbs < TITAN_V.dram_bandwidth_gbs
+
+    def test_keys_per_cacheline(self):
+        # K = 16 in the paper's Equation 2 example (128B line / 8B key).
+        assert TITAN_V.keys_per_cacheline == 16
+
+    def test_bytes_per_cycle(self):
+        assert TITAN_V.dram_bytes_per_cycle() == pytest.approx(
+            TITAN_V.dram_bandwidth_gbs / TITAN_V.clock_ghz
+        )
+        assert TITAN_V.l2_bytes_per_cycle() > TITAN_V.dram_bytes_per_cycle()
+
+
+class TestValidation:
+    def test_bad_warp(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec(name="x", warp_size=33)
+
+    def test_bad_line(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec(name="x", cache_line_bytes=100)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec(name="x", dram_bandwidth_gbs=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TITAN_V.n_sms = 1

@@ -1,0 +1,94 @@
+"""Tests for the event-driven SM simulator and its roofline validation."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import TITAN_V
+from repro.gpusim.eventsim import (
+    WarpTask,
+    analytical_bounds,
+    simulate_sm,
+    validate_roofline,
+    warp_tasks_from_metrics,
+)
+
+
+def task(*segments):
+    return WarpTask(segments=tuple(segments))
+
+
+class TestSimulateSM:
+    def test_empty(self):
+        assert simulate_sm([]) == 0.0
+
+    def test_single_warp_is_critical_path(self):
+        t = task((10.0, 100.0), (5.0, 50.0))
+        assert simulate_sm([t]) == 165.0
+
+    def test_compute_only_serializes(self):
+        tasks = [task((10.0, 0.0))] * 4
+        assert simulate_sm(tasks) == 40.0
+
+    def test_memory_overlaps(self):
+        # Two warps: second computes while the first waits on memory.
+        tasks = [task((10.0, 100.0))] * 2
+        assert simulate_sm(tasks) == 120.0  # 10 + 10 compute, overlap waits
+
+    def test_perfect_hiding_hits_issue_bound(self):
+        # Many warps, short memory: the SM never starves.
+        tasks = [task((10.0, 20.0), (10.0, 20.0))] * 16
+        sim = simulate_sm(tasks)
+        bounds = analytical_bounds(tasks)
+        assert sim == pytest.approx(bounds["issue"], rel=0.2)
+
+    def test_latency_bound_with_one_warp(self):
+        tasks = [task((1.0, 500.0), (1.0, 500.0))]
+        sim = simulate_sm(tasks)
+        assert sim == pytest.approx(analytical_bounds(tasks)["critical_path"])
+
+    def test_sim_never_below_bounds(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            tasks = [
+                task(*[(float(rng.integers(1, 20)), float(rng.integers(0, 300)))
+                       for _ in range(rng.integers(1, 5))])
+                for _ in range(rng.integers(1, 24))
+            ]
+            sim = simulate_sm(tasks)
+            bounds = analytical_bounds(tasks)
+            assert sim >= max(bounds.values()) - 1e-9
+
+
+class TestFromMetrics:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        from repro.core.layout import HarmoniaLayout
+        from repro.gpusim.kernels import simulate_harmonia_search
+
+        rng = np.random.default_rng(8)
+        keys = np.sort(rng.choice(1 << 28, 30_000, replace=False)).astype(np.int64)
+        layout = HarmoniaLayout.from_sorted(keys, fanout=64, fill=0.7)
+        q = rng.choice(keys, 4_096)
+        return simulate_harmonia_search(layout, q, 8)
+
+    def test_task_shape(self, metrics):
+        tasks = warp_tasks_from_metrics(metrics)
+        assert len(tasks) == TITAN_V.resident_warps_per_sm
+        assert len(tasks[0].segments) == metrics.height
+        assert tasks[0].compute_cycles > 0
+
+    def test_validation_report(self, metrics):
+        report = validate_roofline(metrics)
+        assert report["simulated"] >= max(
+            report["issue"], report["critical_path"]
+        ) - 1e-9
+        # With a full resident complement, hiding is good: the closed-form
+        # max-bound is within ~2x of the simulated makespan.
+        assert 1.0 <= report["hiding_factor"] < 2.0
+
+    def test_empty_metrics(self):
+        from repro.gpusim.metrics import KernelMetrics
+
+        m = KernelMetrics(n_queries=0, n_warps=0, group_size=8, height=3)
+        assert warp_tasks_from_metrics(m) == []
+        assert validate_roofline(m)["simulated"] == 0.0

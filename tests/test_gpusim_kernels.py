@@ -1,0 +1,168 @@
+"""Tests for the SIMT kernel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.psa import prepare_batch
+from repro.gpusim.device import TITAN_V
+from repro.gpusim.kernels import (
+    AddressModel,
+    SimConfig,
+    make_address_model,
+    simulate_harmonia_search,
+    simulate_hbtree_search,
+    simulate_search,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def layout():
+    rng = np.random.default_rng(21)
+    keys = np.sort(rng.choice(1 << 30, 30_000, replace=False)).astype(np.int64)
+    return HarmoniaLayout.from_sorted(keys, fanout=64, fill=0.7)
+
+
+@pytest.fixture(scope="module")
+def queries(layout):
+    rng = np.random.default_rng(22)
+    return rng.choice(layout.all_keys(), 4_096)
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        cfg = SimConfig()
+        assert cfg.structure == "harmonia"
+
+    def test_bad_structure(self):
+        with pytest.raises(ConfigError):
+            SimConfig(structure="btree")
+
+    def test_group_too_wide(self):
+        with pytest.raises(ConfigError):
+            SimConfig(group_size=64)
+
+
+class TestAddressModel:
+    def test_harmonia_row_stride_aligned(self, layout):
+        am = make_address_model(layout, SimConfig(structure="harmonia"))
+        assert am.row_stride % TITAN_V.cache_line_bytes == 0
+        assert am.row_stride >= layout.slots * 8
+
+    def test_regular_nodes_fatter(self, layout):
+        ha = make_address_model(layout, SimConfig(structure="harmonia"))
+        hb = make_address_model(layout, SimConfig(structure="regular_pointer"))
+        assert hb.node_stride > ha.node_stride
+
+    def test_unaligned_packs_tight(self, layout):
+        am = make_address_model(
+            layout, SimConfig(structure="harmonia", align_rows=False)
+        )
+        assert am.row_stride == layout.slots * 8
+
+    def test_regions_disjoint(self, layout):
+        am = make_address_model(layout, SimConfig())
+        max_key_byte = am.key_byte(np.array([layout.n_nodes]))[0]
+        assert max_key_byte < am.values_base < am.child_region_base
+
+
+class TestCounters:
+    def test_empty_batch(self, layout):
+        m = simulate_harmonia_search(layout, np.array([], dtype=np.int64), 8)
+        assert m.n_queries == 0 and m.n_warps == 0
+        assert m.gld_transactions == 0
+
+    def test_warp_count(self, layout, queries):
+        m = simulate_harmonia_search(layout, queries, group_size=8)
+        assert m.n_warps == queries.size // (32 // 8)
+
+    def test_key_transactions_positive_every_level(self, layout, queries):
+        m = simulate_harmonia_search(layout, queries, 8)
+        assert np.all(m.key_transactions > 0)
+        assert m.key_transactions.shape == (layout.height,)
+
+    def test_cached_children_no_child_transactions(self, layout, queries):
+        m = simulate_harmonia_search(layout, queries, 8, cached_children=True)
+        assert m.child_transactions.sum() == 0
+        assert m.const_requests > 0
+
+    def test_uncached_children_cost_transactions(self, layout, queries):
+        m = simulate_harmonia_search(layout, queries, 8, cached_children=False)
+        assert m.child_transactions.sum() > 0
+        assert m.const_requests == 0
+
+    def test_hbtree_has_pointer_traffic(self, layout, queries):
+        m = simulate_hbtree_search(layout, queries)
+        assert m.child_transactions.sum() > 0
+        assert m.group_size == 32  # fanout 64 capped at warp
+
+    def test_value_fetch_counted_for_hits(self, layout, queries):
+        m = simulate_harmonia_search(layout, queries, 8)
+        assert m.value_transactions > 0
+        assert m.value_requests > 0
+
+    def test_no_value_fetch_for_misses(self, layout):
+        misses = np.full(256, int(layout.max_key()) + 5, dtype=np.int64)
+        m = simulate_harmonia_search(layout, misses, 8)
+        assert m.value_transactions == 0
+
+    def test_early_exit_reduces_steps(self, layout, queries):
+        fast = simulate_harmonia_search(layout, queries, 8, early_exit=True)
+        slow = simulate_harmonia_search(layout, queries, 8, early_exit=False)
+        assert fast.total_warp_steps < slow.total_warp_steps
+        assert fast.utilization > slow.utilization
+
+    def test_psa_improves_coalescing(self, layout, queries):
+        psa = prepare_batch(queries, bits=20, key_bits=30)
+        plain = simulate_harmonia_search(layout, queries, 4)
+        sorted_ = simulate_harmonia_search(layout, psa.queries, 4)
+        assert sorted_.gld_transactions < plain.gld_transactions
+        assert (
+            sorted_.transactions_per_request < plain.transactions_per_request
+        )
+
+    def test_narrower_groups_fewer_executed_comparisons(self, layout, queries):
+        wide = simulate_harmonia_search(layout, queries, 32, early_exit=True)
+        narrow = simulate_harmonia_search(layout, queries, 4, early_exit=True)
+        assert narrow.executed_comparisons < wide.executed_comparisons
+
+    def test_trace_reuse_matches(self, layout, queries):
+        from repro.core.search import traverse_batch
+
+        trace = traverse_batch(layout, queries)
+        a = simulate_harmonia_search(layout, queries, 8)
+        b = simulate_harmonia_search(layout, queries, 8, trace=trace)
+        assert a.gld_transactions == b.gld_transactions
+        assert a.total_warp_steps == b.total_warp_steps
+
+    def test_locality_annotation_bounds(self, layout, queries):
+        m = simulate_harmonia_search(layout, queries, 8)
+        assert m.dram_transactions is not None
+        assert m.total_dram_transactions <= m.gld_transactions
+        assert m.total_l2_transactions >= 0
+
+    def test_locality_can_be_disabled(self, layout, queries):
+        cfg = SimConfig(group_size=8, model_locality=False)
+        m = simulate_search(layout, queries, cfg)
+        assert m.dram_transactions is None
+        assert m.total_dram_transactions is None
+
+
+class TestFigure2Setup:
+    def test_four_queries_per_warp_at_fanout8(self):
+        rng = np.random.default_rng(5)
+        keys = np.sort(rng.choice(1 << 24, 3_500, replace=False)).astype(np.int64)
+        layout = HarmoniaLayout.from_sorted(keys, fanout=8, fill=1.0)
+        assert layout.height == 4
+        from repro.baselines.gpu_regular import simulate_regular_gpu_search
+
+        q = rng.choice(keys, 2_048)
+        m = simulate_regular_gpu_search(layout, q)
+        assert m.group_size == 8
+        assert m.n_warps == q.size // 4
+        # Root level is always fully coalesced: 1 transaction per warp.
+        assert m.key_transactions[0] == m.n_warps
+        # Lower levels approach 4 distinct nodes per warp.
+        per_warp = m.transactions_per_warp_level()
+        assert per_warp[-1] > 3.5

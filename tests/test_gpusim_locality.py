@@ -1,0 +1,99 @@
+"""Tests for the temporal-locality (DRAM vs L2) model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import TITAN_V, DeviceSpec
+from repro.gpusim.locality import (
+    LevelSpans,
+    choose_block_queries,
+    dram_transactions_per_level,
+    unique_lines_per_block,
+)
+
+
+def spans(start, end, mask=None):
+    return LevelSpans(
+        start=np.asarray(start, dtype=np.int64),
+        end=np.asarray(end, dtype=np.int64),
+        mask=None if mask is None else np.asarray(mask, dtype=bool),
+    )
+
+
+class TestUniqueLinesPerBlock:
+    def test_single_block_dedupes(self):
+        s = spans([0, 0, 4], [1, 1, 4])
+        blocks = np.zeros(3, dtype=np.int64)
+        assert unique_lines_per_block(s, blocks) == 3  # {0,1,4}
+
+    def test_blocks_charge_separately(self):
+        s = spans([0, 0], [0, 0])
+        blocks = np.array([0, 1], dtype=np.int64)
+        assert unique_lines_per_block(s, blocks) == 2
+
+    def test_mask_excludes(self):
+        s = spans([0, 9], [0, 9], mask=[True, False])
+        blocks = np.zeros(2, dtype=np.int64)
+        assert unique_lines_per_block(s, blocks) == 1
+
+    def test_empty(self):
+        s = spans([], [])
+        assert unique_lines_per_block(s, np.zeros(0, dtype=np.int64)) == 0
+
+    def test_range_expansion(self):
+        s = spans([10], [13])
+        blocks = np.zeros(1, dtype=np.int64)
+        assert unique_lines_per_block(s, blocks) == 4
+
+
+class TestChooseBlockQueries:
+    def test_scales_with_l2(self):
+        small = DeviceSpec(name="s", l2_bytes=128 * 100)
+        big = DeviceSpec(name="b", l2_bytes=128 * 10_000)
+        a = choose_block_queries(10_000, 1_000, small)
+        b = choose_block_queries(10_000, 1_000, big)
+        assert b > a
+
+    def test_minimum_one(self):
+        dev = DeviceSpec(name="s", l2_bytes=128)
+        assert choose_block_queries(10**9, 10, dev) >= 1
+
+    def test_zero_queries(self):
+        assert choose_block_queries(0, 0, TITAN_V) == 1
+
+
+class TestDramPerLevel:
+    def test_hot_level_charged_once(self):
+        # 1000 queries all touching line 0: resident -> 1 DRAM miss total.
+        n = 1000
+        s = spans(np.zeros(n), np.zeros(n))
+        out = dram_transactions_per_level([s], n, TITAN_V)
+        assert out.tolist() == [1]
+
+    def test_streaming_counts_unique(self):
+        # Each query touches its own line: misses everywhere (working set
+        # exceeds the resident budget on a tiny device).
+        dev = DeviceSpec(name="mini", l2_bytes=128 * 8)
+        n = 1000
+        s = spans(np.arange(n), np.arange(n))
+        out = dram_transactions_per_level([s], n, dev)
+        assert out[0] == n
+
+    def test_random_vs_sorted_order(self):
+        # Same touched set; sorted order yields fewer modeled misses on a
+        # device whose L2 holds a fraction of it.
+        rng = np.random.default_rng(0)
+        dev = DeviceSpec(name="mini", l2_bytes=128 * 64)
+        lines_sorted = np.repeat(np.arange(500), 4)  # 2000 touches, sorted
+        lines_random = rng.permutation(lines_sorted)
+        s_sorted = spans(lines_sorted, lines_sorted)
+        s_random = spans(lines_random, lines_random)
+        miss_sorted = dram_transactions_per_level([s_sorted], 2000, dev)[0]
+        miss_random = dram_transactions_per_level([s_random], 2000, dev)[0]
+        assert miss_sorted < miss_random
+
+    def test_levels_independent(self):
+        s1 = spans([0, 0], [0, 0])
+        s2 = spans([100, 200], [100, 200])
+        out = dram_transactions_per_level([s1, s2], 2, TITAN_V)
+        assert out.tolist() == [1, 2]

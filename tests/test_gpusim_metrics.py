@@ -1,0 +1,81 @@
+"""Tests for KernelMetrics derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.metrics import KernelMetrics
+
+
+def make_metrics(**overrides):
+    m = KernelMetrics(n_queries=128, n_warps=16, group_size=8, height=3)
+    for k, v in overrides.items():
+        setattr(m, k, v)
+    return m
+
+
+class TestDerived:
+    def test_zero_defaults(self):
+        m = make_metrics()
+        assert m.gld_transactions == 0
+        assert m.gld_requests == 0
+        assert m.transactions_per_request == 0.0
+        assert m.warp_coherence == 1.0
+        assert m.utilization == 1.0
+
+    def test_gld_totals(self):
+        m = make_metrics(
+            key_transactions=np.array([4, 8, 16]),
+            child_transactions=np.array([1, 1, 0]),
+            value_transactions=6,
+        )
+        assert m.gld_transactions == 36
+
+    def test_transactions_per_request(self):
+        m = make_metrics(
+            key_transactions=np.array([10, 0, 0]),
+            requests=np.array([5, 0, 0]),
+        )
+        assert m.transactions_per_request == 2.0
+
+    def test_coherence_counts_memory_replays(self):
+        # Pure compute, fully coherent, but divergent memory: 10 requests
+        # fanning into 30 transactions must pull coherence below 1.
+        m = make_metrics(
+            warp_steps=np.array([10, 0, 0]),
+            coherent_steps=np.array([10, 0, 0]),
+            key_transactions=np.array([30, 0, 0]),
+            requests=np.array([10, 0, 0]),
+        )
+        assert m.warp_coherence == pytest.approx((10 + 10) / (10 + 30))
+
+    def test_coherence_counts_compute_divergence(self):
+        m = make_metrics(
+            warp_steps=np.array([10, 0, 0]),
+            coherent_steps=np.array([5, 0, 0]),
+        )
+        assert m.warp_coherence == pytest.approx(0.5)
+
+    def test_utilization(self):
+        m = make_metrics(useful_comparisons=50, executed_comparisons=200)
+        assert m.utilization == 0.25
+
+    def test_fig2_average(self):
+        m = make_metrics(key_transactions=np.array([16, 48, 64]))
+        per_level = m.transactions_per_warp_level()
+        assert per_level.tolist() == [1.0, 3.0, 4.0]
+        assert m.avg_transactions_per_warp() == pytest.approx(8 / 3)
+
+    def test_dram_split_properties(self):
+        m = make_metrics(
+            key_transactions=np.array([10, 10, 10]),
+            dram_transactions=np.array([1, 2, 3]),
+            value_dram_transactions=2,
+        )
+        assert m.total_dram_transactions == 8
+        assert m.total_l2_transactions == 30 - 8
+
+    def test_summary_keys(self):
+        s = make_metrics().summary()
+        for key in ("queries", "gld_transactions", "warp_coherence",
+                    "utilization", "group_size"):
+            assert key in s

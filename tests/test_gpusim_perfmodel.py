@@ -1,0 +1,151 @@
+"""Tests for the roofline performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.gpusim.device import TITAN_V, DeviceSpec
+from repro.gpusim.kernels import simulate_harmonia_search
+from repro.gpusim.perfmodel import (
+    KernelTime,
+    estimate_kernel_time,
+    estimate_sort_time,
+    l2_resident_levels,
+    modeled_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    rng = np.random.default_rng(31)
+    keys = np.sort(rng.choice(1 << 28, 40_000, replace=False)).astype(np.int64)
+    return HarmoniaLayout.from_sorted(keys, fanout=32, fill=0.7)
+
+
+@pytest.fixture(scope="module")
+def metrics(layout):
+    rng = np.random.default_rng(32)
+    q = rng.choice(layout.all_keys(), 4_096)
+    return simulate_harmonia_search(layout, q, 8)
+
+
+class TestKernelTime:
+    def test_total_is_roofline_plus_launch(self):
+        kt = KernelTime(compute_s=3.0, dram_s=1.0, l2_s=0.5, const_s=0.1,
+                        launch_s=0.2)
+        assert kt.memory_s == pytest.approx(1.6)
+        assert kt.total_s == pytest.approx(3.2)  # max(compute, mem) + launch
+
+    def test_memory_bound_case(self):
+        kt = KernelTime(compute_s=1.0, dram_s=4.0, l2_s=0.0, const_s=0.0,
+                        launch_s=0.0)
+        assert kt.total_s == 4.0
+
+    def test_throughput(self):
+        kt = KernelTime(1.0, 0, 0, 0, 0)
+        assert kt.throughput(1_000) == pytest.approx(1_000.0)
+
+
+class TestResidency:
+    def test_upper_levels_resident(self, layout):
+        res = l2_resident_levels(layout, TITAN_V, row_stride=512)
+        assert res[0]  # root always fits
+        assert res.shape == (layout.height,)
+
+    def test_tiny_l2_evicts_leaves(self, layout):
+        dev = DeviceSpec(name="mini", l2_bytes=4096)
+        res = l2_resident_levels(layout, dev, row_stride=512)
+        assert not res[-1]
+
+
+class TestEstimates:
+    def test_components_positive(self, metrics, layout):
+        kt = estimate_kernel_time(metrics, layout)
+        assert kt.compute_s > 0
+        assert kt.memory_s > 0
+        assert kt.total_s > kt.launch_s
+
+    def test_more_sms_faster_compute(self, metrics, layout):
+        from dataclasses import replace
+
+        fast = replace(TITAN_V, n_sms=160)
+        a = estimate_kernel_time(metrics, layout, TITAN_V)
+        b = estimate_kernel_time(metrics, layout, fast)
+        assert b.compute_s < a.compute_s
+
+    def test_more_bandwidth_faster_memory(self, metrics, layout):
+        from dataclasses import replace
+
+        fat = replace(TITAN_V, dram_bandwidth_gbs=2 * TITAN_V.dram_bandwidth_gbs)
+        a = estimate_kernel_time(metrics, layout, TITAN_V)
+        b = estimate_kernel_time(metrics, layout, fat)
+        assert b.dram_s < a.dram_s
+
+    def test_throughput_includes_sort(self, metrics, layout):
+        base = modeled_throughput(metrics, layout)
+        with_sort = modeled_throughput(metrics, layout, sort_s=1.0)
+        assert with_sort < base
+
+
+class TestLatencyBound:
+    def test_zero_for_empty(self):
+        from repro.gpusim.metrics import KernelMetrics
+        from repro.gpusim.perfmodel import latency_bound_seconds
+
+        m = KernelMetrics(n_queries=0, n_warps=0, group_size=8, height=3)
+        assert latency_bound_seconds(m) == 0.0
+
+    def test_scales_with_warps(self, metrics):
+        from dataclasses import replace as dc_replace
+
+        from repro.gpusim.perfmodel import latency_bound_seconds
+
+        base = latency_bound_seconds(metrics)
+        assert base > 0
+        # Fewer resident warps -> less hiding -> larger bound.
+        starved = dc_replace(TITAN_V, resident_warps_per_sm=4)
+        assert latency_bound_seconds(metrics, starved) > base
+
+    def test_included_in_total_by_default(self, metrics, layout):
+        with_l = estimate_kernel_time(metrics, layout)
+        without = estimate_kernel_time(metrics, layout,
+                                       include_latency_bound=False)
+        assert with_l.latency_s > 0
+        assert without.latency_s == 0.0
+        assert with_l.total_s >= without.total_s
+
+    def test_event_sim_confirms_bound(self, metrics):
+        """The event-driven simulation of one SM's complement must never
+        finish faster than the per-SM share of the latency bound."""
+        from repro.gpusim.eventsim import validate_roofline
+        from repro.gpusim.perfmodel import latency_bound_seconds
+
+        report = validate_roofline(metrics)
+        per_sm_share = (
+            latency_bound_seconds(metrics) * TITAN_V.clock_ghz * 1e9
+            * TITAN_V.n_sms / max(metrics.n_warps / TITAN_V.resident_warps_per_sm, 1)
+        )
+        # The simulated complement covers resident_warps of the batch; its
+        # makespan must be at least one warp's chain (critical path), which
+        # the bound is built from.
+        assert report["simulated"] >= report["critical_path"] - 1e-9
+
+
+class TestSortTime:
+    def test_linear_in_passes_minus_launch(self):
+        a = estimate_sort_time(1 << 20, 1)
+        b = estimate_sort_time(1 << 20, 2)
+        assert b > a
+        # streaming part doubles exactly
+        launch = TITAN_V.launch_overhead_us * 1e-6
+        assert (b - 2 * launch) == pytest.approx(2 * (a - launch))
+
+    def test_zero_cases(self):
+        assert estimate_sort_time(0, 5) == 0.0
+        assert estimate_sort_time(100, 0) == 0.0
+
+    def test_linear_in_n(self):
+        launch = TITAN_V.launch_overhead_us * 1e-6
+        a = estimate_sort_time(1000, 1) - launch
+        b = estimate_sort_time(2000, 1) - launch
+        assert b == pytest.approx(2 * a)

@@ -1,0 +1,62 @@
+"""Tests for the host↔device pipeline model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.device import TITAN_V
+from repro.gpusim.pipeline import (
+    MODES,
+    compare_modes,
+    pipeline_time,
+    transfer_time_s,
+)
+
+
+class TestTransferTime:
+    def test_bandwidth_term(self):
+        base = transfer_time_s(0)
+        one_gb = transfer_time_s(10**9)
+        assert one_gb - base == pytest.approx(1.0 / TITAN_V.pcie_bandwidth_gbs)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            transfer_time_s(-1)
+
+
+class TestPipelineTime:
+    def test_mode_ordering(self):
+        pts = compare_modes(32, 1 << 16, kernel_s=50e-6)
+        assert pts["serial"].total_s >= pts["double_buffer"].total_s
+        assert pts["double_buffer"].total_s >= pts["pipeline"].total_s
+
+    def test_serial_is_sum(self):
+        p = pipeline_time("serial", 4, 1 << 10, kernel_s=1e-3)
+        assert p.total_s == pytest.approx(4 * (p.h2d_s + p.kernel_s + p.d2h_s))
+
+    def test_pipeline_steady_state_is_slowest_stage(self):
+        p = pipeline_time("pipeline", 1_000, 1 << 10, kernel_s=5e-3)
+        # kernel dominates; total ≈ n * kernel for large n.
+        assert p.total_s == pytest.approx(1_000 * 5e-3, rel=0.01)
+        assert p.bottleneck == "kernel"
+
+    def test_transfer_bound_detection(self):
+        p = pipeline_time("pipeline", 100, 1 << 20, kernel_s=1e-6)
+        assert p.bottleneck in ("h2d", "d2h")
+
+    def test_single_batch_all_modes_equal(self):
+        pts = compare_modes(1, 1 << 10, kernel_s=1e-4)
+        totals = {m: pts[m].total_s for m in MODES}
+        assert totals["serial"] == pytest.approx(totals["pipeline"])
+
+    def test_throughput(self):
+        p = pipeline_time("serial", 10, 1 << 10, kernel_s=1e-3)
+        assert p.throughput(1 << 10) == pytest.approx(
+            10 * (1 << 10) / p.total_s
+        )
+
+    @pytest.mark.parametrize("bad", [("warp", 1, 1, 0.0), ("serial", 0, 1, 0.0),
+                                     ("serial", 1, 0, 0.0), ("serial", 1, 1, -1.0)])
+    def test_validation(self, bad):
+        mode, n, q, k = bad
+        with pytest.raises(ConfigError):
+            pipeline_time(mode, n, q, kernel_s=k)

@@ -1,0 +1,135 @@
+"""Hypothesis properties of the SIMT simulator.
+
+These encode the physical laws any SIMT execution obeys; the simulator
+must satisfy them for *every* tree shape, batch, and configuration —
+exactly the kind of contract example-based tests under-sample.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import HarmoniaLayout
+from repro.core.psa import prepare_batch
+from repro.gpusim.kernels import SimConfig, simulate_search
+
+key_sets = st.sets(
+    st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=2, max_size=400
+)
+
+sim_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build(keys, fanout, fill):
+    arr = np.array(sorted(keys), dtype=np.int64)
+    return HarmoniaLayout.from_sorted(arr, fanout=fanout, fill=fill)
+
+
+@sim_settings
+@given(
+    data=st.data(),
+    fanout=st.sampled_from([4, 8, 32, 64]),
+    fill=st.sampled_from([0.6, 1.0]),
+    gs=st.sampled_from([1, 2, 8, 32]),
+    structure=st.sampled_from(["harmonia", "regular_pointer"]),
+    early_exit=st.booleans(),
+)
+def test_simulator_physical_invariants(data, fanout, fill, gs, structure,
+                                       early_exit):
+    keys = data.draw(key_sets)
+    layout = build(keys, fanout, fill)
+    all_keys = layout.all_keys()
+    n_q = data.draw(st.integers(min_value=1, max_value=200))
+    idx = data.draw(
+        st.lists(st.integers(0, all_keys.size - 1), min_size=n_q, max_size=n_q)
+    )
+    queries = all_keys[np.array(idx, dtype=np.int64)]
+
+    cfg = SimConfig(
+        structure=structure,
+        group_size=gs,
+        early_exit=early_exit,
+        cached_children=(structure == "harmonia"),
+    )
+    m = simulate_search(layout, queries, cfg)
+
+    warp = cfg.device.warp_size
+    qpw = warp // gs
+    # Warp count is exactly ceil(nq / qpw).
+    assert m.n_warps == -(-queries.size // qpw)
+    # A request's transactions are bounded by its lanes; per level the
+    # key transactions cannot exceed requests × warp_size nor fall below
+    # the request count.
+    assert m.gld_transactions <= m.gld_requests * warp
+    assert m.gld_transactions >= m.gld_requests
+    # Coherence and utilization are proper fractions.
+    assert 0.0 < m.warp_coherence <= 1.0
+    assert 0.0 < m.utilization <= 1.0
+    # Every query compares at least one key per level.
+    assert m.useful_comparisons >= queries.size * layout.height
+    # Modeled misses never exceed issued transactions.
+    assert m.total_dram_transactions <= m.gld_transactions + m.value_transactions
+    # Steps: at least one per warp per level; coherent ≤ total.
+    assert np.all(m.warp_steps >= 1) or queries.size == 0
+    assert np.all(m.coherent_steps <= m.warp_steps)
+
+
+@sim_settings
+@given(
+    data=st.data(),
+    gs=st.sampled_from([2, 8]),
+)
+def test_psa_never_hurts_counters(data, gs):
+    """Partially sorting a batch can only reduce (or keep) the modeled
+    DRAM misses — the property PSA's whole design rests on."""
+    keys = data.draw(key_sets)
+    layout = build(keys, 16, 0.8)
+    all_keys = layout.all_keys()
+    n_q = data.draw(st.integers(min_value=32, max_value=256))
+    idx = data.draw(
+        st.lists(st.integers(0, all_keys.size - 1), min_size=n_q, max_size=n_q)
+    )
+    queries = all_keys[np.array(idx, dtype=np.int64)]
+
+    cfg = SimConfig(group_size=gs)
+    plain = simulate_search(layout, queries, cfg)
+    bits = layout.key_space_bits()
+    psa = prepare_batch(queries, bits=bits, key_bits=bits)
+    sorted_m = simulate_search(layout, psa.queries, cfg)
+    assert (
+        sorted_m.total_dram_transactions
+        <= plain.total_dram_transactions * 1.01 + 2
+    )
+
+
+@sim_settings
+@given(data=st.data())
+def test_narrowing_monotone_in_executed_comparisons(data):
+    """With early exit, halving the group size does not meaningfully
+    increase the executed lane-comparisons (the NTG utilization argument).
+
+    Exact monotonicity does not hold: chunk-boundary rounding (a query
+    needing ``GS + 1`` comparisons) and partial trailing warps can cost a
+    few extra warp-steps — so the property allows one warp-step of slack
+    per warp, which is the rounding ceiling.
+    """
+    keys = data.draw(key_sets)
+    layout = build(keys, 32, 0.7)
+    all_keys = layout.all_keys()
+    queries = all_keys[
+        data.draw(st.lists(st.integers(0, all_keys.size - 1), min_size=64,
+                           max_size=64))
+    ]
+    warp = 32
+    executed = []
+    for gs in (32, 16, 8, 4):
+        cfg = SimConfig(group_size=gs, early_exit=True)
+        m = simulate_search(layout, queries, cfg)
+        executed.append((m.executed_comparisons, m.n_warps))
+    for (a, _), (b, warps_b) in zip(executed, executed[1:]):
+        slack = warps_b * layout.height * warp  # 1 step/warp/level rounding
+        assert b <= a + slack

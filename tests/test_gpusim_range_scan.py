@@ -1,0 +1,80 @@
+"""Tests for the range-scan kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import HarmoniaLayout
+from repro.errors import ConfigError
+from repro.gpusim.kernels import SimConfig
+from repro.gpusim.range_scan import simulate_range_scan
+
+
+@pytest.fixture(scope="module")
+def layout():
+    keys = np.arange(0, 120_000, 3, dtype=np.int64)
+    return HarmoniaLayout.from_sorted(keys, fanout=16, fill=0.7)
+
+
+def cfg(structure="harmonia", gs=16):
+    return SimConfig(structure=structure, group_size=gs, early_exit=False,
+                     cached_children=(structure == "harmonia"))
+
+
+class TestRangeScan:
+    def test_appends_scan_level(self, layout):
+        los = np.array([0, 300], dtype=np.int64)
+        his = np.array([30, 600], dtype=np.int64)
+        m, scanned = simulate_range_scan(layout, los, his, cfg())
+        assert m.height == layout.height + 1
+        assert m.key_transactions.shape == (m.height,)
+        assert scanned.shape == (2,)
+        assert np.all(scanned > 0)
+
+    def test_scanned_keys_cover_result(self, layout):
+        los = np.array([0], dtype=np.int64)
+        his = np.array([2_997], dtype=np.int64)  # 1000 stored keys
+        _, scanned = simulate_range_scan(layout, los, his, cfg())
+        assert scanned[0] >= 1_000
+
+    def test_wider_span_more_traffic(self, layout):
+        narrow, _ = simulate_range_scan(
+            layout, np.array([0]), np.array([30]), cfg()
+        )
+        wide, _ = simulate_range_scan(
+            layout, np.array([0]), np.array([30_000]), cfg()
+        )
+        assert wide.gld_transactions > narrow.gld_transactions
+        assert wide.total_warp_steps > narrow.total_warp_steps
+
+    def test_pointer_layout_costs_more(self, layout):
+        los = np.array([0, 9_000, 60_000], dtype=np.int64)
+        his = los + 6_000
+        ha, _ = simulate_range_scan(layout, los, his, cfg("harmonia"))
+        rp, _ = simulate_range_scan(layout, los, his, cfg("regular_pointer"))
+        assert rp.gld_transactions > ha.gld_transactions
+        assert rp.child_transactions[-1] > 0  # next-leaf pointer chasing
+        assert ha.child_transactions[-1] == 0
+
+    def test_empty_batch(self, layout):
+        m, scanned = simulate_range_scan(
+            layout, np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            cfg(),
+        )
+        assert scanned.size == 0
+        assert m.gld_transactions == 0
+
+    def test_misaligned_bounds(self, layout):
+        with pytest.raises(ConfigError):
+            simulate_range_scan(layout, np.array([1, 2]), np.array([3]), cfg())
+
+    def test_inverted_bounds(self, layout):
+        with pytest.raises(ConfigError):
+            simulate_range_scan(layout, np.array([10]), np.array([5]), cfg())
+
+    def test_dram_annotation_extended(self, layout):
+        m, _ = simulate_range_scan(
+            layout, np.array([0]), np.array([10_000]), cfg()
+        )
+        assert m.dram_transactions is not None
+        assert m.dram_transactions.shape == (m.height,)
+        assert m.total_dram_transactions <= m.gld_transactions + m.value_transactions

@@ -1,0 +1,137 @@
+"""Cross-implementation and end-to-end integration tests.
+
+Every index structure in the repository answers the same queries the same
+way; the full pipeline (build → PSA → NTG → search → batch update →
+re-search) holds together; simulated kernels agree with the executed
+searches on *what* was traversed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CPUBTreeSearcher,
+    HarmoniaTree,
+    HBTree,
+    ImplicitBPlusTree,
+    NOT_FOUND,
+    Operation,
+    RegularBPlusTree,
+    SearchConfig,
+    bulk_load,
+)
+from repro.core.search import search_batch
+from repro.workloads.generators import make_key_set, uniform_queries
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(77)
+    keys = make_key_set(20_000, key_space_bits=30, rng=rng)
+    values = (keys * 13 + 1).astype(np.int64)
+    queries = np.concatenate([
+        uniform_queries(keys, 3_000, rng=rng),
+        rng.integers(0, 1 << 30, size=3_000),
+    ])
+    return keys, values, queries
+
+
+class TestCrossImplementationAgreement:
+    def test_all_structures_agree(self, world):
+        keys, values, queries = world
+        harmonia = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        hb = HBTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        implicit = ImplicitBPlusTree(keys, values, fanout=32)
+        cpu = CPUBTreeSearcher.from_sorted(keys, values, fanout=32, fill=0.7,
+                                           n_threads=2)
+
+        expected = harmonia.search_batch(queries, SearchConfig.full())
+        assert np.array_equal(hb.search_batch(queries), expected)
+        assert np.array_equal(implicit.search_batch(queries), expected)
+        assert np.array_equal(cpu.search_batch(queries), expected)
+
+    def test_regular_tree_is_the_oracle(self, world):
+        keys, values, queries = world
+        harmonia = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        regular = bulk_load(keys, values, fanout=32, fill=0.7)
+        got = harmonia.search_batch(queries[:500])
+        for q, r in zip(queries[:500], got):
+            oracle = regular.search(int(q))
+            assert (r == NOT_FOUND) == (oracle is None)
+            if oracle is not None:
+                assert r == oracle
+
+    def test_range_queries_agree(self, world):
+        keys, values, _ = world
+        harmonia = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        regular = bulk_load(keys, values, fanout=32, fill=0.7)
+        lo, hi = int(keys[100]), int(keys[400])
+        hk, hv = harmonia.range_search(lo, hi)
+        pairs = regular.range_search(lo, hi)
+        assert hk.tolist() == [k for k, _ in pairs]
+        assert hv.tolist() == [v for _, v in pairs]
+
+
+class TestEndToEndPipeline:
+    def test_query_update_query_cycle(self, world):
+        keys, values, _ = world
+        tree = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        regular = RegularBPlusTree(32)
+        for k, v in zip(keys, values):
+            regular.insert(int(k), int(v))
+
+        rng = np.random.default_rng(78)
+        for round_ in range(3):
+            ops = []
+            fresh = rng.integers(0, 1 << 30, size=300)
+            for k in fresh:
+                ops.append(Operation("insert", int(k), round_))
+            targets = rng.choice(keys, 300)
+            for k in targets:
+                ops.append(Operation("update", int(k), -round_))
+            tree.apply_batch(ops)
+            for op in ops:
+                if op.kind == "insert":
+                    regular.insert(op.key, op.value)
+                else:
+                    regular.update(op.key, op.value)
+            tree.check_invariants()
+            regular.check_invariants()
+            assert len(tree) == len(regular)
+
+        probes = rng.integers(0, 1 << 30, size=2_000)
+        got = tree.search_batch(probes, SearchConfig.full())
+        for q, r in zip(probes[:400], got[:400]):
+            oracle = regular.search(int(q))
+            assert (r == NOT_FOUND) == (oracle is None)
+            if oracle is not None:
+                assert r == oracle
+
+    def test_simulation_is_pure_observation(self, world):
+        # Running the simulator must not perturb results or state.
+        keys, values, queries = world
+        tree = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        before = tree.search_batch(queries)
+        from repro.gpusim import simulate_harmonia_search
+
+        prep = tree.prepare_queries(queries, SearchConfig.full())
+        simulate_harmonia_search(tree.layout, prep.queries, prep.group_size)
+        after = tree.search_batch(queries)
+        assert np.array_equal(before, after)
+        tree.check_invariants()
+
+    def test_simulated_traversals_match_search(self, world):
+        keys, values, queries = world
+        tree = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        from repro.core.search import traverse_batch
+
+        trace = traverse_batch(tree.layout, queries)
+        direct = search_batch(tree.layout, queries)
+        assert np.array_equal(trace.values, direct)
+
+    def test_hbtree_and_harmonia_same_tree_shape(self, world):
+        keys, values, _ = world
+        hb = HBTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        ha = HarmoniaTree.from_sorted(keys, values, fanout=32, fill=0.7)
+        assert hb.height == ha.height
+        assert np.array_equal(hb._layout.prefix_sum, ha.layout.prefix_sum)

@@ -1,0 +1,132 @@
+"""Direct tests for small shared utilities and the error hierarchy."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    EmptyTreeError,
+    InvalidKeyError,
+    InvariantViolation,
+    ReproError,
+)
+from repro.utils.timer import Timer, throughput
+
+
+class TestErrorHierarchy:
+    """Every library error is a ReproError *and* keeps its builtin lineage,
+    so both `except ReproError` and idiomatic `except ValueError` work."""
+
+    @pytest.mark.parametrize(
+        "exc,builtin",
+        [
+            (InvalidKeyError, ValueError),
+            (ConfigError, ValueError),
+            (EmptyTreeError, ValueError),
+            (CapacityError, ValueError),
+            (InvariantViolation, AssertionError),
+        ],
+    )
+    def test_dual_lineage(self, exc, builtin):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, builtin)
+
+    def test_catchable_as_repro_error(self):
+        from repro.utils.validation import ensure_fanout
+
+        with pytest.raises(ReproError):
+            ensure_fanout(1)
+
+
+class TestTimer:
+    def test_phase_accumulates(self):
+        t = Timer()
+        with t.phase("a"):
+            time.sleep(0.01)
+        with t.phase("a"):
+            time.sleep(0.01)
+        with t.phase("b"):
+            pass
+        assert t.get("a") >= 0.02
+        assert t.get("b") >= 0.0
+        assert t.total() == pytest.approx(t.get("a") + t.get("b"))
+
+    def test_records_even_on_exception(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t.phase("x"):
+                raise RuntimeError
+        assert "x" in t.seconds
+
+    def test_reset(self):
+        t = Timer()
+        with t.phase("a"):
+            pass
+        t.reset()
+        assert t.total() == 0.0
+
+    def test_missing_phase_default(self):
+        assert Timer().get("nope", default=-1.0) == -1.0
+
+    def test_throughput(self):
+        assert throughput(100, 2.0) == 50.0
+        assert throughput(0, 0.0) == 0.0
+        assert throughput(5, 0.0) == float("inf")
+
+
+class TestMiniaturizedDevice:
+    def test_identity_at_paper_size(self):
+        from repro.gpusim.device import TITAN_V
+        from repro.workloads.datasets import miniaturized_device
+
+        dev = miniaturized_device(1 << 23, 100_000_000, TITAN_V)
+        assert dev is TITAN_V
+
+    def test_partial_shrink(self):
+        from repro.gpusim.device import TITAN_V
+        from repro.workloads.datasets import miniaturized_device
+
+        # Small tree but paper-sized batch: only L2 shrinks.
+        dev = miniaturized_device(1 << 17, 100_000_000, TITAN_V)
+        assert dev.l2_bytes < TITAN_V.l2_bytes
+        assert dev.launch_overhead_us == TITAN_V.launch_overhead_us
+
+    def test_floor(self):
+        from repro.gpusim.device import TITAN_V
+        from repro.workloads.datasets import miniaturized_device
+
+        dev = miniaturized_device(16, 16, TITAN_V)
+        assert dev.l2_bytes >= 4096
+
+
+class TestCLIParser:
+    def test_subcommands_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["build", "--random", "10", "--out", "x.npz"])
+        assert args.command == "build"
+        for argv in (["stats", "i.npz"], ["range", "i.npz", "1", "2"],
+                     ["simulate", "i.npz"], ["query", "i.npz", "5"]):
+            assert build_parser().parse_args(argv).command == argv[0]
+
+    def test_build_requires_source(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--out", "x.npz"])
+
+
+class TestScaleAccessors:
+    def test_query_and_batch_accessors(self):
+        from repro.workloads.datasets import (
+            get_scale,
+            scaled_batch_size,
+            scaled_query_count,
+        )
+
+        sc = get_scale("smoke")
+        assert scaled_query_count(sc) == sc.n_queries
+        assert scaled_batch_size(sc) == sc.update_batch

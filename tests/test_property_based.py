@@ -1,0 +1,172 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bulk import _chunk_sizes, bulk_load
+from repro.btree.regular import RegularBPlusTree
+from repro.constants import KEY_MAX, NOT_FOUND
+from repro.core.layout import HarmoniaLayout
+from repro.core.psa import optimal_sort_bits, prepare_batch
+from repro.core.search import search_batch, search_scalar
+from repro.core.update import BatchUpdater, Operation
+from repro.sort.radix import partial_radix_argsort
+
+# Keys well inside int64 and below the sentinel.
+key_strategy = st.integers(min_value=0, max_value=(1 << 48) - 1)
+fanout_strategy = st.sampled_from([3, 4, 5, 8, 16, 64])
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common_settings
+@given(keys=st.sets(key_strategy, min_size=1, max_size=300),
+       fanout=fanout_strategy,
+       fill=st.sampled_from([0.5, 0.7, 1.0]))
+def test_bulk_load_preserves_contents(keys, fanout, fill):
+    sorted_keys = sorted(keys)
+    tree = bulk_load(sorted_keys, fanout=fanout, fill=fill)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted_keys
+
+
+@common_settings
+@given(keys=st.lists(key_strategy, min_size=1, max_size=200, unique=True),
+       fanout=fanout_strategy)
+def test_insertion_order_irrelevant(keys, fanout):
+    tree = RegularBPlusTree(fanout)
+    for k in keys:
+        tree.insert(k, k)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(keys)
+
+
+@common_settings
+@given(data=st.data())
+def test_insert_delete_roundtrip(data):
+    keys = data.draw(st.lists(key_strategy, min_size=2, max_size=150,
+                              unique=True))
+    fanout = data.draw(fanout_strategy)
+    n_del = data.draw(st.integers(min_value=1, max_value=len(keys)))
+    tree = RegularBPlusTree(fanout)
+    for k in keys:
+        tree.insert(k, k * 2)
+    victims = keys[:n_del]
+    for k in victims:
+        assert tree.delete(k)
+    tree.check_invariants()
+    survivors = sorted(set(keys) - set(victims))
+    assert list(tree.keys()) == survivors
+    for k in victims:
+        assert tree.search(k) is None
+
+
+@common_settings
+@given(keys=st.sets(key_strategy, min_size=1, max_size=300),
+       fanout=fanout_strategy,
+       fill=st.sampled_from([0.6, 1.0]))
+def test_layout_roundtrip_and_search(keys, fanout, fill):
+    sorted_keys = np.array(sorted(keys), dtype=np.int64)
+    layout = HarmoniaLayout.from_sorted(sorted_keys, fanout=fanout, fill=fill)
+    layout.check_invariants()
+    assert np.array_equal(layout.all_keys(), sorted_keys)
+    # Every stored key is found; probes between keys are not.
+    out = search_batch(layout, sorted_keys)
+    assert np.array_equal(out, sorted_keys)
+    probes = sorted_keys[:-1] + 1
+    probes = probes[~np.isin(probes, sorted_keys)]
+    if probes.size:
+        assert np.all(search_batch(layout, probes) == NOT_FOUND)
+
+
+@common_settings
+@given(queries=st.lists(key_strategy, min_size=0, max_size=400),
+       bits=st.integers(min_value=0, max_value=48))
+def test_psa_is_a_permutation(queries, bits):
+    q = np.array(queries, dtype=np.int64)
+    psa = prepare_batch(q, bits=bits, key_bits=48)
+    assert np.array_equal(np.sort(psa.order), np.arange(q.size))
+    assert np.array_equal(psa.queries[psa.restore], q)
+    # Grouping property: top `bits_sorted` bits are non-decreasing.
+    if q.size and psa.bits_sorted:
+        tops = psa.queries >> max(48 - psa.bits_sorted, 0)
+        assert np.all(np.diff(tops) >= 0)
+
+
+@common_settings
+@given(keys=st.lists(key_strategy, min_size=0, max_size=500),
+       bits=st.sampled_from([0, 8, 16, 48]))
+def test_radix_partial_refines_to_full(keys, bits):
+    arr = np.array(keys, dtype=np.int64)
+    res = partial_radix_argsort(arr, bits=bits, key_bits=48)
+    if bits == 48 and arr.size:
+        assert np.array_equal(arr[res.order], np.sort(arr))
+
+
+@common_settings
+@given(n=st.integers(min_value=0, max_value=3_000),
+       target=st.integers(min_value=1, max_value=64))
+def test_chunk_sizes_legal(n, target):
+    minimum = max(1, (target + 1) // 2)
+    maximum = max(target, 2 * minimum - 1)
+    sizes = _chunk_sizes(n, target, minimum, maximum)
+    assert sum(sizes) == n
+    if n >= 2 * minimum:
+        assert all(minimum <= s <= maximum for s in sizes)
+    elif n > 0:
+        assert len(sizes) == 1
+
+
+@common_settings
+@given(tree_size=st.integers(min_value=1, max_value=1 << 40),
+       k=st.sampled_from([4, 8, 16, 32]))
+def test_equation2_bounds(tree_size, k):
+    n = optimal_sort_bits(tree_size, k)
+    assert 0 <= n <= 64
+    # N grows with tree size, shrinks with cache-line capacity.
+    assert optimal_sort_bits(tree_size, k) >= optimal_sort_bits(
+        max(tree_size // 2, 1), k
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_batch_update_matches_dict_model(data):
+    base = data.draw(
+        st.sets(st.integers(min_value=0, max_value=2_000), min_size=10,
+                max_size=200)
+    )
+    base_keys = np.array(sorted(base), dtype=np.int64)
+    layout = HarmoniaLayout.from_sorted(base_keys, fanout=8, fill=0.8)
+    up = BatchUpdater(layout, fill=0.8)
+    model = {int(k): int(k) for k in base_keys}
+
+    n_ops = data.draw(st.integers(min_value=1, max_value=60))
+    for _ in range(n_ops):
+        kind = data.draw(st.sampled_from(["insert", "update", "delete"]))
+        key = data.draw(st.integers(min_value=0, max_value=2_100))
+        if kind == "insert":
+            up.apply_op(Operation("insert", key, key + 1))
+            model.setdefault(key, key + 1)
+        elif kind == "update":
+            up.apply_op(Operation("update", key, -5))
+            if key in model:
+                model[key] = -5
+        else:
+            up.apply_op(Operation("delete", key))
+            model.pop(key, None)
+
+    new = up.movement()
+    if not model:
+        assert new is None
+        return
+    new.check_invariants()
+    items = sorted(model.items())
+    got = search_batch(new, np.array([k for k, _ in items], dtype=np.int64))
+    assert got.tolist() == [v for _, v in items]

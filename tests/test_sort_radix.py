@@ -1,0 +1,138 @@
+"""Tests for the LSD radix sort substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sort.radix import (
+    full_sort_cost,
+    partial_radix_argsort,
+    partial_sort_cost,
+    radix_argsort,
+    radix_passes,
+)
+
+
+class TestRadixPasses:
+    @pytest.mark.parametrize(
+        "bits,digits,expect",
+        [(64, 8, 8), (19, 8, 3), (8, 8, 1), (1, 8, 1), (0, 8, 0), (64, 16, 4)],
+    )
+    def test_ceiling(self, bits, digits, expect):
+        assert radix_passes(bits, digits) == expect
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ConfigError):
+            radix_passes(-1)
+
+    def test_rejects_bad_digits(self):
+        with pytest.raises(ConfigError):
+            radix_passes(8, 0)
+
+
+class TestFullSort:
+    def test_sorts(self, rng):
+        keys = rng.integers(0, 1 << 62, size=5_000)
+        res = radix_argsort(keys)
+        assert np.all(np.diff(keys[res.order]) >= 0)
+        assert res.passes == 8
+
+    def test_matches_argsort(self, rng):
+        keys = rng.integers(0, 1 << 40, size=2_000)
+        res = radix_argsort(keys)
+        assert np.array_equal(np.sort(keys), keys[res.order])
+
+    def test_stable_on_duplicates(self):
+        keys = np.array([5, 3, 5, 3, 5], dtype=np.int64)
+        res = radix_argsort(keys)
+        assert res.order.tolist() == [1, 3, 0, 2, 4]
+
+    def test_inverse_permutation(self, rng):
+        keys = rng.integers(0, 1 << 30, size=1_000)
+        res = radix_argsort(keys)
+        inv = res.inverse()
+        assert np.array_equal(inv[res.order], np.arange(keys.size))
+        sorted_vals = keys[res.order]
+        assert np.array_equal(sorted_vals[inv], keys)
+
+    def test_negative_keys_sorted_correctly(self, rng):
+        # Signed keys go through the order-preserving sign-flip transform.
+        keys = rng.integers(-(1 << 40), 1 << 40, size=3_000)
+        res = radix_argsort(keys)
+        assert np.array_equal(keys[res.order], np.sort(keys))
+
+    def test_negative_partial_sort_groups(self, rng):
+        keys = rng.integers(-(1 << 40), 1 << 40, size=2_000)
+        res = partial_radix_argsort(keys, bits=8)
+        # Top 8 bits of the sign-flipped image: all negatives before all
+        # non-negatives.
+        sorted_keys = keys[res.order]
+        first_nonneg = np.argmax(sorted_keys >= 0)
+        if (sorted_keys < 0).any() and (sorted_keys >= 0).any():
+            assert np.all(sorted_keys[:first_nonneg] < 0)
+            assert np.all(sorted_keys[first_nonneg:] >= 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            radix_argsort(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_and_single(self):
+        assert radix_argsort(np.array([], dtype=np.int64)).order.size == 0
+        assert radix_argsort(np.array([9], dtype=np.int64)).order.tolist() == [0]
+
+    def test_non_digit_aligned_key_bits(self, rng):
+        # 64 bits with 12-bit digits: 6 passes, clamped bottom digit.
+        keys = rng.integers(0, 1 << 62, size=3_000)
+        res = radix_argsort(keys, digit_bits=12)
+        assert np.all(np.diff(keys[res.order]) >= 0)
+        assert res.passes == 6
+
+
+class TestPartialSort:
+    def test_groups_by_top_bits(self, rng):
+        keys = rng.integers(0, 1 << 32, size=4_000)
+        res = partial_radix_argsort(keys, bits=8, key_bits=32)
+        tops = keys[res.order] >> 24
+        assert np.all(np.diff(tops) >= 0)
+        assert res.passes == 1
+
+    def test_zero_bits_identity(self, rng):
+        keys = rng.integers(0, 1 << 30, size=100)
+        res = partial_radix_argsort(keys, bits=0)
+        assert np.array_equal(res.order, np.arange(100))
+        assert res.passes == 0
+
+    def test_full_bits_equals_full_sort(self, rng):
+        keys = rng.integers(0, 1 << 62, size=2_000)
+        a = partial_radix_argsort(keys, bits=64)
+        b = radix_argsort(keys)
+        assert np.array_equal(keys[a.order], keys[b.order])
+
+    def test_bits_out_of_range(self, rng):
+        keys = rng.integers(0, 10, size=5)
+        with pytest.raises(ConfigError):
+            partial_radix_argsort(keys, bits=65)
+
+    def test_paper_19_bits(self, rng):
+        keys = rng.integers(0, 1 << 62, size=2_000)
+        res = partial_radix_argsort(keys, bits=19)
+        assert res.passes == 3  # ceil(19/8)
+        assert res.bits_sorted == 24  # rounded to whole digits
+        tops = keys[res.order] >> (64 - 19)
+        assert np.all(np.diff(tops) >= 0)
+
+
+class TestCostModel:
+    def test_full_cost_linear_in_n(self):
+        assert full_sort_cost(2_000) == 2 * full_sort_cost(1_000)
+
+    def test_partial_fraction(self):
+        # 19 bits = 3 passes of 8 -> 3/8 of the full 8-pass cost.
+        assert partial_sort_cost(100, 19) / full_sort_cost(100) == pytest.approx(3 / 8)
+
+    def test_zero_bits_zero_cost(self):
+        assert partial_sort_cost(100, 0) == 0.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigError):
+            partial_sort_cost(100, -1)

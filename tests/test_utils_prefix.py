@@ -1,0 +1,71 @@
+"""Tests for repro.utils.prefix — the child-region arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.utils.prefix import (
+    children_counts_from_prefix,
+    exclusive_prefix_sum,
+    validate_prefix_array,
+)
+
+
+class TestExclusivePrefixSum:
+    def test_paper_example(self):
+        # Figure 4: prefix-sum child array [1, 4, 6, 7, 9 ...] means the
+        # root's first child is at 1 and it has 4-1=3 children.
+        counts = [3, 2, 1, 2]
+        out = exclusive_prefix_sum(counts, base=1)
+        assert out.tolist() == [1, 4, 6, 7, 9]
+
+    def test_empty(self):
+        assert exclusive_prefix_sum([], base=0).tolist() == [0]
+
+    def test_roundtrip_with_counts(self):
+        counts = np.array([0, 3, 1, 0, 7])
+        prefix = exclusive_prefix_sum(counts, base=1)
+        assert np.array_equal(children_counts_from_prefix(prefix), counts)
+
+    def test_base_offsets_everything(self):
+        a = exclusive_prefix_sum([1, 1], base=0)
+        b = exclusive_prefix_sum([1, 1], base=5)
+        assert np.array_equal(b, a + 5)
+
+
+class TestChildrenCounts:
+    def test_rejects_decreasing(self):
+        with pytest.raises(InvariantViolation):
+            children_counts_from_prefix(np.array([3, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvariantViolation):
+            children_counts_from_prefix(np.array([]))
+
+
+class TestValidatePrefixArray:
+    def test_valid_tree(self):
+        # root(2 children) + 2 leaves.
+        prefix = np.array([1, 3, 3, 3])
+        validate_prefix_array(prefix, 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvariantViolation):
+            validate_prefix_array(np.array([1, 3, 3]), 3)
+
+    def test_wrong_start(self):
+        with pytest.raises(InvariantViolation):
+            validate_prefix_array(np.array([0, 2, 3, 3]), 3)
+
+    def test_wrong_total(self):
+        with pytest.raises(InvariantViolation):
+            validate_prefix_array(np.array([1, 3, 4, 4]), 3)
+
+    def test_child_before_parent_rejected(self):
+        # Node 1 claiming its first child at index 1 (itself) is invalid.
+        prefix = np.array([1, 1, 3, 3])
+        with pytest.raises(InvariantViolation):
+            validate_prefix_array(prefix, 3)
+
+    def test_single_leaf_root(self):
+        validate_prefix_array(np.array([1, 1]), 1)

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, size=8)
+        b = ensure_rng(42).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1 << 30, size=8)
+        b = ensure_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(3, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+    def test_children_deterministic_from_seed(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 4)]
+        assert a == b
+
+    def test_children_independent(self):
+        children = spawn_rngs(9, 4)
+        draws = [int(g.integers(0, 1 << 62)) for g in children]
+        assert len(set(draws)) == 4
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, salt=1) == derive_seed(3, salt=1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(3, salt=1) != derive_seed(3, salt=2)

@@ -1,0 +1,112 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KEY_MAX
+from repro.errors import ConfigError, InvalidKeyError
+from repro.utils.validation import (
+    ensure_fanout,
+    ensure_key_array,
+    ensure_positive,
+    ensure_power_of_two,
+    ensure_scalar_key,
+    ensure_sorted_unique,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive("x", 3) == 3
+
+    def test_coerces_numpy_int(self):
+        assert ensure_positive("x", np.int64(5)) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, "three", None, 2.5])
+    def test_rejects(self, bad):
+        if bad == 2.5:
+            # floats are truncated by int(); 2.5 -> 2 is accepted by design
+            assert ensure_positive("x", bad) == 2
+        else:
+            with pytest.raises(ConfigError):
+                ensure_positive("x", bad)
+
+
+class TestEnsurePowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 32, 1024])
+    def test_accepts(self, good):
+        assert ensure_power_of_two("x", good) == good
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 24, -4])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            ensure_power_of_two("x", bad)
+
+
+class TestEnsureFanout:
+    def test_minimum(self):
+        assert ensure_fanout(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, 1, 2, -5])
+    def test_rejects_small(self, bad):
+        with pytest.raises(ConfigError):
+            ensure_fanout(bad)
+
+
+class TestEnsureScalarKey:
+    def test_roundtrip(self):
+        assert ensure_scalar_key(41) == 41
+
+    def test_rejects_sentinel(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_scalar_key(KEY_MAX)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_scalar_key(1 << 70)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_scalar_key("abc")
+
+    def test_negative_allowed(self):
+        assert ensure_scalar_key(-7) == -7
+
+
+class TestEnsureKeyArray:
+    def test_view_when_already_right(self):
+        arr = np.arange(10, dtype=np.int64)
+        out = ensure_key_array(arr)
+        assert out.base is arr or out is arr
+
+    def test_coerces_lists(self):
+        out = ensure_key_array([1, 2, 3])
+        assert out.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_key_array(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_sentinel_values(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_key_array(np.array([1, KEY_MAX], dtype=np.int64))
+
+    def test_empty_ok(self):
+        assert ensure_key_array(np.array([], dtype=np.int64)).size == 0
+
+
+class TestEnsureSortedUnique:
+    def test_accepts_increasing(self):
+        out = ensure_sorted_unique(np.array([1, 5, 9], dtype=np.int64))
+        assert out.size == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_sorted_unique(np.array([1, 5, 5], dtype=np.int64))
+
+    def test_rejects_descending(self):
+        with pytest.raises(InvalidKeyError):
+            ensure_sorted_unique(np.array([5, 1], dtype=np.int64))
+
+    def test_single_element(self):
+        assert ensure_sorted_unique(np.array([3], dtype=np.int64)).size == 1

@@ -1,0 +1,179 @@
+"""Tests for workload generators, mixes and scales."""
+
+import numpy as np
+import pytest
+
+from repro.core.update import DELETE, INSERT, UPDATE
+from repro.errors import ConfigError
+from repro.workloads.datasets import (
+    PAPER_TREE_SIZES,
+    get_scale,
+    scaled_device,
+    scaled_tree_sizes,
+)
+from repro.workloads.generators import (
+    make_key_set,
+    normal_queries,
+    range_query_bounds,
+    sequential_queries,
+    uniform_queries,
+    zipf_queries,
+)
+from repro.workloads.mixes import PAPER_UPDATE_MIX, UpdateMix, make_update_batch
+
+
+class TestKeySet:
+    def test_sorted_unique(self):
+        keys = make_key_set(10_000, rng=1)
+        assert np.all(np.diff(keys) > 0)
+        assert keys.size == 10_000
+
+    def test_deterministic(self):
+        assert np.array_equal(make_key_set(100, rng=3), make_key_set(100, rng=3))
+
+    def test_within_space(self):
+        keys = make_key_set(100, key_space_bits=10, rng=1)
+        assert keys.max() < 1 << 10
+
+    def test_dense_regime(self):
+        keys = make_key_set(1_000, key_space_bits=10, rng=1)
+        assert keys.size == 1_000
+
+    def test_space_too_small(self):
+        with pytest.raises(ConfigError):
+            make_key_set(2_000, key_space_bits=10)
+
+    def test_bad_bits(self):
+        with pytest.raises(ConfigError):
+            make_key_set(10, key_space_bits=0)
+
+
+class TestQueryGenerators:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return make_key_set(5_000, rng=7)
+
+    def test_uniform_all_hits(self, keys):
+        q = uniform_queries(keys, 1_000, rng=1)
+        assert np.all(np.isin(q, keys))
+
+    def test_uniform_hit_ratio(self, keys):
+        q = uniform_queries(keys, 20_000, hit_ratio=0.5, rng=1)
+        frac = np.isin(q, keys).mean()
+        assert 0.4 < frac < 0.62  # misses can collide with stored keys
+
+    def test_uniform_bad_ratio(self, keys):
+        with pytest.raises(ConfigError):
+            uniform_queries(keys, 10, hit_ratio=1.5)
+
+    def test_zipf_skew(self, keys):
+        q = zipf_queries(keys, 20_000, alpha=1.3, rng=1)
+        _, counts = np.unique(q, return_counts=True)
+        # Heavy skew: the hottest key gets far more than uniform share.
+        assert counts.max() > 20_000 / keys.size * 20
+
+    def test_zipf_alpha_validated(self, keys):
+        with pytest.raises(ConfigError):
+            zipf_queries(keys, 10, alpha=1.0)
+
+    def test_normal_clusters(self, keys):
+        q = normal_queries(keys, 5_000, center=0.5, spread=0.01, rng=1)
+        idx = np.searchsorted(keys, q)
+        assert np.std(idx) < keys.size * 0.05
+
+    def test_sequential_wraps(self, keys):
+        q = sequential_queries(keys, keys.size + 10)
+        assert np.array_equal(q[: keys.size], keys)
+        assert np.array_equal(q[keys.size :], keys[:10])
+
+    def test_sequential_stride(self, keys):
+        q = sequential_queries(keys, 5, stride=2)
+        assert np.array_equal(q, keys[[0, 2, 4, 6, 8]])
+
+    def test_range_bounds(self, keys):
+        los, his = range_query_bounds(keys, 50, span_keys=16, rng=1)
+        assert np.all(los <= his)
+        counts = np.searchsorted(keys, his, side="right") - np.searchsorted(keys, los)
+        assert np.all(counts <= 16)
+        assert np.all(counts >= 1)
+
+
+class TestMixes:
+    def test_paper_mix(self):
+        assert PAPER_UPDATE_MIX.insert == 0.05
+        assert PAPER_UPDATE_MIX.update == 0.95
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            UpdateMix(insert=0.5, update=0.2, delete=0.1)
+
+    def test_batch_composition(self):
+        keys = make_key_set(2_000, rng=5)
+        ops = make_update_batch(keys, 1_000, rng=6)
+        kinds = [op.kind for op in ops]
+        assert kinds.count(INSERT) == 50
+        assert kinds.count(UPDATE) == 950
+        assert len(ops) == 1_000
+
+    def test_inserts_are_fresh_keys(self):
+        keys = make_key_set(2_000, rng=5)
+        ops = make_update_batch(keys, 400, rng=6)
+        key_set = set(int(k) for k in keys)
+        for op in ops:
+            if op.kind == INSERT:
+                assert op.key not in key_set
+
+    def test_deletes_target_stored(self):
+        keys = make_key_set(1_000, rng=5)
+        mix = UpdateMix(insert=0.0, update=0.5, delete=0.5)
+        ops = make_update_batch(keys, 200, mix=mix, rng=6)
+        dels = [op.key for op in ops if op.kind == DELETE]
+        assert len(dels) == 100
+        assert len(set(dels)) == 100  # without replacement
+        assert all(k in set(int(x) for x in keys) for k in dels)
+
+    def test_too_many_deletes_rejected(self):
+        keys = make_key_set(10, rng=5)
+        mix = UpdateMix(insert=0.0, update=0.0, delete=1.0)
+        with pytest.raises(ConfigError):
+            make_update_batch(keys, 100, mix=mix)
+
+    def test_shuffled_but_deterministic(self):
+        keys = make_key_set(500, rng=5)
+        a = make_update_batch(keys, 100, rng=8)
+        b = make_update_batch(keys, 100, rng=8)
+        assert a == b
+
+
+class TestScales:
+    def test_paper_sizes(self):
+        assert PAPER_TREE_SIZES == [2**23, 2**24, 2**25, 2**26]
+        paper = get_scale("paper")
+        assert scaled_tree_sizes(paper) == PAPER_TREE_SIZES
+        assert paper.n_queries == 100_000_000
+
+    def test_sweep_spans(self):
+        # default/paper keep the paper's factor-8 sweep; smoke trades span
+        # for runtime but still sweeps.
+        for name, factor in (("smoke", 4), ("default", 8), ("paper", 8)):
+            sizes = scaled_tree_sizes(get_scale(name))
+            assert sizes[-1] // sizes[0] == factor
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            get_scale("huge")
+
+    def test_scaled_device_identity_at_paper(self):
+        from repro.gpusim.device import TITAN_V
+
+        assert scaled_device(get_scale("paper"), TITAN_V) is TITAN_V
+
+    def test_scaled_device_shrinks_l2(self):
+        from repro.gpusim.device import TITAN_V
+
+        mini = scaled_device(get_scale("default"), TITAN_V)
+        assert mini.l2_bytes < TITAN_V.l2_bytes
+        assert mini.launch_overhead_us < TITAN_V.launch_overhead_us
+        # Bandwidths and SM counts are *not* scaled.
+        assert mini.dram_bandwidth_gbs == TITAN_V.dram_bandwidth_gbs
+        assert mini.n_sms == TITAN_V.n_sms

@@ -1,0 +1,94 @@
+"""Tests for the YCSB workload presets."""
+
+import numpy as np
+import pytest
+
+from repro.core import HarmoniaTree
+from repro.errors import ConfigError
+from repro.workloads.generators import make_key_set
+from repro.workloads.ycsb import PRESETS, make_ycsb_round, run_ycsb
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return make_key_set(5_000, rng=13)
+
+
+class TestRoundComposition:
+    def test_workload_a_half_updates(self, keys):
+        r = make_ycsb_round("A", keys, 1_000, rng=1)
+        assert r.point_queries.size == 500
+        assert len(r.updates) == 500
+        assert all(op.kind == "update" for op in r.updates)
+        assert r.range_bounds is None
+
+    def test_workload_b_mostly_reads(self, keys):
+        r = make_ycsb_round("B", keys, 1_000, rng=1)
+        assert r.point_queries.size == 950
+        assert len(r.updates) == 50
+
+    def test_workload_c_read_only(self, keys):
+        r = make_ycsb_round("C", keys, 1_000, rng=1)
+        assert r.point_queries.size == 1_000
+        assert not r.updates
+
+    def test_workload_d_inserts_and_latest_reads(self, keys):
+        r = make_ycsb_round("D", keys, 1_000, rng=1)
+        inserts = [op for op in r.updates if op.kind == "insert"]
+        assert len(inserts) == 50
+        # Latest-skew: reads concentrate near the top of the key range.
+        median_read = np.median(r.point_queries)
+        assert median_read > np.median(keys)
+
+    def test_workload_e_ranges(self, keys):
+        r = make_ycsb_round("E", keys, 1_000, rng=1)
+        assert r.range_bounds is not None
+        los, his = r.range_bounds
+        assert los.size == 950
+        assert np.all(los <= his)
+        assert len(r.updates) == 50
+
+    def test_workload_f_rmw(self, keys):
+        r = make_ycsb_round("F", keys, 1_000, rng=1)
+        assert r.rmw_reads.size == 500
+        update_keys = {op.key for op in r.updates}
+        assert set(int(k) for k in r.rmw_reads) <= update_keys
+
+    def test_zipf_skew_present(self, keys):
+        r = make_ycsb_round("B", keys, 5_000, rng=1)
+        _, counts = np.unique(r.point_queries, return_counts=True)
+        assert counts.max() > 5  # hot keys
+
+    def test_case_insensitive(self, keys):
+        assert make_ycsb_round("a", keys, 100, rng=1).point_queries.size == 50
+
+    def test_unknown_preset(self, keys):
+        with pytest.raises(ConfigError):
+            make_ycsb_round("Z", keys, 100)
+
+    def test_deterministic(self, keys):
+        a = make_ycsb_round("A", keys, 200, rng=9)
+        b = make_ycsb_round("A", keys, 200, rng=9)
+        assert np.array_equal(a.point_queries, b.point_queries)
+        assert a.updates == b.updates
+
+
+class TestRunYCSB:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_all_presets_drive_a_tree(self, keys, preset):
+        tree = HarmoniaTree.from_sorted(keys, fanout=16, fill=0.7)
+        totals = run_ycsb(preset, tree, rounds=2, ops_per_round=500, rng=4)
+        tree.check_invariants()
+        assert totals["reads"] + totals["ranges"] + totals["ops"] > 0
+        if PRESETS[preset].read_fraction:
+            assert totals["reads"] > 0
+        if PRESETS[preset].range_fraction:
+            assert totals["ranges"] > 0
+
+    def test_epoch_manager_driver(self, keys):
+        from repro.core import EpochManager
+
+        em = EpochManager(HarmoniaTree.from_sorted(keys, fanout=16, fill=0.7))
+        totals = run_ycsb("A", em, rounds=1, ops_per_round=400, rng=4)
+        assert totals["ops"] == 200
+        assert em.epoch == 1
