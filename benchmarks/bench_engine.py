@@ -1,0 +1,149 @@
+"""Engine bench — naive vs frontier-compacted vs compacted+threads.
+
+Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_engine.py
+  --benchmark-only``) timing the three executors on the shared bench
+  fixtures;
+* a standalone emitter (``python benchmarks/bench_engine.py``) that sweeps
+  batch sizes x tree sizes and writes ``BENCH_engine.json`` at the repo
+  root — the repository's perf-trajectory record.  The acceptance point
+  (2^16 PSA-sorted queries over a 2^20-key tree) is tagged ``acceptance``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import HarmoniaTree, SearchConfig
+from repro.core.engine import BatchQueryEngine
+from repro.core.psa import prepare_batch
+from repro.core.search import search_batch
+from repro.workloads.generators import make_key_set, uniform_queries
+
+# --------------------------------------------------------- pytest-benchmark
+
+
+def _psa_sorted(tree, queries):
+    layout = tree.layout
+    psa = prepare_batch(
+        queries, tree_size=layout.n_keys, key_bits=layout.key_space_bits()
+    )
+    return psa.queries
+
+
+def test_engine_naive(benchmark, bench_tree, bench_queries):
+    issued = _psa_sorted(bench_tree, bench_queries)
+    out = benchmark(search_batch, bench_tree.layout, issued)
+    assert out.size == issued.size
+
+
+def test_engine_compacted(benchmark, bench_tree, bench_queries):
+    issued = _psa_sorted(bench_tree, bench_queries)
+    eng = BatchQueryEngine(bench_tree.layout)
+    eng.execute(issued)  # warm scratch + packed leaf block
+    out = benchmark(eng.execute, issued)
+    assert np.array_equal(out, search_batch(bench_tree.layout, issued))
+    benchmark.extra_info["unique_nodes_per_level"] = (
+        eng.last_stats.unique_nodes_per_level.tolist()
+    )
+    benchmark.extra_info["compaction_ratio"] = round(
+        eng.last_stats.compaction_ratio, 2
+    )
+
+
+def test_engine_compacted_threads(benchmark, bench_tree, bench_queries):
+    issued = _psa_sorted(bench_tree, bench_queries)
+    eng = BatchQueryEngine(bench_tree.layout, n_workers=4, min_parallel=1 << 12)
+    eng.execute(issued)
+    out = benchmark(eng.execute, issued)
+    assert np.array_equal(out, search_batch(bench_tree.layout, issued))
+    benchmark.extra_info["n_chunks"] = eng.last_stats.n_chunks
+
+
+def test_engine_full_pipeline(benchmark, bench_tree, bench_queries):
+    """search_many end to end (PSA + compaction + restore)."""
+    cfg = SearchConfig(ntg="fanout")
+    bench_tree.search_many(bench_queries, cfg)  # warm engine
+    out = benchmark(bench_tree.search_many, bench_queries, cfg)
+    assert np.array_equal(out, bench_tree.search_batch(bench_queries, cfg))
+
+
+# ------------------------------------------------------------ JSON emitter
+
+
+def _best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(tree_log2: int, batch_log2: int, n_workers: int = 4,
+            seed: int = 1234) -> dict:
+    """One sweep point: naive vs compacted vs sharded on a PSA-sorted batch."""
+    keys = make_key_set(1 << tree_log2, rng=seed)
+    tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    layout = tree.layout
+    queries = uniform_queries(keys, 1 << batch_log2, rng=seed + 1)
+    issued = _psa_sorted(tree, queries)
+
+    solo = BatchQueryEngine(layout)
+    sharded = BatchQueryEngine(layout, n_workers=n_workers,
+                               min_parallel=1 << 12)
+    solo.execute(issued)
+    sharded.execute(issued)
+    t_naive = _best_of(lambda: search_batch(layout, issued))
+    t_comp = _best_of(lambda: solo.execute(issued))
+    t_shard = _best_of(lambda: sharded.execute(issued))
+    stats = solo.last_stats
+    return {
+        "tree_log2": tree_log2,
+        "batch_log2": batch_log2,
+        "height": layout.height,
+        "naive_s": round(t_naive, 6),
+        "compacted_s": round(t_comp, 6),
+        "compacted_threads_s": round(t_shard, 6),
+        "n_workers": n_workers,
+        "speedup_compacted": round(t_naive / t_comp, 2),
+        "speedup_threads": round(t_naive / t_shard, 2),
+        "unique_nodes_per_level": stats.unique_nodes_per_level.tolist(),
+        "compaction_ratio": round(stats.compaction_ratio, 2),
+    }
+
+
+def main(out_path: str = None) -> dict:
+    rows = []
+    for tree_log2 in (18, 20):
+        for batch_log2 in (12, 14, 16):
+            rows.append(measure(tree_log2, batch_log2))
+    acceptance = next(
+        r for r in rows if r["tree_log2"] == 20 and r["batch_log2"] == 16
+    )
+    record = {
+        "bench": "engine",
+        "workload": "PSA-sorted uniform point lookups, fanout 64, fill 0.7",
+        "acceptance": {
+            "criterion": "compacted >= 3x naive at 2^16 queries / 2^20 keys",
+            "speedup": acceptance["speedup_compacted"],
+            "ok": acceptance["speedup_compacted"] >= 3.0,
+        },
+        "rows": rows,
+    }
+    path = pathlib.Path(
+        out_path or pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
+    )
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {path}")
+    print(json.dumps(record["acceptance"], indent=2))
+    return record
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

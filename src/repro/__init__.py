@@ -21,6 +21,8 @@ paper-vs-measured record.
 
 from repro.constants import DEFAULT_FANOUT, KEY_MAX, NOT_FOUND
 from repro.core import (
+    BatchQueryEngine,
+    EngineStats,
     EpochManager,
     HarmoniaLayout,
     HarmoniaTree,
@@ -47,6 +49,8 @@ __version__ = "1.0.0"
 __all__ = [
     "HarmoniaTree",
     "HarmoniaLayout",
+    "BatchQueryEngine",
+    "EngineStats",
     "SearchConfig",
     "UpdateConfig",
     "EpochManager",

@@ -3,6 +3,8 @@
 * :mod:`repro.core.layout` — the two-region structure (§3.1): BFS key region
   + prefix-sum child region.
 * :mod:`repro.core.search` — scalar and vectorized traversal (§3.2.1).
+* :mod:`repro.core.engine` — frontier-compacted batch query engine (the
+  host-side exploitation of §4.1's PSA locality).
 * :mod:`repro.core.psa` — partially-sorted aggregation (§4.1).
 * :mod:`repro.core.ntg` — narrowed thread-group traversal model (§4.2).
 * :mod:`repro.core.update` — batch updates with two-grained locking and
@@ -12,6 +14,7 @@
 """
 
 from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.engine import BatchQueryEngine, EngineScratch, EngineStats
 from repro.core.epoch import EpochManager
 from repro.core.heap import RecordStore, ValueHeap
 from repro.core.io import load_layout, load_tree, save_layout, save_tree
@@ -24,6 +27,9 @@ from repro.core.tuning import recommend_fanout
 __all__ = [
     "HarmoniaLayout",
     "HarmoniaTree",
+    "BatchQueryEngine",
+    "EngineScratch",
+    "EngineStats",
     "SearchConfig",
     "UpdateConfig",
     "EpochManager",

@@ -25,6 +25,14 @@ class SearchConfig:
       :class:`~repro.gpusim.device.DeviceSpec` used for simulation; the
       simulator cross-checks).
     * ``profile_sample``: static-profiling sample size (paper: ~1000).
+    * ``engine``: host-side batch executor behind
+      :meth:`~repro.core.tree.HarmoniaTree.search_many` — ``"compacted"``
+      runs the frontier-compaction engine
+      (:class:`~repro.core.engine.BatchQueryEngine`), ``"naive"`` the
+      per-query broadcast traversal (the test oracle).
+    * ``engine_workers`` / ``engine_min_parallel``: sharded execution —
+      batches of at least ``engine_min_parallel`` queries are split into
+      ``engine_workers`` contiguous chunks over a thread pool.
     """
 
     use_psa: bool = True
@@ -36,6 +44,9 @@ class SearchConfig:
     #: Levels considered by NTG profiling (None = all; paper: the last few).
     ntg_profile_levels: Optional[int] = 2
     seed: int = 0x5EED
+    engine: str = "compacted"
+    engine_workers: int = 1
+    engine_min_parallel: int = 1 << 15
 
     def __post_init__(self) -> None:
         ensure_power_of_two("warp_size", self.warp_size)
@@ -54,6 +65,12 @@ class SearchConfig:
                 )
         if self.ntg_profile_levels is not None:
             ensure_positive("ntg_profile_levels", self.ntg_profile_levels)
+        if self.engine not in ("naive", "compacted"):
+            raise ConfigError(
+                f"engine must be 'naive'|'compacted', got {self.engine!r}"
+            )
+        ensure_positive("engine_workers", self.engine_workers)
+        ensure_positive("engine_min_parallel", self.engine_min_parallel)
 
     # Convenience presets matching the paper's ablation (Figure 13).
     @classmethod

@@ -1,0 +1,350 @@
+"""Frontier-compacted batch query engine — the host-side PSA payoff.
+
+PSA (§4.1) exists so that *adjacent queries share traversal paths*: after
+the partial sort, queries landing in the same node sit next to each other
+in the batch.  On the GPU that adjacency becomes coalesced memory
+transactions (Figure 12's ``gld_transactions`` drop); on the host path it
+means the level-synchronous frontier — the array of "which node is query
+``i`` visiting at level ``l``" — is (nearly) run-length encoded.  The
+naive :func:`repro.core.search.search_batch` ignores this and gathers one
+``fanout - 1`` key row *per query* at every level, re-reading the same
+node up to ``n_queries`` times and doing O(n_queries · fanout) broadcast
+comparisons.
+
+:class:`BatchQueryEngine` compacts the frontier instead:
+
+* at each internal level the frontier is split into **runs** of equal node
+  index (one boundary scan, O(n_queries)); for a PSA-sorted batch the run
+  count equals the number of *distinct* nodes visited — the CPU analog of
+  the per-warp transaction count the simulator reports;
+* each run issues **one** ``np.searchsorted`` of that node's key row
+  against its contiguous query slice — O(run_len · log fanout) instead of
+  O(run_len · fanout), and the node row is read once, not ``run_len``
+  times;
+* levels where runs are too short to pay for per-run dispatch (an
+  unsorted batch, or a tree level wider than the batch) automatically fall
+  back to the naive broadcast compare, so correctness never depends on the
+  input order;
+* the leaf level exploits §3.2.1's contiguous leaf block directly: all
+  real leaf keys form one globally sorted array (cached per layout
+  snapshot), so every query resolves with a single batched binary search —
+  no per-leaf work at all.
+
+Scratch buffers (:class:`EngineScratch`) are shape-sticky: repeated
+batches of the same size reuse every internal buffer, so the steady-state
+hot loop allocates only the output array and the (tiny) per-level run
+index.  For large batches the engine can shard the (contiguous,
+locality-preserving) query range over a thread pool — NumPy's kernels
+release the GIL, so chunks traverse in parallel.
+
+The engine reports :class:`EngineStats` with ``unique_nodes_per_level``,
+the counter that corresponds to the simulator's ``gld_transactions``
+(fewer distinct nodes touched per level ⇒ fewer memory transactions on
+the device, Figure 12).  By the disjoint-children property of Equation 1
+the run count can only grow from one level to the next, so the counter is
+monotonically non-decreasing down the tree.
+
+Caching discipline: the engine binds to one :class:`HarmoniaLayout`
+snapshot.  Batch updates replace the snapshot (phase semantics), so
+holders re-bind by identity check — see
+:meth:`repro.core.tree.HarmoniaTree.engine`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.constants import KEY_MAX, NOT_FOUND, VALUE_DTYPE
+from repro.core.layout import HarmoniaLayout
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_key_array
+
+#: Minimum mean run length for the grouped (per-run ``searchsorted``) path
+#: to beat the broadcast compare at a level; below it the per-run NumPy
+#: dispatch overhead dominates and the engine falls back.
+DEFAULT_GROUP_THRESHOLD = 8
+
+#: Batches smaller than this are not worth sharding across threads.
+DEFAULT_MIN_PARALLEL = 1 << 15
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Execution record of one :meth:`BatchQueryEngine.execute` call.
+
+    ``unique_nodes_per_level[l]`` counts the frontier *runs* at level
+    ``l`` — for a PSA-grouped batch exactly the distinct nodes visited,
+    the host-side analog of the simulator's ``gld_transactions`` (summed
+    across shards in the threaded mode).  ``grouped_levels`` /
+    ``broadcast_levels`` count level executions taken by each strategy.
+    """
+
+    n_queries: int
+    height: int
+    unique_nodes_per_level: np.ndarray  # (height,) int64
+    grouped_levels: int
+    broadcast_levels: int
+    n_chunks: int
+    issue_sorted: Optional[bool]  #: PSA metadata, None when unknown
+
+    @property
+    def total_node_reads(self) -> int:
+        """Distinct node-row reads the compacted traversal performed."""
+        return int(self.unique_nodes_per_level.sum())
+
+    @property
+    def naive_node_reads(self) -> int:
+        """Row reads the naive per-query traversal would have performed."""
+        return int(self.n_queries) * int(self.height)
+
+    @property
+    def compaction_ratio(self) -> float:
+        """How many times fewer node reads than the naive path (>= 1)."""
+        reads = self.total_node_reads
+        if reads == 0:
+            return 1.0
+        return self.naive_node_reads / reads
+
+
+class EngineScratch:
+    """Shape-sticky named buffer pool.
+
+    ``array(name, shape)`` returns the cached buffer when the shape and
+    dtype match the previous request under that name, else allocates a
+    replacement — so repeated batches of the same shape allocate nothing.
+    Each worker thread owns its own scratch; buffers are never shared.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def array(
+        self,
+        name: str,
+        shape: Union[int, Tuple[int, ...]],
+        dtype=np.int64,
+    ) -> np.ndarray:
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(b.nbytes) for b in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+class BatchQueryEngine:
+    """Frontier-compacted point-lookup engine over one layout snapshot.
+
+    Drop-in accelerated replacement for
+    :func:`repro.core.search.search_batch` (bit-identical results on any
+    query order); fastest when the batch went through PSA first.
+
+    ``n_workers > 1`` shards large batches into contiguous chunks over a
+    thread pool (chunking preserves the PSA adjacency inside each shard).
+    ``group_threshold`` tunes the per-level grouped-vs-broadcast cutover.
+    """
+
+    def __init__(
+        self,
+        layout: HarmoniaLayout,
+        n_workers: int = 1,
+        min_parallel: int = DEFAULT_MIN_PARALLEL,
+        group_threshold: int = DEFAULT_GROUP_THRESHOLD,
+    ) -> None:
+        if not isinstance(layout, HarmoniaLayout):
+            raise ConfigError("BatchQueryEngine needs a HarmoniaLayout")
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if min_parallel < 1:
+            raise ConfigError(f"min_parallel must be >= 1, got {min_parallel}")
+        if group_threshold < 1:
+            raise ConfigError(
+                f"group_threshold must be >= 1, got {group_threshold}"
+            )
+        self.layout = layout
+        self.n_workers = int(n_workers)
+        self.min_parallel = int(min_parallel)
+        self.group_threshold = int(group_threshold)
+        self._scratch = [EngineScratch() for _ in range(self.n_workers)]
+        self._packed_keys: Optional[np.ndarray] = None
+        self._packed_values: Optional[np.ndarray] = None
+        self.last_stats: Optional[EngineStats] = None
+
+    # ------------------------------------------------------------ leaf block
+
+    def _packed_leaves(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The contiguous leaf block with sentinel pads squeezed out.
+
+        §3.2.1's point: leaves are one consecutive array, so the real leaf
+        keys are globally sorted once the ``KEY_MAX`` pads between rows are
+        removed.  Built once per layout snapshot, O(n_keys).
+        """
+        if self._packed_keys is None:
+            layout = self.layout
+            leaf_keys = layout.key_region[layout.leaf_start :].ravel()
+            mask = leaf_keys != KEY_MAX
+            self._packed_keys = np.ascontiguousarray(leaf_keys[mask])
+            self._packed_values = np.ascontiguousarray(
+                layout.leaf_values.ravel()[mask]
+            )
+        return self._packed_keys, self._packed_values
+
+    # ------------------------------------------------------------- execution
+
+    def execute(
+        self,
+        queries,
+        issue_sorted: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Batch point lookup; values aligned with ``queries`` as given
+        (no PSA restore — use :meth:`execute_prepared` for that).
+
+        ``issue_sorted`` is the PSA metadata hint recorded in the stats;
+        correctness never depends on it (runs are detected per level).
+        """
+        q = ensure_key_array(np.asarray(queries), "queries")
+        nq = q.size
+        h = self.layout.height
+        values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+        if nq == 0:
+            self.last_stats = EngineStats(
+                0, h, np.zeros(h, dtype=np.int64), 0, 0, 0, issue_sorted
+            )
+            return values
+        self._packed_leaves()  # build before any worker threads start
+
+        if self.n_workers > 1 and nq >= max(self.min_parallel, self.n_workers):
+            chunks = self._chunk_bounds(nq)
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = [
+                    pool.submit(
+                        self._run_chunk, q[s:e], self._scratch[i], values[s:e]
+                    )
+                    for i, (s, e) in enumerate(chunks)
+                ]
+                parts = [f.result() for f in futures]
+            uniq = np.sum([p[0] for p in parts], axis=0).astype(np.int64)
+            grouped = sum(p[1] for p in parts)
+            broadcast = sum(p[2] for p in parts)
+            n_chunks = len(chunks)
+        else:
+            uniq, grouped, broadcast = self._run_chunk(
+                q, self._scratch[0], values
+            )
+            n_chunks = 1
+        self.last_stats = EngineStats(
+            nq, h, uniq, grouped, broadcast, n_chunks, issue_sorted
+        )
+        return values
+
+    def execute_prepared(self, prepared) -> np.ndarray:
+        """Run a :class:`~repro.core.tree.PreparedBatch` and restore the
+        results to arrival order (the full §4.1 contract)."""
+        issue = self.execute(
+            prepared.psa.queries, issue_sorted=prepared.psa.issue_sorted
+        )
+        return issue[prepared.psa.restore]
+
+    # -------------------------------------------------------------- internals
+
+    def _chunk_bounds(self, nq: int):
+        step = -(-nq // self.n_workers)  # ceil
+        return [(s, min(s + step, nq)) for s in range(0, nq, step)]
+
+    def _run_chunk(
+        self,
+        q: np.ndarray,
+        scratch: EngineScratch,
+        out: np.ndarray,
+    ) -> Tuple[np.ndarray, int, int]:
+        """Traverse one contiguous query chunk, writing values into ``out``
+        (a view of the shared result array).  Returns
+        ``(runs_per_level, grouped_levels, broadcast_levels)``."""
+        layout = self.layout
+        kr = layout.key_region
+        ps = layout.prefix_sum
+        h = layout.height
+        nq = q.size
+
+        node = scratch.array("node", nq)
+        tmp = scratch.array("tmp", nq)
+        slot = scratch.array("slot", nq)
+        node[:] = 0
+        uniq = np.zeros(h, dtype=np.int64)
+        grouped = broadcast = 0
+
+        for lvl in range(h - 1):
+            starts = self._run_starts(node, scratch)
+            uniq[lvl] = starts.size
+            if starts.size * self.group_threshold <= nq:
+                grouped += 1
+                # One searchsorted per distinct node against its contiguous
+                # query slice: the row is read once however many queries
+                # share it.
+                bounds = starts.tolist() + [nq]
+                for j in range(starts.size):
+                    s, e = bounds[j], bounds[j + 1]
+                    slot[s:e] = np.searchsorted(
+                        kr[node[s]], q[s:e], side="right"
+                    )
+            else:
+                broadcast += 1
+                # Runs too short to pay for per-run dispatch: per-query
+                # broadcast compare, identical to the naive path.
+                rows = scratch.array("rows", (nq, layout.slots))
+                mask = scratch.array("mask", (nq, layout.slots), np.bool_)
+                np.take(kr, node, axis=0, out=rows)
+                np.less_equal(rows, q[:, None], out=mask)
+                np.sum(mask, axis=1, out=slot)
+            np.take(ps, node, out=tmp)
+            np.add(tmp, slot, out=node)  # Equation 1, vectorized
+
+        uniq[h - 1] = self._run_starts(node, scratch).size
+
+        # Leaf level: one batched binary search over the packed contiguous
+        # leaf block (§3.2.1) resolves every query at once.
+        pk, pv = self._packed_keys, self._packed_values
+        pos = np.searchsorted(pk, q, side="left")
+        np.minimum(pos, pk.size - 1, out=pos)
+        found = scratch.array("found", nq, np.bool_)
+        np.equal(pk[pos], q, out=found)
+        out[found] = pv[pos[found]]  # misses keep the NOT_FOUND prefill
+        return uniq, grouped, broadcast
+
+    @staticmethod
+    def _run_starts(node: np.ndarray, scratch: EngineScratch) -> np.ndarray:
+        """Start indices of the maximal equal-value runs of ``node``."""
+        n = node.size
+        if n <= 1:
+            return np.zeros(n, dtype=np.int64)
+        change = scratch.array("change", n - 1, np.bool_)
+        np.not_equal(node[1:], node[:-1], out=change)
+        inner = np.flatnonzero(change)
+        starts = np.empty(inner.size + 1, dtype=np.int64)
+        starts[0] = 0
+        np.add(inner, 1, out=starts[1:])
+        return starts
+
+
+__all__ = [
+    "BatchQueryEngine",
+    "EngineScratch",
+    "EngineStats",
+    "DEFAULT_GROUP_THRESHOLD",
+    "DEFAULT_MIN_PARALLEL",
+]

@@ -67,6 +67,12 @@ class HarmoniaLayout:
         self.n_nodes = int(self.key_region.shape[0])
         self.leaf_start = int(self.level_starts[self.height - 1])
         self.n_leaves = self.n_nodes - self.leaf_start
+        # Lazy scalar-search caches (Python-list views of hot rows).  The
+        # snapshot discipline makes these safe: batch updates touch only
+        # leaf rows of the outgoing snapshot and replace the layout object
+        # for the next phase, so cached *internal* rows never go stale.
+        self._row_lists: dict = {}
+        self._prefix_list: Optional[List[int]] = None
 
     # ------------------------------------------------------------- builders
 
@@ -166,6 +172,30 @@ class HarmoniaLayout:
 
     def is_leaf(self, node: int) -> bool:
         return node >= self.leaf_start
+
+    def internal_row_list(self, node: int) -> List[int]:
+        """One *internal* node's key row as a cached Python list.
+
+        The scalar-search fast path: ``bisect`` on a plain list beats a
+        ``np.searchsorted`` dispatch on a tiny row by an order of
+        magnitude, and internal rows are few (≈ ``n_nodes / fanout``) and
+        revisited constantly (the root on every query), so the cache stays
+        small and hot.  Leaf rows are deliberately not cached — there are
+        ``fanout``× more of them and each is typically visited once.
+        """
+        lst = self._row_lists.get(node)
+        if lst is None:
+            if node >= self.leaf_start:
+                raise IndexError(f"node {node} is a leaf; cache is internal-only")
+            lst = self.key_region[node].tolist()
+            self._row_lists[node] = lst
+        return lst
+
+    def prefix_sum_list(self) -> List[int]:
+        """The child region as a cached Python list (scalar fast path)."""
+        if self._prefix_list is None:
+            self._prefix_list = self.prefix_sum.tolist()
+        return self._prefix_list
 
     def level_of(self, node: int) -> int:
         """Tree level of a BFS index (root = 0)."""

@@ -84,6 +84,13 @@ def optimal_sort_bits(
     return int(min(max(0.0, math.ceil(n)), key_bits))
 
 
+def _non_decreasing(arr: np.ndarray) -> bool:
+    """O(n) sortedness check of the issued batch (the PSA metadata)."""
+    if arr.size <= 1:
+        return True
+    return bool(np.all(arr[1:] >= arr[:-1]))
+
+
 @dataclass(frozen=True)
 class PSABatch:
     """A query batch prepared for issue.
@@ -102,6 +109,12 @@ class PSABatch:
     bits_sorted: int
     sort_passes: int
     sort_cost: float
+    #: Whether ``queries`` is globally non-decreasing in issue order — the
+    #: sortedness metadata the frontier compactor
+    #: (:class:`repro.core.engine.BatchQueryEngine`) consumes: a sorted
+    #: batch guarantees the per-level frontier is run-length encoded, an
+    #: unsorted one merely tends to be (top ``bits_sorted`` bits grouped).
+    issue_sorted: bool = False
 
     @property
     def n(self) -> int:
@@ -134,13 +147,15 @@ def prepare_batch(
 
     res: RadixSortResult = partial_radix_argsort(q, bits=bits, key_bits=key_bits)
     order = res.order
+    issued = q[order]
     return PSABatch(
-        queries=q[order],
+        queries=issued,
         order=order,
         restore=res.inverse(),
         bits_sorted=res.bits_sorted,
         sort_passes=res.passes,
         sort_cost=partial_sort_cost(q.size, bits, key_bits=key_bits),
+        issue_sorted=_non_decreasing(issued),
     )
 
 
@@ -150,7 +165,7 @@ def identity_batch(queries: Sequence[int]) -> PSABatch:
     idx = np.arange(q.size, dtype=np.int64)
     return PSABatch(
         queries=q, order=idx, restore=idx.copy(), bits_sorted=0, sort_passes=0,
-        sort_cost=0.0,
+        sort_cost=0.0, issue_sorted=_non_decreasing(q),
     )
 
 

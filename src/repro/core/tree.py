@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.constants import DEFAULT_FANOUT, NOT_FOUND
 from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.engine import BatchQueryEngine, EngineStats
 from repro.core.layout import HarmoniaLayout
 from repro.core.ntg import NTGSelection, choose_group_size, fanout_group_size
 from repro.core.psa import PSABatch, identity_batch, prepare_batch
@@ -110,6 +111,8 @@ class HarmoniaTree:
         return tree
 
     _empty_fanout: int = DEFAULT_FANOUT
+    #: Cached frontier-compaction engine (rebound on snapshot replacement).
+    _engine: Optional[BatchQueryEngine] = None
 
     # ------------------------------------------------------------ properties
 
@@ -192,10 +195,12 @@ class HarmoniaTree:
         queries: Sequence[int],
         config: Optional[SearchConfig] = None,
     ) -> np.ndarray:
-        """Batched lookup through the full pipeline.
+        """Batched lookup through the full pipeline, naive executor.
 
         Returns values aligned with the *input* order (PSA permutation is
         undone); absent keys map to :data:`~repro.constants.NOT_FOUND`.
+        This path always runs the per-query broadcast traversal and is
+        kept as the oracle; :meth:`search_many` is the fast engine path.
         """
         q = ensure_key_array(np.asarray(queries), "queries")
         if self._layout is None:
@@ -203,6 +208,58 @@ class HarmoniaTree:
         prepared = self.prepare_queries(q, config)
         results = _search_batch(self._layout, prepared.queries)
         return results[prepared.psa.restore]
+
+    def engine(self, config: Optional[SearchConfig] = None) -> BatchQueryEngine:
+        """The frontier-compaction engine bound to the current snapshot.
+
+        Cached: rebuilt only when the layout snapshot is replaced (batch
+        update) or the worker configuration changes, so scratch buffers
+        and the packed leaf block persist across batches.
+        """
+        cfg = config or self.search_config
+        layout = self.layout  # raises on an empty tree
+        eng = self._engine
+        if (
+            eng is None
+            or eng.layout is not layout
+            or eng.n_workers != cfg.engine_workers
+            or eng.min_parallel != cfg.engine_min_parallel
+        ):
+            eng = BatchQueryEngine(
+                layout,
+                n_workers=cfg.engine_workers,
+                min_parallel=cfg.engine_min_parallel,
+            )
+            self._engine = eng
+        return eng
+
+    def search_many(
+        self,
+        queries: Sequence[int],
+        config: Optional[SearchConfig] = None,
+    ) -> np.ndarray:
+        """Batched lookup through the configured engine (§4.1's pipeline:
+        PSA reorder → frontier-compacted traversal → restore).
+
+        Bit-identical to :meth:`search_batch`; ``config.engine`` selects
+        the executor (``"compacted"`` by default, ``"naive"`` for the
+        oracle path) and ``config.engine_workers`` enables sharded
+        multi-threaded execution on large batches.
+        """
+        cfg = config or self.search_config
+        q = ensure_key_array(np.asarray(queries), "queries")
+        if self._layout is None:
+            return np.full(q.size, NOT_FOUND, dtype=np.int64)
+        prepared = self.prepare_queries(q, cfg)
+        if cfg.engine == "compacted":
+            return self.engine(cfg).execute_prepared(prepared)
+        results = _search_batch(self._layout, prepared.queries)
+        return results[prepared.psa.restore]
+
+    @property
+    def last_engine_stats(self) -> Optional[EngineStats]:
+        """Stats of the most recent compacted-engine execution (or None)."""
+        return self._engine.last_stats if self._engine is not None else None
 
     def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
         """All pairs with ``lo <= key <= hi`` (keys ascending)."""

@@ -34,6 +34,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext_baselines": "repro.experiments.ext_baselines",
     "ext_fanout": "repro.experiments.ext_fanout",
     "ext_mixed": "repro.experiments.ext_mixed",
+    "ext_engine": "repro.experiments.ext_engine",
 }
 
 

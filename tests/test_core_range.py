@@ -85,3 +85,36 @@ class TestRangeBatch:
         layout, _ = setup
         with pytest.raises(ValueError):
             range_search_batch(layout, [1, 2], [3])
+
+
+class TestRangeBatchVectorized:
+    """The batched-traversal rewrite: one level-synchronous pass locates
+    every lo/hi leaf; outputs stay bit-identical to scalar range_search."""
+
+    def test_random_bounds_match_scalar(self, setup, rng=None):
+        layout, keys = setup
+        gen = np.random.default_rng(99)
+        los = gen.integers(-5, 10_500, 200).astype(np.int64)
+        his = los + gen.integers(0, 2_000, 200).astype(np.int64)
+        his[::5] = los[::5] - 1  # inverted bounds -> empty results
+        los = np.maximum(los, 0)
+        his = np.maximum(his, 0)
+        batch = range_search_batch(layout, los, his)
+        assert len(batch) == los.size
+        for (bk, bv), lo, hi in zip(batch, los, his):
+            sk, sv = range_search(layout, int(lo), int(hi))
+            assert np.array_equal(bk, sk)
+            assert np.array_equal(bv, sv)
+
+    def test_empty_batch(self, setup):
+        layout, _ = setup
+        assert range_search_batch(layout, [], []) == []
+
+    def test_locate_leaves_batch_agrees_with_traversal(self, setup):
+        from repro.core.search import locate_leaves_batch, traverse_batch
+
+        layout, keys = setup
+        targets = np.array([0, 1, 4_999, 9_999, 20_000], dtype=np.int64)
+        leaves = locate_leaves_batch(layout, targets)
+        trace = traverse_batch(layout, targets)
+        assert np.array_equal(leaves, trace.node_idx[-1] - layout.leaf_start)
