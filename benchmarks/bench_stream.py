@@ -1,0 +1,224 @@
+"""Stream bench — serial sort-then-traverse vs the overlapped executor.
+
+Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_stream.py
+  --benchmark-only``) timing the legacy serial pipeline and the streaming
+  executor's ``serial`` and ``overlap`` modes on the shared bench fixtures;
+* a standalone emitter (``python benchmarks/bench_stream.py``) that sweeps
+  batch sizes x tree sizes and writes ``BENCH_stream.json`` at the repo
+  root.  The acceptance point (2^16-query batches over a 2^20-key tree)
+  compares the overlapped executor against the *pre-PR* serial
+  sort-then-traverse pipeline — the legacy radix pass (int64 digit arrays,
+  whole-digit top pass), an eagerly materialized inverse permutation, and
+  a restore gather — i.e. exactly what ``search_many`` cost before this
+  change.
+
+Honesty notes baked into the emitted stats: the container this repo grows
+in has **one** CPU, so sort/traverse overlap is work-conserving there —
+``overlap_vs_serial`` (same executor, same sort) hovers near 1.0 and the
+acceptance speedup comes from the real work the executor removes (narrowed
+counting passes, slot reuse, direct scatter instead of inverse+gather).
+On a multicore host the overlap additionally hides up to
+``min(sort, traverse)`` per batch, which is what ``sort_hidden`` and the
+``model_double_buffer_s`` column quantify.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import HarmoniaTree, StreamExecutor
+from repro.core.engine import BatchQueryEngine
+from repro.core.psa import optimal_sort_bits
+from repro.sort.radix import radix_passes
+from repro.workloads.generators import make_key_set, uniform_queries
+
+# ----------------------------------------------------- legacy serial baseline
+
+
+def _legacy_partial_argsort(keys, bits, digit_bits=8, key_bits=64):
+    """The pre-PR partial radix argsort, kept verbatim as the baseline:
+    digit arrays stay int64 (NumPy's stable argsort then histograms all
+    eight bytes per pass) and the pass ladder rounds the top pass up to a
+    whole digit."""
+    order = np.arange(keys.size, dtype=np.int64)
+    if bits == 0 or keys.size <= 1:
+        return order
+    digit_bits = min(digit_bits, bits)
+    mask = (1 << digit_bits) - 1
+    n_passes = radix_passes(bits, digit_bits)
+    start = key_bits - n_passes * digit_bits
+    for p in range(n_passes):
+        shift = start + p * digit_bits
+        if shift < 0:
+            span_mask = (1 << (digit_bits + shift)) - 1
+            digits = keys[order] & span_mask
+        else:
+            digits = (keys[order] >> shift) & mask
+        order = order[np.argsort(digits, kind="stable")]
+    return order
+
+
+def legacy_serial_stream(layout, queries, batch_size, engine):
+    """The pre-PR cost stack per batch: legacy sort -> gather to issue
+    order -> eager inverse permutation -> traverse (fresh output array) ->
+    restore gather -> copy into the output slice.  Strictly serial."""
+    n = queries.size
+    bits = optimal_sort_bits(max(layout.n_keys, 1), 16, layout.key_space_bits())
+    out = np.empty(n, dtype=np.int64)
+    for s in range(0, n, batch_size):
+        e = min(s + batch_size, n)
+        order = _legacy_partial_argsort(
+            queries[s:e], bits, key_bits=layout.key_space_bits()
+        )
+        issued = queries[s:e][order]
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(order.size, dtype=np.int64)
+        values = engine.execute(issued)
+        out[s:e] = values[inverse]
+    return out
+
+
+# --------------------------------------------------------- pytest-benchmark
+
+
+def test_stream_legacy_serial(benchmark, bench_tree, bench_queries):
+    layout = bench_tree.layout
+    engine = BatchQueryEngine(layout)
+    batch = max(1 << 12, bench_queries.size // 4)
+    engine.execute(bench_queries[:batch])  # warm scratch + packed leaves
+    out = benchmark(
+        legacy_serial_stream, layout, bench_queries, batch, engine
+    )
+    assert np.array_equal(out, bench_tree.search_batch(bench_queries))
+
+
+def test_stream_serial(benchmark, bench_tree, bench_queries):
+    ex = StreamExecutor(
+        bench_tree.layout,
+        batch_size=max(1 << 12, bench_queries.size // 4),
+        mode="serial",
+        depth=1,
+    )
+    ex.run(bench_queries)
+    out = benchmark(ex.run, bench_queries)
+    assert np.array_equal(out, bench_tree.search_batch(bench_queries))
+    benchmark.extra_info["stats"] = ex.last_stats.summary()
+
+
+def test_stream_overlap(benchmark, bench_tree, bench_queries):
+    ex = StreamExecutor(
+        bench_tree.layout,
+        batch_size=max(1 << 12, bench_queries.size // 4),
+        mode="overlap",
+    )
+    ex.run(bench_queries)
+    out = benchmark(ex.run, bench_queries)
+    assert np.array_equal(out, bench_tree.search_batch(bench_queries))
+    benchmark.extra_info["stats"] = ex.last_stats.summary()
+
+
+# ------------------------------------------------------------ JSON emitter
+
+
+def _best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(tree_log2: int, batch_log2: int, n_batches: int = 4,
+            seed: int = 1234) -> dict:
+    """One sweep point: the legacy serial pipeline vs the streaming
+    executor (serial and overlap modes) on ``n_batches`` batches."""
+    keys = make_key_set(1 << tree_log2, rng=seed)
+    tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    layout = tree.layout
+    batch = 1 << batch_log2
+    queries = uniform_queries(keys, n_batches * batch, rng=seed + 1)
+
+    legacy_engine = BatchQueryEngine(layout)
+    serial_ex = StreamExecutor(layout, batch_size=batch, mode="serial", depth=1)
+    overlap_ex = StreamExecutor(layout, batch_size=batch, mode="overlap")
+    overlap_ex.engine.share_packed_leaves(serial_ex.engine)
+    legacy_engine.share_packed_leaves(serial_ex.engine)
+
+    ref = legacy_serial_stream(layout, queries, batch, legacy_engine)  # warm
+    assert np.array_equal(serial_ex.run(queries), ref)
+    assert np.array_equal(overlap_ex.run(queries), ref)
+
+    t_legacy = _best_of(
+        lambda: legacy_serial_stream(layout, queries, batch, legacy_engine)
+    )
+    t_serial = _best_of(lambda: serial_ex.run(queries))
+    t_overlap = _best_of(lambda: overlap_ex.run(queries))
+    st = overlap_ex.last_stats
+    return {
+        "tree_log2": tree_log2,
+        "batch_log2": batch_log2,
+        "n_batches": n_batches,
+        "bits_sorted": st.bits_sorted,
+        "legacy_serial_s": round(t_legacy, 6),
+        "stream_serial_s": round(t_serial, 6),
+        "stream_overlap_s": round(t_overlap, 6),
+        "speedup_overlap_vs_legacy": round(t_legacy / t_overlap, 2),
+        "overlap_vs_serial": round(t_serial / t_overlap, 2),
+        "steady_sort_ms": round(st.steady_sort_s * 1e3, 3),
+        "steady_traverse_ms": round(st.steady_traverse_s * 1e3, 3),
+        "steady_scatter_ms": round(st.steady_scatter_s * 1e3, 3),
+        "sort_hidden": st.sort_hidden,
+        "overlapped_ms": round(st.overlapped_s * 1e3, 3),
+        "occupancy": round(st.occupancy, 3),
+        "model_serial_s": round(st.model_total_s("serial"), 6),
+        "model_double_buffer_s": round(st.model_total_s("double_buffer"), 6),
+    }
+
+
+def main(out_path: str = None) -> dict:
+    rows = []
+    for tree_log2 in (18, 20):
+        for batch_log2 in (14, 16):
+            rows.append(measure(tree_log2, batch_log2))
+    acceptance = next(
+        r for r in rows if r["tree_log2"] == 20 and r["batch_log2"] == 16
+    )
+    record = {
+        "bench": "stream",
+        "workload": "uniform point lookups streamed in fixed batches, "
+        "fanout 64, fill 0.7",
+        "cpu_count": os.cpu_count() or 1,
+        "acceptance": {
+            "criterion": "overlapped executor >= 1.3x the pre-PR serial "
+            "sort-then-traverse at 2^16-query batches / 2^20 keys",
+            "speedup": acceptance["speedup_overlap_vs_legacy"],
+            "ok": acceptance["speedup_overlap_vs_legacy"] >= 1.3,
+            "sort_hidden": acceptance["sort_hidden"],
+            "overlap_vs_serial_same_sort": acceptance["overlap_vs_serial"],
+            "note": "on this 1-CPU container the overlap is work-conserving "
+            "(overlap_vs_serial ~ 1.0); the speedup is real work removed — "
+            "narrowed counting passes, slot reuse, direct scatter. On a "
+            "multicore host overlap additionally hides up to "
+            "min(sort, traverse) per batch (model_double_buffer_s).",
+        },
+        "rows": rows,
+    }
+    path = pathlib.Path(
+        out_path or pathlib.Path(__file__).parent.parent / "BENCH_stream.json"
+    )
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {path}")
+    print(json.dumps(record["acceptance"], indent=2))
+    return record
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -28,6 +28,8 @@ from repro.core import (
     HarmoniaTree,
     RecordStore,
     SearchConfig,
+    StreamExecutor,
+    StreamStats,
     UpdateConfig,
     ValueHeap,
     compact,
@@ -51,6 +53,8 @@ __all__ = [
     "HarmoniaLayout",
     "BatchQueryEngine",
     "EngineStats",
+    "StreamExecutor",
+    "StreamStats",
     "SearchConfig",
     "UpdateConfig",
     "EpochManager",

@@ -6,6 +6,8 @@
 * :mod:`repro.core.engine` — frontier-compacted batch query engine (the
   host-side exploitation of §4.1's PSA locality).
 * :mod:`repro.core.psa` — partially-sorted aggregation (§4.1).
+* :mod:`repro.core.stream` — double-buffered streaming executor overlapping
+  the PSA sort of the next batch with the traversal of the current (§4.1.3).
 * :mod:`repro.core.ntg` — narrowed thread-group traversal model (§4.2).
 * :mod:`repro.core.update` — batch updates with two-grained locking and
   auxiliary nodes (§3.2.2, Algorithm 1).
@@ -21,6 +23,7 @@ from repro.core.io import load_layout, load_tree, save_layout, save_tree
 from repro.core.layout import HarmoniaLayout
 from repro.core.merge import compact, merge_layouts
 from repro.core.stats import layout_stats
+from repro.core.stream import BatchTrace, StreamExecutor, StreamStats
 from repro.core.tree import HarmoniaTree
 from repro.core.tuning import recommend_fanout
 
@@ -30,6 +33,9 @@ __all__ = [
     "BatchQueryEngine",
     "EngineScratch",
     "EngineStats",
+    "StreamExecutor",
+    "StreamStats",
+    "BatchTrace",
     "SearchConfig",
     "UpdateConfig",
     "EpochManager",

@@ -33,6 +33,14 @@ class SearchConfig:
     * ``engine_workers`` / ``engine_min_parallel``: sharded execution —
       batches of at least ``engine_min_parallel`` queries are split into
       ``engine_workers`` contiguous chunks over a thread pool.
+    * ``stream_*``: the §4.1.3 streaming executor behind
+      :meth:`~repro.core.tree.HarmoniaTree.search_stream`.  Traffic is cut
+      into ``stream_batch``-query batches; ``stream_mode="overlap"``
+      pipelines the PSA sort of batch *i+1* under the traversal of batch
+      *i* on ``stream_sort_workers`` background thread(s), with
+      ``stream_depth`` reusable buffer slots bounding the in-flight
+      lookahead (``depth - 1`` sorts ahead).  ``"serial"`` runs the stages
+      back to back per batch — the ablation baseline.
     """
 
     use_psa: bool = True
@@ -47,6 +55,10 @@ class SearchConfig:
     engine: str = "compacted"
     engine_workers: int = 1
     engine_min_parallel: int = 1 << 15
+    stream_batch: int = 1 << 14
+    stream_depth: int = 2
+    stream_sort_workers: int = 1
+    stream_mode: str = "overlap"
 
     def __post_init__(self) -> None:
         ensure_power_of_two("warp_size", self.warp_size)
@@ -71,6 +83,18 @@ class SearchConfig:
             )
         ensure_positive("engine_workers", self.engine_workers)
         ensure_positive("engine_min_parallel", self.engine_min_parallel)
+        ensure_positive("stream_batch", self.stream_batch)
+        ensure_positive("stream_sort_workers", self.stream_sort_workers)
+        if self.stream_mode not in ("serial", "overlap"):
+            raise ConfigError(
+                f"stream_mode must be 'serial'|'overlap', got {self.stream_mode!r}"
+            )
+        min_depth = 2 if self.stream_mode == "overlap" else 1
+        if self.stream_depth < min_depth:
+            raise ConfigError(
+                f"stream_depth must be >= {min_depth} for "
+                f"stream_mode={self.stream_mode!r}, got {self.stream_depth}"
+            )
 
     # Convenience presets matching the paper's ablation (Figure 13).
     @classmethod

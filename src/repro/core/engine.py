@@ -204,23 +204,53 @@ class BatchQueryEngine:
             )
         return self._packed_keys, self._packed_values
 
+    def share_packed_leaves(self, other: "BatchQueryEngine") -> None:
+        """Adopt ``other``'s packed leaf block instead of rebuilding it.
+
+        The packed arrays are immutable once built (phase semantics: batch
+        updates swap the whole layout snapshot), so engines over the *same*
+        snapshot can share them safely — the streaming path spins up one
+        engine per call for thread safety and this keeps that O(1) instead
+        of O(n_keys).
+        """
+        if other.layout is not self.layout:
+            raise ConfigError(
+                "share_packed_leaves requires the same layout snapshot"
+            )
+        other._packed_leaves()
+        self._packed_keys = other._packed_keys
+        self._packed_values = other._packed_values
+
     # ------------------------------------------------------------- execution
 
     def execute(
         self,
         queries,
         issue_sorted: Optional[bool] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Batch point lookup; values aligned with ``queries`` as given
         (no PSA restore — use :meth:`execute_prepared` for that).
 
         ``issue_sorted`` is the PSA metadata hint recorded in the stats;
         correctness never depends on it (runs are detected per level).
+        ``out`` lets callers supply the result buffer (the streaming
+        executor's per-slot scratch); it must match the batch size and is
+        overwritten in full.
         """
         q = ensure_key_array(np.asarray(queries), "queries")
         nq = q.size
         h = self.layout.height
-        values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+        if out is None:
+            values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+        else:
+            if out.shape != (nq,) or out.dtype != np.dtype(VALUE_DTYPE):
+                raise ConfigError(
+                    f"out must be shape ({nq},) dtype {np.dtype(VALUE_DTYPE)}, "
+                    f"got shape {out.shape} dtype {out.dtype}"
+                )
+            values = out
+            values.fill(NOT_FOUND)
         if nq == 0:
             self.last_stats = EngineStats(
                 0, h, np.zeros(h, dtype=np.int64), 0, 0, 0, issue_sorted
@@ -254,11 +284,15 @@ class BatchQueryEngine:
 
     def execute_prepared(self, prepared) -> np.ndarray:
         """Run a :class:`~repro.core.tree.PreparedBatch` and restore the
-        results to arrival order (the full §4.1 contract)."""
+        results to arrival order (the full §4.1 contract).
+
+        Restore is a direct scatter through the PSA permutation — the
+        inverse permutation is never materialized.
+        """
         issue = self.execute(
             prepared.psa.queries, issue_sorted=prepared.psa.issue_sorted
         )
-        return issue[prepared.psa.restore]
+        return prepared.psa.scatter_restore(issue)
 
     # -------------------------------------------------------------- internals
 

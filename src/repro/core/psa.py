@@ -96,16 +96,16 @@ class PSABatch:
     """A query batch prepared for issue.
 
     ``queries`` is the (partially) sorted batch actually fed to the kernel;
-    ``order`` maps issue position → original position and ``restore`` maps
-    back, so callers recover result alignment with
-    ``results_original = kernel_results[psab.restore]``.
+    ``order`` maps issue position → original position.  Callers recover
+    result alignment either with :meth:`scatter_restore` (one direct
+    scatter through ``order``, the cheap path) or by gathering through the
+    lazily-built :attr:`restore` inverse permutation.
     ``sort_passes`` is the radix pass count (cost-model unit); ``sort_cost``
     the modeled element-pass cost.
     """
 
     queries: np.ndarray
     order: np.ndarray
-    restore: np.ndarray
     bits_sorted: int
     sort_passes: int
     sort_cost: float
@@ -119,6 +119,44 @@ class PSABatch:
     @property
     def n(self) -> int:
         return int(self.queries.size)
+
+    @property
+    def restore(self) -> np.ndarray:
+        """Inverse of ``order``: ``results_original = kernel_results[restore]``.
+
+        Built lazily and cached — the hot paths restore with
+        :meth:`scatter_restore` and never materialize it.
+        """
+        cached = self.__dict__.get("_restore")
+        if cached is None:
+            cached = np.empty_like(self.order)
+            cached[self.order] = np.arange(self.order.size, dtype=self.order.dtype)
+            object.__setattr__(self, "_restore", cached)
+        return cached
+
+    def scatter_restore(
+        self, results: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Scatter issue-order ``results`` back to arrival order.
+
+        ``out[order] = results`` is a single fancy-index store — it never
+        builds the inverse permutation, unlike the gather
+        ``results[restore]``, so it is the restore path the engine and the
+        streaming executor use.  ``out`` (when given) must be a distinct
+        buffer of the batch size; it is written in full and returned.
+        """
+        if results.shape != self.order.shape:
+            raise ConfigError(
+                f"results shape {results.shape} != batch shape {self.order.shape}"
+            )
+        if out is None:
+            out = np.empty_like(results)
+        elif out.shape != self.order.shape:
+            raise ConfigError(
+                f"out shape {out.shape} != batch shape {self.order.shape}"
+            )
+        out[self.order] = results
+        return out
 
 
 def prepare_batch(
@@ -151,7 +189,6 @@ def prepare_batch(
     return PSABatch(
         queries=issued,
         order=order,
-        restore=res.inverse(),
         bits_sorted=res.bits_sorted,
         sort_passes=res.passes,
         sort_cost=partial_sort_cost(q.size, bits, key_bits=key_bits),
@@ -164,7 +201,7 @@ def identity_batch(queries: Sequence[int]) -> PSABatch:
     q = ensure_key_array(np.asarray(queries), "queries")
     idx = np.arange(q.size, dtype=np.int64)
     return PSABatch(
-        queries=q, order=idx, restore=idx.copy(), bits_sorted=0, sort_passes=0,
+        queries=q, order=idx, bits_sorted=0, sort_passes=0,
         sort_cost=0.0, issue_sorted=_non_decreasing(q),
     )
 

@@ -254,12 +254,51 @@ class HarmoniaTree:
         if cfg.engine == "compacted":
             return self.engine(cfg).execute_prepared(prepared)
         results = _search_batch(self._layout, prepared.queries)
-        return results[prepared.psa.restore]
+        return prepared.psa.scatter_restore(results)
 
     @property
     def last_engine_stats(self) -> Optional[EngineStats]:
         """Stats of the most recent compacted-engine execution (or None)."""
         return self._engine.last_stats if self._engine is not None else None
+
+    def search_stream(
+        self,
+        queries: Sequence[int],
+        config: Optional[SearchConfig] = None,
+    ) -> np.ndarray:
+        """Batched lookup through the §4.1.3 streaming executor: traffic is
+        cut into ``config.stream_batch``-query batches and the PSA sort of
+        each next batch overlaps the traversal of the current one
+        (``config.stream_mode="overlap"``; ``"serial"`` is the unpipelined
+        baseline).  Bit-identical to :meth:`search_batch` /
+        :meth:`search_many` on the same queries.
+
+        Thread-safe: each call builds its own
+        :class:`~repro.core.stream.StreamExecutor` (slot buffers and engine
+        scratch are per-call), sharing only the immutable packed leaf block
+        with the tree's cached engine.  Per-call stats land in
+        :attr:`last_stream_stats`.
+        """
+        from repro.core.stream import StreamExecutor
+
+        cfg = config or self.search_config
+        q = ensure_key_array(np.asarray(queries), "queries")
+        if self._layout is None:
+            return np.full(q.size, NOT_FOUND, dtype=np.int64)
+        executor = StreamExecutor.from_config(
+            self._layout, cfg, share_from=self.engine(cfg)
+        )
+        out = executor.run(q)
+        self._last_stream_stats = executor.last_stats
+        return out
+
+    #: Stats of the most recent :meth:`search_stream` call (or None).
+    _last_stream_stats = None
+
+    @property
+    def last_stream_stats(self):
+        """Stats of the most recent :meth:`search_stream` call (or None)."""
+        return self._last_stream_stats
 
     def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
         """All pairs with ``lo <= key <= hi`` (keys ascending)."""

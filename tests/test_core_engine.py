@@ -285,3 +285,37 @@ def test_engine_smoke_counter_monotone(medium_layout, medium_keys, rng):
     assert counter.size == medium_layout.height
     assert np.all(np.diff(counter) >= 0)
     assert counter[0] == 1 and counter[-1] <= q.size
+
+
+# -------------------------------------------------- out= and leaf sharing
+
+
+def test_execute_out_buffer(medium_layout, medium_keys, rng):
+    """Caller-supplied output buffers are filled exactly like a fresh
+    allocation, including the NOT_FOUND prefill for misses."""
+    q = rng.choice(medium_keys, 1_000).astype(np.int64)
+    q[::5] += 1  # force some misses
+    eng = BatchQueryEngine(medium_layout)
+    ref = eng.execute(q)
+    out = np.full(q.size, 123, dtype=np.int64)
+    got = eng.execute(q, out=out)
+    assert got is out
+    assert np.array_equal(out, ref)
+    with pytest.raises(ConfigError):
+        eng.execute(q, out=np.empty(q.size + 1, dtype=np.int64))
+    with pytest.raises(ConfigError):
+        eng.execute(q, out=np.empty(q.size, dtype=np.float32))
+
+
+def test_share_packed_leaves(medium_layout, medium_keys, rng):
+    donor = BatchQueryEngine(medium_layout)
+    taker = BatchQueryEngine(medium_layout)
+    taker.share_packed_leaves(donor)
+    # Shared block is the same object, built once.
+    assert taker._packed_keys is donor._packed_keys
+    assert taker._packed_values is donor._packed_values
+    q = rng.choice(medium_keys, 500).astype(np.int64)
+    assert np.array_equal(taker.execute(q), donor.execute(q))
+    other = HarmoniaLayout.from_sorted(make_key_set(100, rng=3), fanout=8)
+    with pytest.raises(ConfigError):
+        BatchQueryEngine(other).share_packed_leaves(donor)

@@ -152,3 +152,39 @@ class TestCostModel:
     def test_monotone_in_bits(self):
         ratios = [sort_cost_ratio(b) for b in range(0, 65, 8)]
         assert ratios == sorted(ratios)
+
+
+class TestScatterRestore:
+    def test_matches_gather(self, rng):
+        q = rng.integers(0, 1 << 40, size=800)
+        psa = prepare_batch(q, bits=16)
+        issue_results = psa.queries * 3  # any issue-order payload
+        assert np.array_equal(
+            psa.scatter_restore(issue_results), issue_results[psa.restore]
+        )
+
+    def test_out_buffer(self, rng):
+        q = rng.integers(0, 1 << 40, size=300)
+        psa = prepare_batch(q, bits=12)
+        out = np.empty(q.size, dtype=np.int64)
+        got = psa.scatter_restore(psa.queries, out=out)
+        assert got is out
+        assert np.array_equal(out, q)  # scattering the issued queries
+        with pytest.raises(ConfigError):
+            psa.scatter_restore(psa.queries, out=np.empty(q.size - 1, dtype=np.int64))
+        with pytest.raises(ConfigError):
+            psa.scatter_restore(psa.queries[:-1])
+
+    def test_restore_is_lazy_and_cached(self, rng):
+        q = rng.integers(0, 1 << 40, size=100)
+        psa = prepare_batch(q, bits=8)
+        assert "_restore" not in psa.__dict__
+        first = psa.restore
+        assert psa.restore is first  # cached, not recomputed
+        assert np.array_equal(first[psa.order], np.arange(q.size))
+
+    def test_identity_batch_scatter(self, rng):
+        q = rng.integers(0, 1 << 30, size=64)
+        psa = identity_batch(q)
+        payload = np.arange(64, dtype=np.int64)
+        assert np.array_equal(psa.scatter_restore(payload), payload)

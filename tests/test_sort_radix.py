@@ -51,6 +51,7 @@ class TestFullSort:
         keys = rng.integers(0, 1 << 30, size=1_000)
         res = radix_argsort(keys)
         inv = res.inverse()
+        assert res.inverse() is inv  # cached, not recomputed per lookup
         assert np.array_equal(inv[res.order], np.arange(keys.size))
         sorted_vals = keys[res.order]
         assert np.array_equal(sorted_vals[inv], keys)
@@ -117,9 +118,33 @@ class TestPartialSort:
         keys = rng.integers(0, 1 << 62, size=2_000)
         res = partial_radix_argsort(keys, bits=19)
         assert res.passes == 3  # ceil(19/8)
-        assert res.bits_sorted == 24  # rounded to whole digits
+        assert res.bits_sorted == 19  # exactly the request — narrow top pass
         tops = keys[res.order] >> (64 - 19)
         assert np.all(np.diff(tops) >= 0)
+
+    def test_narrow_top_pass_sorts_only_requested_bits(self, rng):
+        # bits=19 with 8-bit digits: passes of 8, 8 and 3 bits.  The bit
+        # just below the participating range must stay unsorted within
+        # equal-top-19 groups (the old top-aligned ladder ordered it too).
+        keys = rng.integers(0, 1 << 62, size=4_000)
+        res = partial_radix_argsort(keys, bits=19)
+        sorted_keys = keys[res.order]
+        tops = sorted_keys >> (64 - 19)
+        assert np.all(np.diff(tops) >= 0)
+        # Stability: within an equal-top-bits group, input order survives.
+        for g in np.unique(tops[:50]):
+            grp = res.order[tops == g]
+            assert np.all(np.diff(grp) > 0)
+
+    def test_cost_pinned_to_executed_passes(self, rng):
+        # §4.1.2's model unit is the counting pass; the implementation
+        # must execute exactly the passes the model charges for.
+        keys = rng.integers(0, 1 << 62, size=512)
+        for bits in (1, 7, 8, 9, 16, 19, 24, 33, 64):
+            res = partial_radix_argsort(keys, bits=bits)
+            assert res.passes == radix_passes(bits)
+            assert partial_sort_cost(keys.size, bits) == keys.size * res.passes
+            assert res.bits_sorted == bits
 
 
 class TestCostModel:
