@@ -42,6 +42,7 @@ from repro.core import (
     save_tree,
 )
 from repro.core.update import Operation
+from repro.obs import MetricsRegistry, TraceConfig
 from repro.btree import ImplicitBPlusTree, RegularBPlusTree, bulk_load
 from repro.baselines import CPUBTreeSearcher, HBTree
 from repro.gpusim import DeviceSpec, TESLA_K80, TITAN_V
@@ -57,6 +58,8 @@ __all__ = [
     "StreamStats",
     "SearchConfig",
     "UpdateConfig",
+    "MetricsRegistry",
+    "TraceConfig",
     "EpochManager",
     "Operation",
     "save_layout",

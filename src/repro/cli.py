@@ -7,6 +7,10 @@ shell.
     harmonia-tool range  index.npz 100 200
     harmonia-tool stats  index.npz
     harmonia-tool simulate index.npz --queries 65536 --device k80
+    harmonia-tool obs record --out obs/       # recorded run + trace + report
+    harmonia-tool obs report obs/snapshot.json
+    harmonia-tool obs diff A.json B.json      # counter/gauge deltas
+    harmonia-tool obs validate obs/snapshot.json
 
 (The figure-regeneration CLI is separate: ``harmonia-experiments``.)
 """
@@ -132,6 +136,88 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_record(args: argparse.Namespace) -> int:
+    """One instrumented end-to-end run: overlapped stream + simulated
+    kernel under a single recording, exported as snapshot + Chrome trace.
+
+    This is the acceptance run for the observability layer: the trace
+    shows the §4.1.3 sort/traverse overlap on separate thread tracks, and
+    the snapshot carries both ``engine.unique_nodes.l*`` and
+    ``gpusim.transactions_per_warp`` for ``obs report``.
+    """
+    import os
+
+    import repro.obs as obs
+    from repro.gpusim import simulate_harmonia_search
+    from repro.obs.export import write_chrome_trace, write_snapshot
+    from repro.obs.report import render_report
+    from repro.obs.schema import validate_snapshot
+    from repro.workloads.datasets import miniaturized_device
+    from repro.workloads.generators import make_key_set, uniform_queries
+
+    rng = np.random.default_rng(args.seed)
+    keys = make_key_set(args.keys, rng=args.seed)
+    tree = HarmoniaTree.from_sorted(keys, fanout=args.fanout)
+    queries = uniform_queries(tree.layout.all_keys(), args.queries, rng=rng)
+    cfg = SearchConfig(
+        stream_batch=max(args.queries // 8, 1), stream_mode="overlap"
+    )
+
+    with obs.recording() as rec:
+        tree.search_stream(queries, cfg)
+        sim_n = min(args.queries, 1 << 12)
+        prep = tree.prepare_queries(queries[:sim_n], SearchConfig.full())
+        device = miniaturized_device(len(tree), sim_n)
+        simulate_harmonia_search(
+            tree.layout, prep.queries, prep.group_size, device=device
+        )
+
+    snapshot = rec.snapshot()
+    problems = validate_snapshot(snapshot)
+    os.makedirs(args.out, exist_ok=True)
+    snap_path = write_snapshot(snapshot, os.path.join(args.out, "snapshot.json"))
+    trace_path = write_chrome_trace(rec, os.path.join(args.out, "trace.json"))
+    print(render_report(snapshot))
+    print(f"snapshot: {snap_path}")
+    print(f"chrome trace: {trace_path} (load in chrome://tracing or "
+          "https://ui.perfetto.dev)")
+    if problems:
+        for p in problems:
+            print(f"harmonia-tool: obs: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_metrics
+    from repro.obs.report import render_report
+
+    print(render_report(load_metrics(args.snapshot)), end="")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_metrics
+    from repro.obs.report import render_diff
+
+    print(render_diff(load_metrics(args.a), load_metrics(args.b),
+                      label_a=args.a, label_b=args.b), end="")
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_metrics
+    from repro.obs.schema import validate_snapshot
+
+    problems = validate_snapshot(load_metrics(args.snapshot))
+    if problems:
+        for p in problems:
+            print(f"{args.snapshot}: {p}")
+        return 1
+    print(f"{args.snapshot}: ok")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="harmonia-tool",
@@ -173,6 +259,41 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--device", choices=("titanv", "k80"), default="titanv")
     m.add_argument("--seed", type=int, default=0)
     m.set_defaults(func=_cmd_simulate)
+
+    o = sub.add_parser(
+        "obs", help="observability: record / report / diff / validate"
+    )
+    osub = o.add_subparsers(dest="obs_command", required=True)
+
+    orec = osub.add_parser(
+        "record",
+        help="run an instrumented stream + simulation, write snapshot "
+             "and Chrome trace",
+    )
+    orec.add_argument("--out", default="obs-run",
+                      help="output directory (default: obs-run)")
+    orec.add_argument("--keys", type=int, default=1 << 16)
+    orec.add_argument("--queries", type=int, default=1 << 16)
+    orec.add_argument("--fanout", type=int, default=32)
+    orec.add_argument("--seed", type=int, default=0)
+    orec.set_defaults(func=_cmd_obs_record)
+
+    orep = osub.add_parser("report", help="render a snapshot as text")
+    orep.add_argument("snapshot")
+    orep.set_defaults(func=_cmd_obs_report)
+
+    odiff = osub.add_parser(
+        "diff", help="counter/gauge/histogram deltas between two snapshots"
+    )
+    odiff.add_argument("a")
+    odiff.add_argument("b")
+    odiff.set_defaults(func=_cmd_obs_diff)
+
+    oval = osub.add_parser(
+        "validate", help="check a snapshot against the metric catalogue"
+    )
+    oval.add_argument("snapshot")
+    oval.set_defaults(func=_cmd_obs_validate)
     return parser
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from repro.errors import ConfigError
+from repro.obs.registry import TraceConfig
 from repro.utils.validation import ensure_positive, ensure_power_of_two
 
 
@@ -41,6 +42,13 @@ class SearchConfig:
       ``stream_depth`` reusable buffer slots bounding the in-flight
       lookahead (``depth - 1`` sorts ahead).  ``"serial"`` runs the stages
       back to back per batch — the ablation baseline.
+    * ``trace``: per-call observability scope
+      (:class:`~repro.obs.registry.TraceConfig`).  ``None`` (the default)
+      inherits the ambient recorder — the no-op singleton unless inside
+      ``with obs.recording():``; ``TraceConfig(registry=...)`` routes this
+      config's search calls into a private registry;
+      ``TraceConfig(enabled=False)`` opts them out of any ambient
+      recording.  See docs/observability.md.
     """
 
     use_psa: bool = True
@@ -59,8 +67,14 @@ class SearchConfig:
     stream_depth: int = 2
     stream_sort_workers: int = 1
     stream_mode: str = "overlap"
+    trace: Optional[TraceConfig] = None
 
     def __post_init__(self) -> None:
+        if self.trace is not None and not isinstance(self.trace, TraceConfig):
+            raise ConfigError(
+                f"trace must be a TraceConfig or None, got "
+                f"{type(self.trace).__name__}"
+            )
         ensure_power_of_two("warp_size", self.warp_size)
         ensure_positive("keys_per_cacheline", self.keys_per_cacheline)
         ensure_positive("profile_sample", self.profile_sample)

@@ -52,16 +52,20 @@ holders re-bind by identity check — see
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constants import KEY_MAX, NOT_FOUND, VALUE_DTYPE
 from repro.core.layout import HarmoniaLayout
 from repro.errors import ConfigError
 from repro.utils.validation import ensure_key_array
+
+_clock = time.perf_counter
 
 #: Minimum mean run length for the grouped (per-run ``searchsorted``) path
 #: to beat the broadcast compare at a level; below it the per-run NumPy
@@ -108,6 +112,34 @@ class EngineStats:
         if reads == 0:
             return 1.0
         return self.naive_node_reads / reads
+
+    def record_to(self, rec, start_s: Optional[float] = None,
+                  end_s: Optional[float] = None) -> None:
+        """Publish this execution record into an obs recorder.
+
+        The stats object stays the per-call view; the registry is the
+        shared export path (snapshots, reports, diffs).  Called once per
+        batch, after all arrays are computed — nothing here touches the
+        traversal loops.
+        """
+        rec.counter("engine.batches")
+        rec.counter("engine.queries", self.n_queries)
+        rec.counter("engine.levels.grouped", self.grouped_levels)
+        rec.counter("engine.levels.broadcast", self.broadcast_levels)
+        rec.counter("engine.node_reads", self.total_node_reads)
+        rec.counter("engine.chunks", self.n_chunks)
+        nq = self.n_queries
+        for lvl in range(self.height):
+            u = int(self.unique_nodes_per_level[lvl])
+            rec.counter(f"engine.unique_nodes.l{lvl}", u)
+            if u > 0 and nq > 0:
+                rec.histogram("engine.run_length", nq / u)
+        if start_s is not None and end_s is not None:
+            rec.span_at(
+                "engine.execute", start_s, end_s, cat="engine",
+                nq=nq, chunks=self.n_chunks,
+                issue_sorted=self.issue_sorted,
+            )
 
 
 class EngineScratch:
@@ -238,6 +270,8 @@ class BatchQueryEngine:
         executor's per-slot scratch); it must match the batch size and is
         overwritten in full.
         """
+        rec = obs.active
+        t_start = _clock() if rec.enabled else 0.0
         q = ensure_key_array(np.asarray(queries), "queries")
         nq = q.size
         h = self.layout.height
@@ -255,6 +289,8 @@ class BatchQueryEngine:
             self.last_stats = EngineStats(
                 0, h, np.zeros(h, dtype=np.int64), 0, 0, 0, issue_sorted
             )
+            if rec.enabled:
+                self.last_stats.record_to(rec, t_start, _clock())
             return values
         self._packed_leaves()  # build before any worker threads start
 
@@ -280,6 +316,8 @@ class BatchQueryEngine:
         self.last_stats = EngineStats(
             nq, h, uniq, grouped, broadcast, n_chunks, issue_sorted
         )
+        if rec.enabled:
+            self.last_stats.record_to(rec, t_start, _clock())
         return values
 
     def execute_prepared(self, prepared) -> np.ndarray:

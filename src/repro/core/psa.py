@@ -18,11 +18,13 @@ per cache line, keys within one cache line cover a key-range of about
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constants import KEY_BITS
 from repro.errors import ConfigError
 from repro.sort.radix import (
@@ -183,9 +185,21 @@ def prepare_batch(
     if not 0 <= bits <= key_bits:
         raise ConfigError(f"bits must be within [0, {key_bits}], got {bits}")
 
+    rec = obs.active
+    t_start = time.perf_counter() if rec.enabled else 0.0
     res: RadixSortResult = partial_radix_argsort(q, bits=bits, key_bits=key_bits)
     order = res.order
     issued = q[order]
+    if rec.enabled:
+        rec.counter("psa.batches")
+        rec.histogram("psa.bits_sorted", res.bits_sorted)
+        if order.size > 1:
+            rec.histogram(
+                "psa.perm_displacement",
+                float(np.abs(order - np.arange(order.size)).mean()),
+            )
+        rec.span_at("psa.prepare", t_start, time.perf_counter(), cat="psa",
+                    n=int(q.size), bits=int(res.bits_sorted))
     return PSABatch(
         queries=issued,
         order=order,
@@ -200,6 +214,10 @@ def identity_batch(queries: Sequence[int]) -> PSABatch:
     """The no-PSA baseline: issue order = arrival order, zero sort cost."""
     q = ensure_key_array(np.asarray(queries), "queries")
     idx = np.arange(q.size, dtype=np.int64)
+    rec = obs.active
+    if rec.enabled:
+        rec.counter("psa.batches")
+        rec.histogram("psa.bits_sorted", 0)
     return PSABatch(
         queries=q, order=idx, bits_sorted=0, sort_passes=0,
         sort_cost=0.0, issue_sorted=_non_decreasing(q),

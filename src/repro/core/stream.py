@@ -46,6 +46,7 @@ overlap numbers honestly.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -54,6 +55,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constants import NOT_FOUND, VALUE_DTYPE
 from repro.core.engine import BatchQueryEngine
 from repro.core.layout import HarmoniaLayout
@@ -262,6 +264,18 @@ class StreamStats:
         steady = max(trv, srt + sct)
         return srt + steady * (n - 1) + trv + sct
 
+    def record_to(self, rec) -> None:
+        """Publish the run-level figures into an obs recorder (gauges:
+        last run wins — per-batch detail goes in via :meth:`StreamExecutor`'s
+        per-consume counters/histograms/spans as the stream runs)."""
+        rec.gauge("stream.wall_s", self.wall_s)
+        rec.gauge("stream.throughput_qps", self.throughput())
+        rec.gauge("stream.occupancy", self.occupancy)
+        rec.gauge("stream.overlap_s", self.overlapped_s)
+        trv = self.steady_traverse_s
+        if trv > 0:
+            rec.gauge("stream.sort_hidden_ratio", self.steady_sort_s / trv)
+
     def summary(self) -> dict:
         """JSON-ready digest (what the bench and experiment emit)."""
         return {
@@ -442,7 +456,13 @@ class StreamExecutor:
             traces = self._run_serial(q, out, bounds, t0)
         else:
             traces = self._run_overlap(q, out, bounds, t0)
-        self.last_stats = self._stats(n, tuple(traces), _clock() - t0)
+        t_end = _clock()
+        self.last_stats = self._stats(n, tuple(traces), t_end - t0)
+        rec = obs.active
+        if rec.enabled:
+            self.last_stats.record_to(rec)
+            rec.span_at("stream.run", t0, t_end, cat="stream",
+                        mode=self.mode, n=n, batches=len(traces))
         return out
 
     def _stats(
@@ -482,7 +502,9 @@ class StreamExecutor:
             order = None
             issued[:bn] = q[s:e]
             passes = 0
-        return bi, order, passes, t_s, _clock()
+        # The thread ident travels with the result so the consuming thread
+        # can file this sort span on the worker's trace track.
+        return bi, order, passes, t_s, _clock(), threading.get_ident()
 
     def _consume(
         self,
@@ -493,7 +515,7 @@ class StreamExecutor:
         t0: float,
     ) -> None:
         """Traverse + ordered delivery of one sorted batch (main thread)."""
-        bi, order, passes, t_s, t_e = sorted_batch
+        bi, order, passes, t_s, t_e, sort_tid = sorted_batch
         s, e = bounds[bi]
         bn = e - s
         issued = self._issued[bi % self.depth][:bn]
@@ -507,6 +529,22 @@ class StreamExecutor:
         else:
             view[order] = values  # direct scatter: arrival order, one store
         sc_e = _clock()
+        rec = obs.active
+        if rec.enabled:
+            rec.counter("stream.batches")
+            rec.counter("stream.queries", bn)
+            rec.counter("stream.sort_passes", passes)
+            rec.histogram("stream.sort_s", t_e - t_s)
+            rec.histogram("stream.traverse_s", tr_e - tr_s)
+            rec.histogram("stream.scatter_s", sc_e - tr_e)
+            # Spans come from the already-measured stage timestamps — no
+            # extra timing work on the hot path, and the sort span lands on
+            # its worker thread's track so the §4.1.3 overlap is visible.
+            rec.span_at("stream.sort", t_s, t_e, cat="stream",
+                        tid=sort_tid, batch=bi, passes=passes)
+            rec.span_at("stream.traverse", tr_s, tr_e, cat="stream",
+                        batch=bi, n=bn)
+            rec.span_at("stream.scatter", tr_e, sc_e, cat="stream", batch=bi)
         traces.append(
             BatchTrace(
                 index=bi,
@@ -540,6 +578,7 @@ class StreamExecutor:
             for j in range(min(lookahead, nb))
         )
         next_submit = len(pending)
+        rec = obs.active
         for bi in range(nb):
             fut = pending.popleft()
             # Refill the lookahead window *before* blocking: the sort
@@ -551,6 +590,8 @@ class StreamExecutor:
                     )
                 )
                 next_submit += 1
+            if rec.enabled:
+                rec.histogram("stream.queue_depth", len(pending))
             self._consume(fut.result(), bounds, out, traces, t0)
         return traces
 

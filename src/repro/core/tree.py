@@ -23,6 +23,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constants import DEFAULT_FANOUT, NOT_FOUND
 from repro.core.config import SearchConfig, UpdateConfig
 from repro.core.engine import BatchQueryEngine, EngineStats
@@ -202,12 +203,14 @@ class HarmoniaTree:
         This path always runs the per-query broadcast traversal and is
         kept as the oracle; :meth:`search_many` is the fast engine path.
         """
+        cfg = config or self.search_config
         q = ensure_key_array(np.asarray(queries), "queries")
         if self._layout is None:
             return np.full(q.size, NOT_FOUND, dtype=np.int64)
-        prepared = self.prepare_queries(q, config)
-        results = _search_batch(self._layout, prepared.queries)
-        return results[prepared.psa.restore]
+        with obs.scoped(cfg.trace):
+            prepared = self.prepare_queries(q, cfg)
+            results = _search_batch(self._layout, prepared.queries)
+            return results[prepared.psa.restore]
 
     def engine(self, config: Optional[SearchConfig] = None) -> BatchQueryEngine:
         """The frontier-compaction engine bound to the current snapshot.
@@ -250,11 +253,12 @@ class HarmoniaTree:
         q = ensure_key_array(np.asarray(queries), "queries")
         if self._layout is None:
             return np.full(q.size, NOT_FOUND, dtype=np.int64)
-        prepared = self.prepare_queries(q, cfg)
-        if cfg.engine == "compacted":
-            return self.engine(cfg).execute_prepared(prepared)
-        results = _search_batch(self._layout, prepared.queries)
-        return prepared.psa.scatter_restore(results)
+        with obs.scoped(cfg.trace):
+            prepared = self.prepare_queries(q, cfg)
+            if cfg.engine == "compacted":
+                return self.engine(cfg).execute_prepared(prepared)
+            results = _search_batch(self._layout, prepared.queries)
+            return prepared.psa.scatter_restore(results)
 
     @property
     def last_engine_stats(self) -> Optional[EngineStats]:
@@ -288,7 +292,8 @@ class HarmoniaTree:
         executor = StreamExecutor.from_config(
             self._layout, cfg, share_from=self.engine(cfg)
         )
-        out = executor.run(q)
+        with obs.scoped(cfg.trace):
+            out = executor.run(q)
         self._last_stream_stats = executor.last_stats
         return out
 

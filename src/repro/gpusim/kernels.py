@@ -39,6 +39,7 @@ from typing import Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constants import KEY_MAX
 from repro.core.layout import HarmoniaLayout
 from repro.core.search import TraversalTrace, traverse_batch
@@ -152,6 +153,9 @@ def simulate_search(
         n_queries=nq, n_warps=n_warps, group_size=gs, height=h
     )
     if nq == 0:
+        rec = obs.active
+        if rec.enabled:
+            metrics.record_to(rec)
         return metrics
 
     if trace is None:
@@ -297,6 +301,9 @@ def simulate_search(
                 min(dram[pos], metrics.value_transactions)
             )
 
+    rec = obs.active
+    if rec.enabled:
+        metrics.record_to(rec)
     return metrics
 
 

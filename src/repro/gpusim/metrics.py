@@ -158,6 +158,33 @@ class KernelMetrics:
     def per_query(self, value: float) -> float:
         return value / self.n_queries if self.n_queries else 0.0
 
+    def record_to(self, rec) -> None:
+        """Publish this kernel's counters into an obs recorder.
+
+        Counters accumulate across kernels within one recording; the
+        ratio metrics are gauges (last simulated kernel wins), matching
+        how nvprof reports per-launch averages.
+        """
+        rec.counter("gpusim.kernels")
+        rec.counter("gpusim.queries", self.n_queries)
+        rec.counter("gpusim.warps", self.n_warps)
+        rec.counter("gpusim.gld_transactions", self.gld_transactions)
+        rec.counter("gpusim.gld_requests", self.gld_requests)
+        rec.counter("gpusim.warp_steps", self.total_warp_steps)
+        rec.counter("gpusim.const_requests", self.const_requests)
+        rec.counter("gpusim.readonly_requests", self.readonly_requests)
+        for lvl in range(self.height):
+            rec.counter(
+                f"gpusim.key_transactions.l{lvl}",
+                int(self.key_transactions[lvl]),
+            )
+        rec.gauge("gpusim.transactions_per_warp",
+                  self.avg_transactions_per_warp())
+        rec.gauge("gpusim.transactions_per_request",
+                  self.transactions_per_request)
+        rec.gauge("gpusim.warp_coherence", self.warp_coherence)
+        rec.gauge("gpusim.utilization", self.utilization)
+
     def summary(self) -> dict:
         """Plain-dict snapshot for experiment tables."""
         return {

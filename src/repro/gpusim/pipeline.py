@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import repro.obs as obs
 from repro.errors import ConfigError
 from repro.gpusim.device import DeviceSpec, TITAN_V
 
@@ -93,6 +94,17 @@ def pipeline_time(
         steady = max(kernel_s, h2d, d2h)
         total = h2d + kernel_s + d2h + steady * (n_batches - 1)
 
+    rec = obs.active
+    if rec.enabled:
+        rec.gauge(f"gpusim.pipeline.{mode}.h2d_s", h2d)
+        rec.gauge(f"gpusim.pipeline.{mode}.kernel_s", kernel_s)
+        rec.gauge(f"gpusim.pipeline.{mode}.d2h_s", d2h)
+        rec.gauge(f"gpusim.pipeline.{mode}.total_s", total)
+        if total > 0:
+            rec.gauge(
+                f"gpusim.pipeline.{mode}.occupancy",
+                n_batches * kernel_s / total,
+            )
     return PipelinePoint(
         mode=mode,
         n_batches=n_batches,

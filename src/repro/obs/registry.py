@@ -1,0 +1,383 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, spans.
+
+The recording model is two-state by design:
+
+* **off** (the default) — the module-level :data:`NULL_RECORDER` is
+  active.  Instrumented hot paths read ``obs.active`` (one module
+  attribute lookup), test ``rec.enabled`` (False) and skip everything
+  else, so shipping instrumentation costs nothing measurable;
+* **on** — ``with obs.recording() as rec:`` swaps a
+  :class:`MetricsRegistry` in.  Every mutation takes the registry lock,
+  so concurrent ``search_stream`` calls (and the stream executor's sort
+  worker threads) record into one registry safely.
+
+Instrumentation sites record at *stats boundaries* — after a batch
+execution, per pipeline stage — never inside per-element loops, so the
+enabled path stays cheap too (a handful of locked dict updates per
+batch).
+
+Counters saturate at int64 bounds instead of overflowing (snapshots stay
+valid JSON for consumers that parse into fixed-width integers).
+Histograms are fixed-bucket (edges from the :mod:`~repro.obs.schema>`
+catalogue): bucket ``0`` is ``(-inf, edges[0])``, bucket ``i`` is
+``[edges[i-1], edges[i])``, and the last bucket is ``[edges[-1], inf)``.
+Spans are nestable wall-clock timers (per-thread depth tracking) that
+export to Chrome ``trace_event`` timelines via
+:func:`repro.obs.export.chrome_trace`; bounded by ``max_spans`` so a
+long stream cannot grow memory without limit (drops are counted, never
+silent).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.schema import SCHEMA_VERSION, default_edges_for
+
+INT64_MAX = (1 << 63) - 1
+INT64_MIN = -(1 << 63)
+
+_clock = time.perf_counter
+
+
+class NullSpan:
+    """Reusable no-op context manager (the disabled ``span()``)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullRecorder:
+    """The disabled recorder: every method is a no-op.
+
+    A singleton (:data:`NULL_RECORDER`) sits in ``obs.active`` whenever no
+    recording is in progress; instrumented code may either call methods
+    blindly (no-ops) or hoist ``if rec.enabled:`` around a block of
+    recordings — both are correct, the guard is just cheaper.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def histogram(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str, cat: str = "span", **args) -> NullSpan:
+        return _NULL_SPAN
+
+    def span_at(self, name: str, start_s: float, end_s: float,
+                cat: str = "span", tid: Optional[int] = None, **args) -> None:
+        pass
+
+    def snapshot(self) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    ``edges`` must be strictly increasing; values land in
+    ``len(edges) + 1`` buckets with left-closed intervals (a value equal
+    to an edge belongs to the bucket *starting* at that edge).
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, edges) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ConfigError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigError(
+                f"histogram edges must be strictly increasing, got {edges}"
+            )
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_right(self.edges, v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Span:
+    """Nestable wall-clock timer; records a completed span on exit."""
+
+    __slots__ = ("_registry", "name", "cat", "args", "start_s", "end_s",
+                 "depth")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, cat: str,
+                 args: Dict[str, Any]) -> None:
+        self._registry = registry
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack()
+        self.depth = len(stack)
+        stack.append(self)
+        self.start_s = _clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end_s = _clock()
+        stack = self._registry._span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._registry._add_span(
+            self.name, self.cat, self.start_s, self.end_s, None, self.depth,
+            self.args,
+        )
+        return False
+
+
+#: One completed span: (name, cat, start_s, end_s, track, depth, args).
+SpanRecord = Tuple[str, str, float, float, int, int, Dict[str, Any]]
+
+
+class MetricsRegistry:
+    """Thread-safe sink for the instrumentation in the hot paths.
+
+    All mutation methods take the registry lock; reads for export
+    (:meth:`snapshot`, the exporters in :mod:`repro.obs.export`) do too,
+    so snapshots taken while a stream is running are consistent.
+
+    ``record_spans=False`` keeps counters/gauges/histograms but drops
+    span capture — for long recordings where only the aggregates matter.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000,
+                 record_spans: bool = True) -> None:
+        if max_spans < 0:
+            raise ConfigError(f"max_spans must be >= 0, got {max_spans}")
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: List[SpanRecord] = []
+        self.max_spans = int(max_spans)
+        self.record_spans = bool(record_spans)
+        self.dropped_spans = 0
+        #: perf_counter origin — span timestamps export relative to this.
+        self.t0_s = _clock()
+        self._locals = threading.local()
+        self._tracks: Dict[int, int] = {}
+        self._main_ident = threading.main_thread().ident
+
+    # ------------------------------------------------------------- metrics
+
+    def counter(self, name: str, value: int = 1) -> None:
+        """Add ``value`` (saturating at int64 bounds, never wrapping)."""
+        with self._lock:
+            cur = self._counters.get(name, 0) + int(value)
+            if cur > INT64_MAX:
+                cur = INT64_MAX
+            elif cur < INT64_MIN:
+                cur = INT64_MIN
+            self._counters[name] = cur
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a last-write-wins float value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def histogram(self, name: str, value: float) -> None:
+        """Observe ``value`` in the fixed-bucket histogram ``name``
+        (bucket edges come from the schema catalogue)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(default_edges_for(name))
+                self._histograms[name] = hist
+            hist.observe(value)
+
+    # --------------------------------------------------------------- spans
+
+    def span(self, name: str, cat: str = "span", **args) -> Span:
+        """Context-manager timer; spans nest (per-thread depth)."""
+        return Span(self, name, cat, args)
+
+    def span_at(self, name: str, start_s: float, end_s: float,
+                cat: str = "span", tid: Optional[int] = None, **args) -> None:
+        """Record an already-measured interval (``perf_counter`` seconds).
+
+        ``tid`` is the OS thread ident the work ran on (defaults to the
+        calling thread) — the stream executor uses it to place sort-stage
+        spans on their worker thread's track even though the record is
+        written from the consuming thread.
+        """
+        self._add_span(name, cat, start_s, end_s, tid, 0, args)
+
+    def _span_stack(self) -> List[Span]:
+        stack = getattr(self._locals, "stack", None)
+        if stack is None:
+            stack = []
+            self._locals.stack = stack
+        return stack
+
+    def _track(self, ident: Optional[int]) -> int:
+        """Small stable per-thread track id (0 = the main thread)."""
+        if ident is None:
+            ident = threading.get_ident()
+        if ident == self._main_ident:
+            return 0
+        track = self._tracks.get(ident)
+        if track is None:
+            track = len(self._tracks) + 1
+            self._tracks[ident] = track
+        return track
+
+    def _add_span(self, name: str, cat: str, start_s: float, end_s: float,
+                  tid: Optional[int], depth: int,
+                  args: Dict[str, Any]) -> None:
+        with self._lock:
+            if not self.record_spans or len(self._spans) >= self.max_spans:
+                self.dropped_spans += 1
+                return
+            self._spans.append(
+                (name, cat, start_s, end_s, self._track(tid), depth, args)
+            )
+
+    # -------------------------------------------------------------- export
+
+    def spans(self) -> List[SpanRecord]:
+        """Copy of the recorded spans (consistent under the lock)."""
+        with self._lock:
+            return list(self._spans)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Schema-versioned JSON-ready dict of everything recorded.
+
+        Spans are summarized (per-name counts); the full timeline exports
+        separately via :func:`repro.obs.export.chrome_trace`.
+        """
+        with self._lock:
+            span_names: Dict[str, int] = {}
+            for rec in self._spans:
+                span_names[rec[0]] = span_names.get(rec[0], 0) + 1
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.to_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+                "spans": {
+                    "count": len(self._spans),
+                    "dropped": self.dropped_spans,
+                    "names": dict(sorted(span_names.items())),
+                },
+            }
+
+    # ------------------------------------------------------------- helpers
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self.dropped_spans = 0
+            self.t0_s = _clock()
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Per-call recording knob carried on
+    :class:`~repro.core.config.SearchConfig`.
+
+    * ``enabled=False`` — force the null recorder for the call, even
+      inside an ambient ``obs.recording()`` block (opt a hot call out);
+    * ``registry=<MetricsRegistry>`` — route the call's metrics into a
+      private registry instead of the ambient one, so benchmarks and
+      experiments capture per-run metrics without any global leaking
+      between runs;
+    * default (``enabled=True, registry=None``) — record into whatever
+      is ambient (the null recorder when no recording is active).
+    """
+
+    enabled: bool = True
+    registry: Optional[MetricsRegistry] = None
+
+    def __post_init__(self) -> None:
+        if self.registry is not None and not isinstance(
+            self.registry, MetricsRegistry
+        ):
+            raise ConfigError(
+                "TraceConfig.registry must be a MetricsRegistry, got "
+                f"{type(self.registry).__name__}"
+            )
+
+
+__all__ = [
+    "INT64_MAX",
+    "INT64_MIN",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "SpanRecord",
+    "TraceConfig",
+]

@@ -1,0 +1,289 @@
+"""Metric name catalogue and snapshot validation for :mod:`repro.obs`.
+
+Every metric the instrumented hot paths emit is declared here — name,
+kind, unit, and (for histograms) the fixed bucket edges.  The catalogue
+serves three purposes:
+
+* **drift detection** — :func:`validate_snapshot` rejects snapshots that
+  contain names not in the catalogue, so an instrumentation site that
+  invents a metric without documenting it fails CI rather than silently
+  shipping an untracked counter;
+* **self-describing exports** — exporters and the report renderer look
+  units and docs up here instead of hard-coding them;
+* **stable schema** — :data:`SCHEMA_VERSION` is embedded in every
+  snapshot; consumers (``repro obs diff``, the bench ``metrics``
+  sections) refuse to compare snapshots across incompatible versions.
+
+Names are dotted, ``subsystem.metric``; per-level families use an ``l``
+prefix on the level index (``engine.unique_nodes.l0`` … ``l{h-1}``) and
+are declared once with a trailing ``*`` wildcard.  The catalogue is the
+single source of truth for docs/observability.md's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Version of the snapshot layout *and* the name catalogue semantics.
+#: Bump when a metric is renamed/removed or the snapshot shape changes;
+#: adding new names is backward compatible and needs no bump.
+SCHEMA_VERSION = 1
+
+#: Metric families a snapshot may contain, in snapshot-key order.
+KINDS = ("counter", "gauge", "histogram", "span")
+
+# Shared fixed bucket ladders.  Histograms are fixed-bucket by design
+# (bounded memory, mergeable across snapshots); these 1-2-5 / power-of-two
+# ladders cover the dynamic ranges the instrumented paths produce.
+TIME_EDGES_S: Tuple[float, ...] = tuple(
+    m * (10.0 ** e) for e in range(-6, 1) for m in (1.0, 2.0, 5.0)
+)  # 1µs … 5s
+COUNT_EDGES: Tuple[float, ...] = tuple(float(1 << i) for i in range(0, 25))
+BITS_EDGES: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0,
+                                 24.0, 32.0, 40.0, 48.0, 56.0, 64.0)
+DEPTH_EDGES: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+
+#: Fallback ladder for histogram names observed before being catalogued
+#: (kept so ad-hoc use in notebooks works; validation still flags them).
+DEFAULT_EDGES: Tuple[float, ...] = COUNT_EDGES
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One catalogue entry.  ``name`` may end in ``*`` (prefix wildcard)
+    for families whose tail is dynamic (per-level counters, bench rows)."""
+
+    name: str
+    kind: str  # one of KINDS
+    unit: str
+    doc: str
+    edges: Optional[Tuple[float, ...]] = None  # histograms only
+
+    def matches(self, name: str) -> bool:
+        if self.name.endswith("*"):
+            prefix = self.name[:-1]
+            return name.startswith(prefix) and len(name) > len(prefix)
+        return name == self.name
+
+
+CATALOGUE: List[MetricSpec] = [
+    # ------------------------------------------------------------ engine
+    MetricSpec("engine.batches", "counter", "batches",
+               "BatchQueryEngine.execute calls"),
+    MetricSpec("engine.queries", "counter", "queries",
+               "point lookups executed by the compacted engine"),
+    MetricSpec("engine.levels.grouped", "counter", "levels",
+               "level executions taken by the grouped (per-run searchsorted) "
+               "strategy"),
+    MetricSpec("engine.levels.broadcast", "counter", "levels",
+               "level executions that fell back to the broadcast compare"),
+    MetricSpec("engine.node_reads", "counter", "nodes",
+               "distinct node-row reads performed (sum of frontier runs over "
+               "levels) — the host analog of gld_transactions"),
+    MetricSpec("engine.chunks", "counter", "chunks",
+               "contiguous query chunks executed (1 per batch unless sharded)"),
+    MetricSpec("engine.unique_nodes.l*", "counter", "nodes",
+               "frontier runs (= distinct nodes for a PSA-sorted batch) at "
+               "tree level l<N> — Figure 12's per-level transaction analog"),
+    MetricSpec("engine.run_length", "histogram", "queries/run",
+               "mean frontier run length per level execution (batch size / "
+               "runs); the PSA locality the engine exploits",
+               edges=COUNT_EDGES),
+    # ------------------------------------------------------------ stream
+    MetricSpec("stream.batches", "counter", "batches",
+               "batches consumed by the streaming executor"),
+    MetricSpec("stream.queries", "counter", "queries",
+               "queries streamed end to end"),
+    MetricSpec("stream.sort_passes", "counter", "passes",
+               "radix counting passes executed by the stream's sort stage"),
+    MetricSpec("stream.queue_depth", "histogram", "batches",
+               "sorted batches in flight ahead of the traverse stage, sampled "
+               "at each consume (bounded by depth - 1)", edges=DEPTH_EDGES),
+    MetricSpec("stream.sort_s", "histogram", "s",
+               "per-batch sort-stage latency", edges=TIME_EDGES_S),
+    MetricSpec("stream.traverse_s", "histogram", "s",
+               "per-batch traverse-stage latency", edges=TIME_EDGES_S),
+    MetricSpec("stream.scatter_s", "histogram", "s",
+               "per-batch ordered-delivery (scatter) latency",
+               edges=TIME_EDGES_S),
+    MetricSpec("stream.wall_s", "gauge", "s",
+               "wall clock of the last stream run"),
+    MetricSpec("stream.throughput_qps", "gauge", "queries/s",
+               "end-to-end throughput of the last stream run"),
+    MetricSpec("stream.occupancy", "gauge", "ratio",
+               "fraction of the wall during which the traverse stage was busy"),
+    MetricSpec("stream.overlap_s", "gauge", "s",
+               "measured wall time a sort and a traverse/scatter were in "
+               "flight simultaneously (§4.1.3's overlap)"),
+    MetricSpec("stream.sort_hidden_ratio", "gauge", "ratio",
+               "steady-state sort / traverse time; <= 1.0 means §4.1.3's "
+               "hiding condition holds"),
+    # --------------------------------------------------------------- psa
+    MetricSpec("psa.batches", "counter", "batches",
+               "query batches prepared for issue (PSA or identity)"),
+    MetricSpec("psa.bits_sorted", "histogram", "bits",
+               "most-significant bits sorted per prepared batch (Equation 2)",
+               edges=BITS_EDGES),
+    MetricSpec("psa.perm_displacement", "histogram", "slots",
+               "mean |issue position - arrival position| per batch — "
+               "permutation locality of the partial sort", edges=COUNT_EDGES),
+    # -------------------------------------------------------------- sort
+    MetricSpec("sort.passes", "counter", "passes",
+               "stable counting passes executed by partial_radix_argsort"),
+    MetricSpec("sort.keys", "counter", "keys",
+               "elements fed through partial_radix_argsort"),
+    # ------------------------------------------------------------ gpusim
+    MetricSpec("gpusim.kernels", "counter", "kernels",
+               "simulated search-kernel invocations"),
+    MetricSpec("gpusim.queries", "counter", "queries",
+               "queries executed by simulated kernels"),
+    MetricSpec("gpusim.warps", "counter", "warps",
+               "warps launched by simulated kernels"),
+    MetricSpec("gpusim.gld_transactions", "counter", "transactions",
+               "global-memory transactions (nvprof gld_transactions)"),
+    MetricSpec("gpusim.gld_requests", "counter", "requests",
+               "warp global-memory requests (nvprof gld_requests)"),
+    MetricSpec("gpusim.warp_steps", "counter", "steps",
+               "warp-serialized execution steps (divergence cost unit)"),
+    MetricSpec("gpusim.const_requests", "counter", "requests",
+               "constant-memory child-region accesses (footnote 1)"),
+    MetricSpec("gpusim.readonly_requests", "counter", "requests",
+               "read-only-cache child-region accesses (§3.1 spill)"),
+    MetricSpec("gpusim.key_transactions.l*", "counter", "transactions",
+               "key-region transactions at tree level l<N> (Figure 2's "
+               "per-level quantity)"),
+    MetricSpec("gpusim.transactions_per_warp", "gauge", "transactions/warp",
+               "mean per-warp key transactions over levels — Figure 2's "
+               "headline number (last simulated kernel)"),
+    MetricSpec("gpusim.transactions_per_request", "gauge", "ratio",
+               "memory divergence: transactions per request, 1.0 = coalesced "
+               "(last simulated kernel)"),
+    MetricSpec("gpusim.warp_coherence", "gauge", "ratio",
+               "coherent fraction of warp issue slots (footnote 4; last "
+               "simulated kernel)"),
+    MetricSpec("gpusim.utilization", "gauge", "ratio",
+               "useful / executed lane comparisons (Figure 9; last simulated "
+               "kernel)"),
+    MetricSpec("gpusim.pipeline.*", "gauge", "s|ratio",
+               "host-device pipeline model stage times and occupancy, "
+               "namespaced by mode (serial / double_buffer / pipeline)"),
+    # ------------------------------------------------------------- bench
+    MetricSpec("bench.*", "gauge", "s|x",
+               "benchmark emitter timing blocks (BENCH_*.json metrics "
+               "sections)"),
+    # ------------------------------------------------------------- spans
+    MetricSpec("engine.execute", "span", "-",
+               "one compacted-engine batch execution"),
+    MetricSpec("stream.run", "span", "-",
+               "one full stream run (all batches)"),
+    MetricSpec("stream.sort", "span", "-",
+               "sort stage of one batch (worker thread in overlap mode)"),
+    MetricSpec("stream.traverse", "span", "-",
+               "traverse stage of one batch (main thread)"),
+    MetricSpec("stream.scatter", "span", "-",
+               "ordered delivery of one batch"),
+    MetricSpec("psa.prepare", "span", "-",
+               "prepare_batch: partial sort + gather to issue order"),
+]
+
+_EXACT: Dict[str, MetricSpec] = {s.name: s for s in CATALOGUE
+                                 if not s.name.endswith("*")}
+_WILDCARDS: List[MetricSpec] = [s for s in CATALOGUE if s.name.endswith("*")]
+
+
+def lookup(name: str) -> Optional[MetricSpec]:
+    """Resolve a concrete metric name against the catalogue."""
+    spec = _EXACT.get(name)
+    if spec is not None:
+        return spec
+    for wild in _WILDCARDS:
+        if wild.matches(name):
+            return wild
+    return None
+
+
+def default_edges_for(name: str) -> Tuple[float, ...]:
+    """Bucket edges for a histogram name (catalogue or the fallback)."""
+    spec = lookup(name)
+    if spec is not None and spec.edges is not None:
+        return spec.edges
+    return DEFAULT_EDGES
+
+
+def validate_snapshot(snapshot) -> List[str]:
+    """Check a snapshot dict against the catalogue.
+
+    Returns a list of problems (empty = valid): structural issues, schema
+    version mismatches, unknown metric names, and names recorded under the
+    wrong kind.  ``repro obs validate`` turns a non-empty list into a
+    non-zero exit code — the CI tripwire against instrumentation drift.
+    """
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot is {type(snapshot).__name__}, expected dict"]
+    version = snapshot.get("schema_version")
+    if version is None:
+        problems.append("missing schema_version")
+    elif version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} != supported {SCHEMA_VERSION}"
+        )
+    for kind, key in (("counter", "counters"), ("gauge", "gauges"),
+                      ("histogram", "histograms")):
+        family = snapshot.get(key, {})
+        if not isinstance(family, dict):
+            problems.append(f"{key} is {type(family).__name__}, expected dict")
+            continue
+        for name in family:
+            spec = lookup(name)
+            if spec is None:
+                problems.append(f"unknown metric name {name!r} ({key})")
+            elif spec.kind != kind:
+                problems.append(
+                    f"{name!r} recorded as {kind} but catalogued as "
+                    f"{spec.kind}"
+                )
+    for name, hist in snapshot.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            problems.append(f"histogram {name!r} is not a dict")
+            continue
+        edges = hist.get("edges", [])
+        counts = hist.get("counts", [])
+        if len(counts) != len(edges) + 1:
+            problems.append(
+                f"histogram {name!r}: {len(counts)} buckets for "
+                f"{len(edges)} edges (want edges + 1)"
+            )
+        elif hist.get("count") != sum(counts):
+            problems.append(
+                f"histogram {name!r}: count {hist.get('count')} != bucket "
+                f"sum {sum(counts)}"
+            )
+    spans = snapshot.get("spans", {})
+    if isinstance(spans, dict):
+        for name in spans.get("names", {}):
+            spec = lookup(name)
+            if spec is None:
+                problems.append(f"unknown span name {name!r}")
+            elif spec.kind != "span":
+                problems.append(
+                    f"{name!r} recorded as span but catalogued as {spec.kind}"
+                )
+    return problems
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KINDS",
+    "MetricSpec",
+    "CATALOGUE",
+    "TIME_EDGES_S",
+    "COUNT_EDGES",
+    "BITS_EDGES",
+    "DEPTH_EDGES",
+    "DEFAULT_EDGES",
+    "lookup",
+    "default_edges_for",
+    "validate_snapshot",
+]

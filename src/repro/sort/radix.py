@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constants import KEY_BITS
 from repro.errors import ConfigError
 
@@ -138,6 +139,10 @@ def partial_radix_argsort(
         width = min(digit_bits, key_bits - shift)
         order = _counting_pass(arr, order, shift, (1 << width) - 1)
         passes += 1
+    rec = obs.active
+    if rec.enabled:
+        rec.counter("sort.passes", passes)
+        rec.counter("sort.keys", int(arr.size))
     return RadixSortResult(order=order, passes=passes, bits_sorted=bits)
 
 

@@ -1,0 +1,226 @@
+"""Integration tests: instrumented hot paths record correct metrics, and
+recording never changes search results (the zero-interference property)."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.core.config import SearchConfig
+from repro.core.tree import HarmoniaTree
+from repro.obs.registry import MetricsRegistry, TraceConfig
+from repro.obs.schema import validate_snapshot
+from repro.workloads.generators import make_key_set, uniform_queries
+
+common_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+@pytest.fixture(scope="module")
+def obs_tree():
+    keys = make_key_set(20_000, key_space_bits=34, rng=77)
+    return HarmoniaTree.from_sorted(keys, fanout=32, fill=0.7)
+
+
+@pytest.fixture(scope="module")
+def obs_queries(obs_tree):
+    keys = np.fromiter(obs_tree.keys(), dtype=np.int64)
+    return uniform_queries(keys, 6_000, rng=78)
+
+
+class TestRecordingNeverChangesResults:
+    @given(
+        n=st.integers(min_value=0, max_value=400),
+        seed=st.integers(min_value=0, max_value=2**20),
+        path=st.sampled_from(["batch", "many", "stream"]),
+    )
+    @common_settings
+    def test_on_off_equivalence(self, obs_tree, n, seed, path):
+        rng = np.random.default_rng(seed)
+        q = rng.integers(0, 1 << 34, size=n, dtype=np.int64)
+        cfg = SearchConfig(stream_batch=128)
+        fn = {
+            "batch": obs_tree.search_batch,
+            "many": obs_tree.search_many,
+            "stream": obs_tree.search_stream,
+        }[path]
+        off = fn(q, cfg)
+        with obs.recording():
+            on = fn(q, cfg)
+        assert np.array_equal(off, on)
+        assert obs.active is obs.NULL_RECORDER
+
+    def test_simulator_equivalence(self, obs_tree, obs_queries):
+        from repro.gpusim import simulate_harmonia_search
+
+        q = obs_queries[:2048]
+        prep = obs_tree.prepare_queries(q, SearchConfig.full())
+        m_off = simulate_harmonia_search(
+            obs_tree.layout, prep.queries, prep.group_size
+        )
+        with obs.recording():
+            m_on = simulate_harmonia_search(
+                obs_tree.layout, prep.queries, prep.group_size
+            )
+        assert m_off.gld_transactions == m_on.gld_transactions
+        assert m_off.summary() == m_on.summary()
+
+
+class TestCountersMatchStats:
+    def test_engine_counters_match_engine_stats(self, obs_tree, obs_queries):
+        with obs.recording() as rec:
+            obs_tree.search_many(obs_queries)
+        stats = obs_tree.last_engine_stats
+        snap = rec.snapshot()
+        assert validate_snapshot(snap) == []
+        c = snap["counters"]
+        assert c["engine.batches"] == 1
+        assert c["engine.queries"] == stats.n_queries
+        assert c["engine.node_reads"] == stats.total_node_reads
+        for lvl in range(stats.height):
+            assert c[f"engine.unique_nodes.l{lvl}"] == int(
+                stats.unique_nodes_per_level[lvl]
+            )
+
+    def test_stream_metrics_match_stream_stats(self, obs_tree, obs_queries):
+        cfg = SearchConfig(stream_batch=1024)
+        with obs.recording() as rec:
+            obs_tree.search_stream(obs_queries, cfg)
+        st_ = obs_tree.last_stream_stats
+        snap = rec.snapshot()
+        assert validate_snapshot(snap) == []
+        assert snap["counters"]["stream.batches"] == st_.n_batches
+        assert snap["counters"]["stream.queries"] == st_.n_queries
+        assert snap["gauges"]["stream.wall_s"] == pytest.approx(st_.wall_s)
+        assert snap["gauges"]["stream.throughput_qps"] == pytest.approx(
+            st_.throughput()
+        )
+        hist = snap["histograms"]["stream.traverse_s"]
+        assert hist["count"] == st_.n_batches
+        # one stream.run + per-batch sort/traverse/scatter spans
+        names = snap["spans"]["names"]
+        assert names["stream.run"] == 1
+        assert names["stream.traverse"] == st_.n_batches
+
+    def test_gpusim_counters_match_kernel_metrics(self, obs_tree, obs_queries):
+        from repro.gpusim import simulate_harmonia_search
+
+        q = obs_queries[:2048]
+        prep = obs_tree.prepare_queries(q, SearchConfig.full())
+        with obs.recording() as rec:
+            metrics = simulate_harmonia_search(
+                obs_tree.layout, prep.queries, prep.group_size
+            )
+        snap = rec.snapshot()
+        assert validate_snapshot(snap) == []
+        c = snap["counters"]
+        assert c["gpusim.gld_transactions"] == metrics.gld_transactions
+        assert c["gpusim.gld_requests"] == metrics.gld_requests
+        assert snap["gauges"]["gpusim.transactions_per_warp"] == pytest.approx(
+            metrics.avg_transactions_per_warp()
+        )
+        assert snap["gauges"]["gpusim.warp_coherence"] == pytest.approx(
+            metrics.warp_coherence
+        )
+
+    def test_pipeline_gauges(self):
+        from repro.gpusim.pipeline import pipeline_time
+
+        with obs.recording() as rec:
+            point = pipeline_time("double_buffer", 8, 4096, 1e-3)
+        snap = rec.snapshot()
+        assert validate_snapshot(snap) == []
+        g = snap["gauges"]
+        assert g["gpusim.pipeline.double_buffer.total_s"] == pytest.approx(
+            point.total_s
+        )
+        assert g["gpusim.pipeline.double_buffer.kernel_s"] == pytest.approx(
+            point.kernel_s
+        )
+
+
+class TestConcurrentRecording:
+    def test_concurrent_search_stream_into_one_registry(
+        self, obs_tree, obs_queries
+    ):
+        """Many threads stream under one ambient recording: totals must be
+        exact (registry mutations are locked) and results unchanged."""
+        cfg = SearchConfig(stream_batch=512)
+        expected = obs_tree.search_many(obs_queries)
+        n_threads = 4
+        results = [None] * n_threads
+        errors = []
+
+        def work(i):
+            try:
+                results[i] = obs_tree.search_stream(obs_queries, cfg)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with obs.recording() as rec:
+            threads = [
+                threading.Thread(target=work, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        for r in results:
+            assert np.array_equal(r, expected)
+        snap = rec.snapshot()
+        assert validate_snapshot(snap) == []
+        per_run = -(-obs_queries.size // cfg.stream_batch)
+        assert snap["counters"]["stream.batches"] == n_threads * per_run
+        assert snap["counters"]["stream.queries"] == (
+            n_threads * obs_queries.size
+        )
+
+
+class TestTraceConfigRouting:
+    def test_private_registry_routes_and_isolates(self, obs_tree, obs_queries):
+        reg = MetricsRegistry()
+        cfg = SearchConfig(trace=TraceConfig(registry=reg))
+        with obs.recording() as ambient:
+            obs_tree.search_many(obs_queries, cfg)
+        # everything went to the private registry, nothing to the ambient
+        assert reg.counter_value("engine.batches") == 1
+        assert ambient.counter_value("engine.batches") == 0
+        assert validate_snapshot(reg.snapshot()) == []
+
+    def test_disabled_suppresses_ambient(self, obs_tree, obs_queries):
+        cfg = SearchConfig(trace=TraceConfig(enabled=False))
+        with obs.recording() as ambient:
+            obs_tree.search_many(obs_queries, cfg)
+        assert ambient.counter_value("engine.batches") == 0
+        assert ambient.snapshot()["spans"]["count"] == 0
+
+    def test_stream_with_private_registry(self, obs_tree, obs_queries):
+        reg = MetricsRegistry()
+        cfg = SearchConfig(
+            stream_batch=1024, trace=TraceConfig(registry=reg)
+        )
+        out = obs_tree.search_stream(obs_queries, cfg)
+        assert np.array_equal(out, obs_tree.search_many(obs_queries))
+        assert reg.counter_value("stream.batches") > 0
+        assert obs.active is obs.NULL_RECORDER
+
+
+class TestDisabledPathIsCheap:
+    def test_no_registry_touched_when_disabled(self, obs_tree, obs_queries):
+        """The module-level singleton is the only thing the disabled path
+        sees — after an un-recorded call, no registry exists to inspect."""
+        assert obs.active is obs.NULL_RECORDER
+        obs_tree.search_many(obs_queries)
+        assert obs.active is obs.NULL_RECORDER
+        assert obs.active.snapshot() is None
