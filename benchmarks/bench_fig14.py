@@ -18,6 +18,7 @@ def update_world():
 
 
 def test_fig14_harmonia_batch_update(benchmark, update_world):
+    """The default executor — the vectorized plan/apply/movement pipeline."""
     keys, ops = update_world
 
     def run():
@@ -27,6 +28,21 @@ def test_fig14_harmonia_batch_update(benchmark, update_world):
     res = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["ops"] = len(ops)
     benchmark.extra_info["split_leaves"] = res.split_leaves
+    assert res.failed == 0
+
+
+def test_fig14_harmonia_batch_update_scalar(benchmark, update_world):
+    """The per-op Algorithm 1 reference path, kept for comparison."""
+    keys, ops = update_world
+
+    def run():
+        tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+        return tree.apply_batch(
+            ops, UpdateConfig(mode="scalar", n_threads=4)
+        )
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["ops"] = len(ops)
     assert res.failed == 0
 
 

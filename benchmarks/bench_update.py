@@ -1,0 +1,225 @@
+"""Update bench — per-op scalar path vs the vectorized plan/apply/movement
+pipeline (§3.2.2).
+
+Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_update.py
+  --benchmark-only``) timing one paper-mix batch through each executor on
+  the shared bench fixtures;
+* a standalone emitter (``python benchmarks/bench_update.py [--smoke]``)
+  that sweeps tree sizes x batch sizes and writes ``BENCH_update.json`` at
+  the repo root.  The acceptance point (2^14 mixed ops on a 2^20-key tree)
+  compares the vectorized pipeline against the best scalar configuration
+  (per-op :class:`~repro.core.update.BatchUpdater` under Algorithm 1
+  locking, best of 1 and 4 threads); a second criterion re-times the
+  Figure 14 paper mix (5% insert / 95% update) to show the default
+  executor swap leaves that headline number no worse.
+
+The scalar path mutates the layout it is given, so every scalar rep gets a
+fresh ``layout.copy()`` *outside* the timed region.  The vectorized
+pipeline never mutates its input — reps re-run against the same snapshot,
+exactly how the :class:`~repro.core.epoch.EpochManager` drives it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import HarmoniaTree, UpdateConfig
+from repro.core.update import BatchUpdater
+from repro.core.update_plan import VectorizedBatchUpdater
+from repro.workloads.generators import make_key_set
+from repro.workloads.mixes import PAPER_UPDATE_MIX, UpdateMix, make_update_batch
+from benchmarks.conftest import BENCH_SCALE
+
+#: The emitter's sweep mix exercises every pipeline stage: fast-path
+#: updates, replayed inserts and deletes, movement with splits and merges.
+MIXED = UpdateMix(insert=0.1, update=0.8, delete=0.1)
+
+
+# --------------------------------------------------------- pytest-benchmark
+
+
+def _bench_ops(keys):
+    return make_update_batch(keys, BENCH_SCALE.update_batch,
+                             mix=PAPER_UPDATE_MIX, rng=92)
+
+
+def test_update_scalar(benchmark, bench_keys, bench_tree):
+    ops = _bench_ops(bench_keys)
+    base = bench_tree.layout
+
+    def setup():
+        return (HarmoniaTree(base.copy(), fill=0.7),), {}
+
+    def run(tree):
+        return tree.apply_batch(ops, UpdateConfig(mode="scalar"))
+
+    res = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["ops"] = len(ops)
+    assert res.failed == 0
+
+
+def test_update_vectorized(benchmark, bench_keys, bench_tree):
+    ops = _bench_ops(bench_keys)
+    base = bench_tree.layout
+
+    def run():
+        # Non-mutating: the same snapshot serves every round.
+        return HarmoniaTree(base, fill=0.7).apply_batch(
+            ops, UpdateConfig(mode="vectorized")
+        )
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["ops"] = len(ops)
+    benchmark.extra_info["split_leaves"] = res.split_leaves
+    assert res.failed == 0
+
+
+# ------------------------------------------------------------ JSON emitter
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _scalar_once(layout, fill, ops, n_threads):
+    up = BatchUpdater(layout, fill=fill)
+    up.apply_batch(ops, n_threads=n_threads)
+    return up, up.movement()
+
+
+def measure(tree_log2: int, batch_log2: int, mix: UpdateMix = MIXED,
+            seed: int = 1234, reps: int = 3) -> dict:
+    """One sweep point: scalar (best of 1 and 4 threads) vs vectorized."""
+    keys = make_key_set(1 << tree_log2, rng=seed)
+    tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    layout = tree.layout
+    ops = make_update_batch(keys, 1 << batch_log2, mix=mix, rng=seed + 1)
+
+    # Equivalence sanity before timing anything: identical final layouts.
+    ref, ref_layout = _scalar_once(layout.copy(), 0.7, ops, n_threads=1)
+    vec = VectorizedBatchUpdater(layout, fill=0.7)
+    vres = vec.run(ops)
+    assert np.array_equal(ref_layout.key_region, vec.new_layout.key_region)
+    assert np.array_equal(ref_layout.leaf_values, vec.new_layout.leaf_values)
+    assert ref.result.n_effective == vres.n_effective
+
+    t_scalar = float("inf")
+    scalar_threads = 1
+    for n_threads in (1, 4):
+        copies = [layout.copy() for _ in range(reps)]
+        it = iter(copies)
+        t = _best_of(
+            lambda: _scalar_once(next(it), 0.7, ops, n_threads), reps
+        )
+        if t < t_scalar:
+            t_scalar, scalar_threads = t, n_threads
+
+    t_vec = _best_of(
+        lambda: VectorizedBatchUpdater(layout, fill=0.7).run(ops), reps
+    )
+    phases = vres.timer
+    return {
+        "tree_log2": tree_log2,
+        "batch_log2": batch_log2,
+        "mix": {"insert": mix.insert, "update": mix.update,
+                "delete": mix.delete},
+        "scalar_s": round(t_scalar, 6),
+        "scalar_threads": scalar_threads,
+        "vectorized_s": round(t_vec, 6),
+        "speedup": round(t_scalar / t_vec, 2),
+        "vectorized_kops": round((1 << batch_log2) / t_vec / 1e3, 1),
+        "plan_ms": round(phases.get("plan") * 1e3, 3),
+        "apply_ms": round(phases.get("apply") * 1e3, 3),
+        "movement_ms": round(phases.get("movement") * 1e3, 3),
+        "fast_ops": vec.plan.n_fast,
+        "replay_ops": vec.plan.n_replay,
+        "split_leaves": vres.split_leaves,
+        "moved_clean": vres.moved_clean,
+        "rebuilt_dirty": vres.rebuilt_dirty,
+    }
+
+
+def _capture_metrics(acceptance: dict, seed: int = 1234) -> dict:
+    """One *recorded* vectorized run of the acceptance point — outside the
+    timed loops so the emitted timings stay disabled-path numbers — plus
+    the emitter's headline figures as ``bench.*`` gauges."""
+    import repro.obs as obs
+    from repro.obs.schema import validate_snapshot
+
+    keys = make_key_set(1 << acceptance["tree_log2"], rng=seed)
+    tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    ops = make_update_batch(keys, 1 << acceptance["batch_log2"],
+                            mix=MIXED, rng=seed + 1)
+    with obs.recording() as rec:
+        VectorizedBatchUpdater(tree.layout, fill=0.7).run(ops)
+        rec.gauge("bench.update.scalar_s", acceptance["scalar_s"])
+        rec.gauge("bench.update.vectorized_s", acceptance["vectorized_s"])
+        rec.gauge("bench.update.speedup", acceptance["speedup"])
+    snapshot = rec.snapshot()
+    problems = validate_snapshot(snapshot)
+    if problems:
+        raise AssertionError(f"bench metrics failed validation: {problems}")
+    return snapshot
+
+
+def main(out_path: str = None, smoke: bool = False) -> dict:
+    rows = []
+    points = ([(18, 12)] if smoke
+              else [(18, 12), (18, 14), (20, 12), (20, 14)])
+    for tree_log2, batch_log2 in points:
+        rows.append(measure(tree_log2, batch_log2))
+    acceptance = rows[-1]
+
+    # Figure 14's paper mix through both executors: the default swap must
+    # leave the headline update throughput no worse.
+    fig14_log2 = points[-1]
+    fig14 = measure(fig14_log2[0], fig14_log2[1], mix=PAPER_UPDATE_MIX)
+    record = {
+        "bench": "update",
+        "workload": "mixed insert/update/delete batches, fanout 64, "
+        "fill 0.7",
+        "cpu_count": os.cpu_count() or 1,
+        "acceptance": {
+            "criterion": "vectorized pipeline >= 3x the scalar per-op path "
+            f"at 2^{acceptance['batch_log2']} mixed ops on a "
+            f"2^{acceptance['tree_log2']}-key tree",
+            "speedup": acceptance["speedup"],
+            "ok": acceptance["speedup"] >= 3.0,
+            "fig14_criterion": "paper mix (5% insert / 95% update) no "
+            "worse than the scalar path",
+            "fig14_speedup": fig14["speedup"],
+            "fig14_ok": fig14["speedup"] >= 1.0,
+        },
+        "rows": rows,
+        "fig14_paper_mix": fig14,
+        "metrics": _capture_metrics(acceptance),
+    }
+    path = pathlib.Path(
+        out_path or pathlib.Path(__file__).parent.parent / "BENCH_update.json"
+    )
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {path}")
+    print(json.dumps(record["acceptance"], indent=2))
+    return record
+
+
+if __name__ == "__main__":  # pragma: no cover
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--smoke", action="store_true",
+                    help="single small sweep point (CI)")
+    ap.add_argument("--out", default=None)
+    ns = ap.parse_args()
+    main(ns.out, smoke=ns.smoke)

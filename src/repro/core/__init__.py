@@ -9,8 +9,11 @@
 * :mod:`repro.core.stream` — double-buffered streaming executor overlapping
   the PSA sort of the next batch with the traversal of the current (§4.1.3).
 * :mod:`repro.core.ntg` — narrowed thread-group traversal model (§4.2).
-* :mod:`repro.core.update` — batch updates with two-grained locking and
-  auxiliary nodes (§3.2.2, Algorithm 1).
+* :mod:`repro.core.update` — per-op batch updates with two-grained locking
+  and auxiliary nodes (§3.2.2, Algorithm 1) — the scalar reference path.
+* :mod:`repro.core.update_plan` — the vectorized plan/apply/movement
+  batch-update pipeline (the default executor, equivalent to the scalar
+  path).
 * :mod:`repro.core.tree` — :class:`HarmoniaTree`, the user-facing index that
   glues the above together.
 """
@@ -26,10 +29,14 @@ from repro.core.stats import layout_stats
 from repro.core.stream import BatchTrace, StreamExecutor, StreamStats
 from repro.core.tree import HarmoniaTree
 from repro.core.tuning import recommend_fanout
+from repro.core.update_plan import UpdatePlan, VectorizedBatchUpdater, plan_batch
 
 __all__ = [
     "HarmoniaLayout",
     "HarmoniaTree",
+    "UpdatePlan",
+    "VectorizedBatchUpdater",
+    "plan_batch",
     "BatchQueryEngine",
     "EngineScratch",
     "EngineStats",

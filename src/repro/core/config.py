@@ -135,15 +135,26 @@ class SearchConfig:
 class UpdateConfig:
     """Knobs of the CPU batch-update pipeline (§3.2.2).
 
-    ``n_threads`` sizes the worker pool applying operations under
-    Algorithm 1's two-grained locking; ``rebuild_policy`` controls when the
-    post-batch movement runs ("always" after every batch, or "threshold"
-    once dirty leaves exceed ``rebuild_threshold`` of all leaves).
+    ``mode`` selects the batch executor: ``"vectorized"`` (the default)
+    runs the plan/apply/movement pipeline of
+    :mod:`repro.core.update_plan` — whole-batch leaf routing, grouped
+    in-place application, array-built movement; ``"scalar"`` runs the
+    per-operation reference path
+    (:class:`~repro.core.update.BatchUpdater`, Algorithm 1 locking per
+    op).  The two are equivalent: byte-identical layouts and identical
+    accounting, hypothesis-pinned (docs/update.md).
+
+    ``n_threads`` sizes the worker pool — per-op workers under
+    Algorithm 1 locking in scalar mode, per-leaf-group replay shards in
+    vectorized mode; ``rebuild_policy`` controls when the post-batch
+    movement runs ("always" after every batch, or "threshold" once dirty
+    leaves exceed ``rebuild_threshold`` of all leaves).
     """
 
     n_threads: int = 4
     rebuild_policy: str = "always"
     rebuild_threshold: float = 0.1
+    mode: str = "vectorized"
 
     def __post_init__(self) -> None:
         ensure_positive("n_threads", self.n_threads)
@@ -153,6 +164,10 @@ class UpdateConfig:
             )
         if not 0.0 < self.rebuild_threshold <= 1.0:
             raise ConfigError("rebuild_threshold must be in (0, 1]")
+        if self.mode not in ("vectorized", "scalar"):
+            raise ConfigError(
+                f"mode must be 'vectorized'|'scalar', got {self.mode!r}"
+            )
 
 
 __all__ = ["SearchConfig", "UpdateConfig"]

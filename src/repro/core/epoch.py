@@ -121,15 +121,17 @@ class EpochManager:
     def _flush_locked(self) -> BatchResult:
         ops = self._pending
         self._pending = []
-        # Copy-on-write: §3.2.2's fine-grained path edits the key/value
-        # regions in place, so the batch runs on a private copy of the
-        # arrays while readers keep querying their pinned (old) snapshot.
-        # Publication is a single reference swap.
+        # Snapshot isolation: readers keep querying their pinned (old)
+        # snapshot while the batch runs; publication is a single reference
+        # swap.  The scalar §3.2.2 path edits the key/value regions in
+        # place and therefore needs a copy-on-write clone; the vectorized
+        # pipeline never mutates its input layout, so the copy is skipped.
         with self._publish_lock:
             current = self._tree._layout
             fill = self._tree._fill
+        needs_copy = self.update_config.mode == "scalar"
         shadow = HarmoniaTree(
-            current.copy() if current is not None else None,
+            current.copy() if (current is not None and needs_copy) else current,
             fill=fill,
             search_config=self._tree.search_config,
         )

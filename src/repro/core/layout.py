@@ -160,6 +160,12 @@ class HarmoniaLayout:
         row = self.key_region[node]
         return int(np.searchsorted(row, KEY_MAX, side="left"))
 
+    def leaf_key_counts(self) -> np.ndarray:
+        """Per-leaf key counts over the whole leaf block in one vectorized
+        pass — the occupancy vector the batch-update planner classifies
+        in-place vs structural operations against."""
+        return np.sum(self.key_region[self.leaf_start :] != KEY_MAX, axis=1)
+
     def children_count(self, node: int) -> int:
         return int(self.prefix_sum[node + 1] - self.prefix_sum[node])
 

@@ -36,6 +36,7 @@ from repro.core.search import (
     search_scalar,
 )
 from repro.core.update import BatchResult, BatchUpdater, Operation
+from repro.core.update_plan import VectorizedBatchUpdater
 from repro.errors import EmptyTreeError
 from repro.utils.validation import ensure_key_array, ensure_scalar_key
 
@@ -360,17 +361,28 @@ class HarmoniaTree:
         Returns the accounting record; the tree's layout snapshot is
         replaced atomically at the end (phase semantics — queries issued
         after this call see the new structure).
+
+        ``config.mode`` picks the executor: the vectorized
+        plan/apply/movement pipeline (default; never mutates the outgoing
+        snapshot) or the per-op scalar reference path — equivalent
+        results either way (see :class:`~repro.core.config.UpdateConfig`).
         """
         cfg = config or UpdateConfig()
         if self._layout is None:
             return self._bootstrap_batch(ops)
 
-        updater = BatchUpdater(self._layout, fill=self._fill)
-        with updater.result.timer.phase("apply"):
-            updater.apply_batch(ops, n_threads=cfg.n_threads)
-        with updater.result.timer.phase("movement"):
-            self._layout = updater.movement()
-        return updater.result
+        if cfg.mode == "vectorized":
+            updater = VectorizedBatchUpdater(self._layout, fill=self._fill)
+            result = updater.run(ops, n_threads=cfg.n_threads)
+            self._layout = updater.new_layout
+            return result
+
+        scalar = BatchUpdater(self._layout, fill=self._fill)
+        with scalar.result.timer.phase("apply"):
+            scalar.apply_batch(ops, n_threads=cfg.n_threads)
+        with scalar.result.timer.phase("movement"):
+            self._layout = scalar.movement()
+        return scalar.result
 
     def _bootstrap_batch(self, ops: Sequence[Operation]) -> BatchResult:
         """First batch on an empty tree: inserts bulk-build the layout."""

@@ -171,34 +171,37 @@ class AuxiliaryNode:
         mask = key_row != KEY_MAX
         return cls(keys=key_row[mask].tolist(), values=val_row[mask].tolist())
 
-    def insert(self, key: int, value: int) -> bool:
+    def _lookup(self, key: int) -> Tuple[int, bool]:
+        """The one shared bisect: ``(slot, present)`` for ``key``."""
         i = bisect_left(self.keys, key)
-        if i < len(self.keys) and self.keys[i] == key:
+        return i, i < len(self.keys) and self.keys[i] == key
+
+    def insert(self, key: int, value: int) -> bool:
+        i, present = self._lookup(key)
+        if present:
             return False
         self.keys.insert(i, key)
         self.values.insert(i, value)
         return True
 
     def update(self, key: int, value: int) -> bool:
-        i = bisect_left(self.keys, key)
-        if i < len(self.keys) and self.keys[i] == key:
+        i, present = self._lookup(key)
+        if present:
             self.values[i] = value
             return True
         return False
 
     def delete(self, key: int) -> bool:
-        i = bisect_left(self.keys, key)
-        if i < len(self.keys) and self.keys[i] == key:
+        i, present = self._lookup(key)
+        if present:
             del self.keys[i]
             del self.values[i]
             return True
         return False
 
     def find(self, key: int) -> Optional[int]:
-        i = bisect_left(self.keys, key)
-        if i < len(self.keys) and self.keys[i] == key:
-            return self.values[i]
-        return None
+        i, present = self._lookup(key)
+        return self.values[i] if present else None
 
 
 # --------------------------------------------------------------------------
@@ -355,9 +358,14 @@ class BatchUpdater:
 
     # -------------------------------------------------------------- batches
 
+    #: Batches at or below this size run serially even with ``n_threads > 1``
+    #: — ThreadPoolExecutor setup costs more than applying the ops, and the
+    #: single-op conveniences (``tree.insert`` etc.) always land here.
+    POOL_MIN_OPS = 64
+
     def apply_batch(self, ops: Sequence[Operation], n_threads: int = 4) -> None:
         """Apply all operations with a pool of ``n_threads`` workers."""
-        if n_threads <= 1:
+        if n_threads <= 1 or len(ops) <= self.POOL_MIN_OPS:
             for op in ops:
                 self.apply_op(op)
             return
@@ -382,7 +390,7 @@ class BatchUpdater:
         dirty = set(self.aux)
         dirty.update(self.underflow)
         leaf_start = self.layout.leaf_start
-        key_counts = np.sum(self.layout.key_region[leaf_start:] != KEY_MAX, axis=1)
+        key_counts = self.layout.leaf_key_counts()
         if self.layout.n_leaves > 1:
             under = np.nonzero(key_counts < self._min_leaf)[0] + leaf_start
             dirty.update(int(u) for u in under)
@@ -461,11 +469,9 @@ def _build_layout_from_leaf_plan(
 
     Clean rows are gathered with one vectorized fancy-index copy; internal
     levels (a ~1/fanout fraction of all nodes) are rebuilt bottom-up from
-    the leaf minima.
+    the leaf minima by :func:`_assemble_layout`.
     """
-    fanout = old.fanout
     slots = old.slots
-    min_children = (fanout + 1) // 2
     new_n_leaves = len(plan)
 
     leaf_keys = np.full((new_n_leaves, slots), KEY_MAX, dtype=KEY_DTYPE)
@@ -485,8 +491,29 @@ def _build_layout_from_leaf_plan(
             leaf_vals[di, : len(vs)] = vs
 
     n_keys = int(np.sum(leaf_keys != KEY_MAX))
+    return _assemble_layout(old.fanout, leaf_keys, leaf_vals, n_keys, fill)
 
-    # Build internal levels bottom-up from subtree minima.
+
+def _assemble_layout(
+    fanout: int,
+    leaf_keys: np.ndarray,
+    leaf_vals: np.ndarray,
+    n_keys: int,
+    fill: float,
+) -> HarmoniaLayout:
+    """Build a full layout over finished leaf-level arrays.
+
+    Internal levels are derived bottom-up from subtree minima, one
+    vectorized scatter per level: child ``c`` of parent ``p`` contributes
+    its minimum as separator ``within(c) - 1`` (the first child supplies
+    the parent's own minimum instead).  Shared by the scalar and the
+    vectorized movement passes, so their outputs are byte-identical by
+    construction.
+    """
+    slots = fanout - 1
+    min_children = (fanout + 1) // 2
+    new_n_leaves = leaf_keys.shape[0]
+
     levels_keys: List[np.ndarray] = [leaf_keys]
     levels_counts: List[np.ndarray] = [
         np.zeros(new_n_leaves, dtype=INDEX_DTYPE)
@@ -495,19 +522,21 @@ def _build_layout_from_leaf_plan(
     target = max(min_children, min(fanout, round(fill * fanout)))
     while levels_keys[-1].shape[0] > 1:
         child_count = levels_keys[-1].shape[0]
-        sizes = _chunk_sizes(child_count, target, min_children, fanout)
-        n_parents = len(sizes)
+        sizes = np.asarray(
+            _chunk_sizes(child_count, target, min_children, fanout),
+            dtype=INDEX_DTYPE,
+        )
+        n_parents = sizes.size
+        starts = np.zeros(n_parents + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
         pk = np.full((n_parents, slots), KEY_MAX, dtype=KEY_DTYPE)
-        pc = np.asarray(sizes, dtype=INDEX_DTYPE)
-        pmins = np.empty(n_parents, dtype=KEY_DTYPE)
-        pos = 0
-        for pi, size in enumerate(sizes):
-            pk[pi, : size - 1] = mins[pos + 1 : pos + size]
-            pmins[pi] = mins[pos]
-            pos += size
+        parent_of = np.repeat(np.arange(n_parents, dtype=np.int64), sizes)
+        within = np.arange(child_count, dtype=np.int64) - starts[parent_of]
+        m = within > 0
+        pk[parent_of[m], within[m] - 1] = mins[m]
         levels_keys.append(pk)
-        levels_counts.append(pc)
-        mins = pmins
+        levels_counts.append(sizes)
+        mins = mins[starts[:-1]]
 
     levels_keys.reverse()
     levels_counts.reverse()

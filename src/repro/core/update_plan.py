@@ -1,0 +1,708 @@
+"""Vectorized batch-update pipeline (paper §3.2.2, batched host path).
+
+:class:`~repro.core.update.BatchUpdater` applies one
+:class:`~repro.core.update.Operation` at a time: a scalar root-to-leaf
+traversal, one Algorithm 1 lock round-trip and a Python closure per op,
+then a leaf-by-leaf movement rebuild.  This module replaces that loop with
+a three-stage pipeline over the whole batch:
+
+1. **plan** (:func:`plan_batch`) — route every op to its leaf with one
+   vectorized :func:`~repro.core.search.locate_leaves_batch` traversal
+   (internal separators are immutable during a batch, so the whole batch
+   shares one snapshot walk), group ops per leaf with a *stable* argsort
+   (stability preserves arrival order within a leaf — structural
+   decisions depend on the leaf's occupancy at op time), and classify
+   each group: update-only groups can never split or merge.
+2. **apply** (:meth:`VectorizedBatchUpdater._apply`) — update-only groups
+   are executed fully vectorized: one row gather + rowwise searchsorted
+   resolves every (existence, slot) at once, and a last-wins scatter plan
+   of the surviving value writes replaces per-op locking.  Groups with
+   inserts/deletes replay per leaf on an
+   :class:`~repro.core.update.AuxiliaryNode`, reproducing the scalar
+   path's structural state machine exactly (in-place until the leaf would
+   split/merge, then staged on the aux node).  Per-op locks are gone by
+   construction: grouping serializes same-leaf ops, distinct leaves are
+   independent, so Algorithm 1's coarse/fine discipline holds at group
+   granularity; independent leaf groups shard across threads.
+3. **movement** (:meth:`VectorizedBatchUpdater._movement`) — the
+   post-batch leaf plan (keeps, splits, merges) is computed up front as
+   keep-*ranges* plus rebuilt runs, clean rows move with block
+   fancy-gather copies, rebuilt/modified rows land via one flat
+   ``(row, col)`` scatter, and the internal levels + prefix-sum child
+   array are rebuilt by the shared vectorized assembler
+   (:func:`~repro.core.update._assemble_layout`).
+
+The pipeline never mutates its input layout: staged value writes are
+carried as a scatter plan and applied to the *new* arrays, which is what
+lets :class:`~repro.core.epoch.EpochManager` skip its copy-on-write step —
+readers keep serving from the old snapshot until the swap.
+
+Equivalence contract (hypothesis-pinned in
+``tests/test_core_update_plan.py``): for any batch, the resulting layout
+is byte-identical to the scalar path's (``UpdateConfig(mode="scalar")``,
+``n_threads=1``) and the :class:`~repro.core.update.BatchResult`
+accounting matches field for field.  This works because clean-leaf rows
+are canonical after in-place edits (sorted keys then ``KEY_MAX`` pads,
+aligned values then ``NOT_FOUND`` pads), so rebuilding a row from its
+final logical content reproduces the scalar path's incremental edits.
+
+Stages are instrumented with the ``update.*`` family of the
+:mod:`repro.obs` catalogue (spans ``update.plan/apply/movement`` plus
+batch counters) — see docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.btree.bulk import _chunk_sizes
+from repro.constants import KEY_DTYPE, KEY_MAX, NOT_FOUND, VALUE_DTYPE
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import locate_leaves_batch
+from repro.core.update import (
+    DELETE,
+    INSERT,
+    UPDATE,
+    AuxiliaryNode,
+    BatchResult,
+    Operation,
+    _assemble_layout,
+)
+
+# Integer op-kind codes for the planner's numpy arrays.
+K_INSERT, K_UPDATE, K_DELETE = 0, 1, 2
+_KIND_CODE = {INSERT: K_INSERT, UPDATE: K_UPDATE, DELETE: K_DELETE}
+
+
+# --------------------------------------------------------------------------
+# Stage 1 — plan
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class UpdatePlan:
+    """The batch, routed and grouped: everything the apply stage needs.
+
+    ``order`` is a stable per-leaf grouping permutation of the arrival
+    order; group ``g`` spans ``order[group_bounds[g]:group_bounds[g+1]]``
+    and targets leaf-block row ``group_leaves[g]``.  Within a group the
+    indices stay in arrival order — the invariant the replay path's
+    structural decisions rely on.
+    """
+
+    n_ops: int
+    kinds: np.ndarray  #: (n_ops,) int8 op codes, arrival order
+    keys: np.ndarray  #: (n_ops,) int64, arrival order
+    values: np.ndarray  #: (n_ops,) int64, arrival order
+    leaves: np.ndarray  #: (n_ops,) leaf-block index per op, arrival order
+    order: np.ndarray  #: stable argsort of ``leaves``
+    group_bounds: np.ndarray  #: (n_groups + 1,) slice bounds into ``order``
+    group_leaves: np.ndarray  #: (n_groups,) leaf-block index per group
+    group_update_only: np.ndarray  #: (n_groups,) bool — vectorizable group
+    n_fast: int  #: ops in update-only groups (fully vectorized path)
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.group_leaves.size)
+
+    @property
+    def n_replay(self) -> int:
+        return self.n_ops - self.n_fast
+
+
+def plan_batch(layout: HarmoniaLayout, ops: Sequence[Operation]) -> UpdatePlan:
+    """Route, sort and classify one batch against a layout snapshot."""
+    n = len(ops)
+    code = _KIND_CODE
+    kinds = np.fromiter(
+        (code[op.kind] for op in ops), dtype=np.int8, count=n
+    )
+    keys = np.fromiter((op.key for op in ops), dtype=KEY_DTYPE, count=n)
+    values = np.fromiter(
+        (op.value for op in ops), dtype=VALUE_DTYPE, count=n
+    )
+
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return UpdatePlan(
+            n_ops=0, kinds=kinds, keys=keys, values=values, leaves=empty,
+            order=empty, group_bounds=np.zeros(1, dtype=np.int64),
+            group_leaves=empty, group_update_only=np.empty(0, dtype=bool),
+            n_fast=0,
+        )
+
+    leaves = locate_leaves_batch(layout, keys)
+    order = np.argsort(leaves, kind="stable")
+    sorted_leaves = leaves[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_leaves[1:] != sorted_leaves[:-1]))
+    )
+    group_bounds = np.concatenate((starts, [n])).astype(np.int64)
+    group_leaves = sorted_leaves[starts]
+    group_update_only = np.logical_and.reduceat(
+        kinds[order] == K_UPDATE, starts
+    )
+    n_fast = int(
+        np.sum(
+            np.diff(group_bounds)[group_update_only]
+        )
+    )
+    return UpdatePlan(
+        n_ops=n, kinds=kinds, keys=keys, values=values, leaves=leaves,
+        order=order, group_bounds=group_bounds, group_leaves=group_leaves,
+        group_update_only=group_update_only, n_fast=n_fast,
+    )
+
+
+# --------------------------------------------------------------------------
+# Stages 2 + 3 — apply, movement
+# --------------------------------------------------------------------------
+
+#: One replay shard's result: counter deltas + per-leaf staged state.
+_ShardOut = Tuple[
+    int, int, int, int, int,
+    Dict[int, AuxiliaryNode], Dict[int, AuxiliaryNode], Set[int],
+]
+
+
+class VectorizedBatchUpdater:
+    """Applies one batch through the plan/apply/movement pipeline.
+
+    One instance per batch, like :class:`~repro.core.update.BatchUpdater`;
+    :meth:`run` leaves the post-movement snapshot in :attr:`new_layout`
+    (``None`` when every key was deleted) and never mutates the input
+    layout.
+    """
+
+    #: Fewer replay groups than this run serially even with
+    #: ``n_threads > 1`` — pool setup would dominate.
+    REPLAY_PARALLEL_MIN = 64
+
+    def __init__(
+        self,
+        layout: HarmoniaLayout,
+        fill: float = 1.0,
+        replay_parallel_min: Optional[int] = None,
+    ) -> None:
+        self.layout = layout
+        self.fill = fill
+        if replay_parallel_min is not None:
+            self.REPLAY_PARALLEL_MIN = replay_parallel_min
+        self.result = BatchResult()
+        self.new_layout: Optional[HarmoniaLayout] = None
+        self.plan: Optional[UpdatePlan] = None
+        self._slots = layout.slots
+        self._min_leaf = (layout.fanout - 1 + 1) // 2
+        #: Leaves staged for split/merge (leaf-block index -> full content).
+        self.aux: Dict[int, AuxiliaryNode] = {}
+        #: Leaves edited in place but still clean (kept rows, new content).
+        self.modified: Dict[int, AuxiliaryNode] = {}
+        self.underflow: Set[int] = set()
+        # Last-wins value-write scatter plan for update-only groups,
+        # sorted by (leaf, slot); applied to the *new* arrays at movement.
+        self._ov_leaf: Optional[np.ndarray] = None
+        self._ov_pos: Optional[np.ndarray] = None
+        self._ov_val: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, ops: Sequence[Operation], n_threads: int = 1) -> BatchResult:
+        """Execute all three stages; returns the accounting record."""
+        rec = obs.active
+        timer = self.result.timer
+        t0 = time.perf_counter()
+        with timer.phase("plan"):
+            plan = self.plan = plan_batch(self.layout, ops)
+        t1 = time.perf_counter()
+        with timer.phase("apply"):
+            self._apply(plan, n_threads)
+        t2 = time.perf_counter()
+        with timer.phase("movement"):
+            n_dirty = self._movement()
+        t3 = time.perf_counter()
+
+        if rec.enabled:
+            res = self.result
+            rec.counter("update.batches")
+            rec.counter("update.ops", plan.n_ops)
+            rec.counter("update.inplace_ops", plan.n_fast)
+            rec.counter("update.replay_ops", plan.n_replay)
+            rec.counter("update.split_leaves", res.split_leaves)
+            rec.counter("update.dirty_leaves", n_dirty)
+            rec.counter("update.moved_leaves", res.moved_clean)
+            rec.counter("update.rebuilt_leaves", res.rebuilt_dirty)
+            if plan.n_groups:
+                rec.histogram(
+                    "update.ops_per_leaf", plan.n_ops / plan.n_groups
+                )
+            wall = t3 - t0
+            if wall > 0.0 and plan.n_ops:
+                rec.gauge("update.throughput_ops", plan.n_ops / wall)
+            rec.span_at("update.plan", t0, t1, cat="update", ops=plan.n_ops)
+            rec.span_at("update.apply", t1, t2, cat="update",
+                        fast_ops=plan.n_fast, replay_ops=plan.n_replay)
+            rec.span_at("update.movement", t2, t3, cat="update",
+                        dirty_leaves=n_dirty)
+        return self.result
+
+    # ---------------------------------------------------------------- apply
+
+    def _apply(self, plan: UpdatePlan, n_threads: int) -> None:
+        if plan.n_ops == 0:
+            return
+        self._apply_fast(plan)
+
+        replay_groups = np.flatnonzero(~plan.group_update_only)
+        if replay_groups.size == 0:
+            return
+        if (
+            n_threads > 1
+            and replay_groups.size >= self.REPLAY_PARALLEL_MIN
+        ):
+            shards = np.array_split(replay_groups, n_threads)
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                outs = list(
+                    pool.map(lambda s: self._replay_shard(plan, s), shards)
+                )
+        else:
+            outs = [self._replay_shard(plan, replay_groups)]
+        res = self.result
+        for ins, upd, dele, fail, split, aux, modified, underflow in outs:
+            res.inserted += ins
+            res.updated += upd
+            res.deleted += dele
+            res.failed += fail
+            res.split_leaves += split
+            self.aux.update(aux)
+            self.modified.update(modified)
+            self.underflow.update(underflow)
+
+    def _apply_fast(self, plan: UpdatePlan) -> None:
+        """Update-only leaf groups, no per-leaf state machine needed.
+
+        Updates never change key membership, and a leaf none of whose
+        batch ops insert or delete can never split or merge — so every
+        op's outcome is static: one rowwise searchsorted over a gathered
+        row block decides existence, and conflicting writes to the same
+        slot collapse to the arrival-order winner (the scalar semantics:
+        later ops overwrite earlier ones).
+        """
+        fast_pos = np.repeat(
+            plan.group_update_only, np.diff(plan.group_bounds)
+        )
+        fast_idx = plan.order[fast_pos]
+        if fast_idx.size == 0:
+            return
+        slots = self._slots
+        leaf_block = self.layout.key_region[self.layout.leaf_start :]
+        fleaf = plan.leaves[fast_idx]
+        fkeys = plan.keys[fast_idx]
+        rows = leaf_block[fleaf]
+        pos = np.sum(rows < fkeys[:, None], axis=1)
+        clamped = np.minimum(pos, slots - 1)
+        exists = (pos < slots) & (
+            rows[np.arange(fleaf.size), clamped] == fkeys
+        )
+        n_hit = int(np.count_nonzero(exists))
+        self.result.updated += n_hit
+        self.result.failed += int(fast_idx.size - n_hit)
+        hit = np.flatnonzero(exists)
+        if hit.size == 0:
+            return
+        target = fleaf[hit] * slots + pos[hit]
+        arrival = fast_idx[hit]
+        by_target = np.lexsort((arrival, target))
+        tsorted = target[by_target]
+        last = np.concatenate((tsorted[1:] != tsorted[:-1], [True]))
+        winners = by_target[last]
+        self._ov_leaf = fleaf[hit][winners]
+        self._ov_pos = pos[hit][winners]
+        self._ov_val = plan.values[arrival[winners]]
+
+    def _replay_shard(
+        self, plan: UpdatePlan, groups: np.ndarray
+    ) -> _ShardOut:
+        """Replay the groups' ops in arrival order on staged leaf content.
+
+        The scalar path's structural state machine, verbatim: an insert
+        into a full leaf or a delete from a minimum leaf upgrades the leaf
+        to an auxiliary node (even when the op itself then fails — the
+        scalar path stages the aux before attempting); once staged, every
+        later op works the aux.  Leaves are disjoint across shards, so
+        shards compose without locks.
+        """
+        layout = self.layout
+        slots = self._slots
+        min_leaf = self._min_leaf
+        # Numpy scalar indexing costs a boxing per element; the replay
+        # loop is pure Python, so convert the plan columns once per shard
+        # and gather the shard's leaf rows in one batched fancy-index.
+        kinds = plan.kinds.tolist()
+        keys = plan.keys.tolist()
+        values = plan.values.tolist()
+        order = plan.order.tolist()
+        bounds = plan.group_bounds.tolist()
+        group_leaves = plan.group_leaves
+        lids = group_leaves[groups]
+        rows = layout.key_region[layout.leaf_start :][lids]
+        vrows = layout.leaf_values[lids]
+        counts = (rows != KEY_MAX).sum(axis=1).tolist()
+
+        ins = upd = dele = fail = split = 0
+        aux: Dict[int, AuxiliaryNode] = {}
+        modified: Dict[int, AuxiliaryNode] = {}
+        underflow: Set[int] = set()
+
+        for gi, g in enumerate(groups.tolist()):
+            leaf = int(lids[gi])
+            c = counts[gi]
+            node = AuxiliaryNode(
+                keys=rows[gi, :c].tolist(), values=vrows[gi, :c].tolist()
+            )
+            is_aux = False
+            effective = 0
+            for oi in order[bounds[g] : bounds[g + 1]]:
+                kind = kinds[oi]
+                key = keys[oi]
+                if kind == K_UPDATE:
+                    if node.update(key, values[oi]):
+                        upd += 1
+                        effective += 1
+                    else:
+                        fail += 1
+                elif kind == K_INSERT:
+                    if not is_aux and len(node.keys) >= slots:
+                        is_aux = True  # would split: stage on the aux
+                        split += 1
+                    if node.insert(key, values[oi]):
+                        ins += 1
+                        effective += 1
+                    else:
+                        fail += 1
+                else:  # K_DELETE
+                    if not is_aux and len(node.keys) <= min_leaf:
+                        is_aux = True  # would merge: stage on the aux
+                        split += 1
+                    if node.delete(key):
+                        dele += 1
+                        effective += 1
+                        if is_aux and len(node.keys) < min_leaf:
+                            underflow.add(leaf)
+                    else:
+                        fail += 1
+            if is_aux:
+                aux[leaf] = node
+            elif effective:
+                modified[leaf] = node
+        return ins, upd, dele, fail, split, aux, modified, underflow
+
+    # ------------------------------------------------------------- movement
+
+    def _dirty_set(self) -> Set[int]:
+        """Leaves whose rows cannot move verbatim — mirrors the scalar
+        :meth:`~repro.core.update.BatchUpdater.dirty_leaves`, with post-
+        batch occupancy derived from the staged replay state instead of
+        mutated rows."""
+        dirty: Set[int] = set(self.aux)
+        dirty.update(self.underflow)
+        if self.layout.n_leaves > 1:
+            counts = self.layout.leaf_key_counts()
+            if self.modified:
+                for leaf, node in self.modified.items():
+                    counts[leaf] = len(node.keys)
+            dirty.update(
+                int(u) for u in np.flatnonzero(counts < self._min_leaf)
+            )
+        return dirty
+
+    def _leaf_content(self, leaf: int) -> Tuple[List[int], List[int]]:
+        """Final logical content of a leaf: staged replay content if any,
+        else the original row with pending fast-path value writes folded
+        in."""
+        node = self.aux.get(leaf)
+        if node is None:
+            node = self.modified.get(leaf)
+        if node is not None:
+            return list(node.keys), list(node.values)
+        layout = self.layout
+        row = layout.key_region[layout.leaf_start + leaf]
+        mask = row != KEY_MAX
+        ks = row[mask].tolist()
+        vs = layout.leaf_values[leaf][mask].tolist()
+        ov_leaf = self._ov_leaf
+        if ov_leaf is not None:
+            lo = int(np.searchsorted(ov_leaf, leaf, side="left"))
+            hi = int(np.searchsorted(ov_leaf, leaf, side="right"))
+            for t in range(lo, hi):
+                vs[int(self._ov_pos[t])] = int(self._ov_val[t])
+        return ks, vs
+
+    def _movement(self) -> int:
+        """Plan and materialize the post-batch layout; returns the dirty-
+        leaf count (for instrumentation)."""
+        directives = self._movement_plan()
+        self.new_layout = self._materialize(directives)
+        return self._n_dirty
+
+    def _movement_plan(self) -> List[list]:
+        """The §3.2.2 movement plan as directives.
+
+        ``["K", src_start, src_stop]`` — a contiguous range of clean leaf
+        rows reused verbatim; ``["N", keys, vals]`` — one rebuilt leaf.
+        Semantically identical to the scalar pass (same dirty runs, same
+        absorb-clean-neighbour loop, same re-chunking), but clean
+        stretches advance via the sorted dirty array instead of a per-leaf
+        scan, so plan cost scales with the number of dirty leaves.
+        """
+        layout = self.layout
+        n_leaves = layout.n_leaves
+        dirty_set = self._dirty_set()
+        self._n_dirty = len(dirty_set)
+        dirty = np.fromiter(
+            sorted(dirty_set), dtype=np.int64, count=len(dirty_set)
+        )
+        n_dirty = dirty.size
+        min_leaf = self._min_leaf
+        slots = self._slots
+        target = max(min_leaf, min(slots, round(self.fill * slots)))
+
+        directives: List[list] = []
+        i = 0
+        dp = 0
+        while i < n_leaves:
+            while dp < n_dirty and dirty[dp] < i:
+                dp += 1
+            if dp == n_dirty:
+                directives.append(["K", i, n_leaves])
+                break
+            nxt = int(dirty[dp])
+            if nxt > i:
+                directives.append(["K", i, nxt])
+                i = nxt
+            # Maximal dirty run [i, j).
+            j = i
+            run_keys: List[int] = []
+            run_vals: List[int] = []
+            while j < n_leaves and j in dirty_set:
+                ks, vs = self._leaf_content(j)
+                run_keys.extend(ks)
+                run_vals.extend(vs)
+                j += 1
+            # Absorb clean neighbours while the run is too small to chunk
+            # legally (borrow-from-sibling at movement time).
+            while 0 < len(run_keys) < min_leaf and (
+                j < n_leaves or directives
+            ):
+                if j < n_leaves:
+                    ks, vs = self._leaf_content(j)
+                    run_keys.extend(ks)
+                    run_vals.extend(vs)
+                    j += 1
+                else:
+                    prev = directives[-1]
+                    if prev[0] == "K":
+                        ks, vs = self._leaf_content(prev[2] - 1)
+                        prev[2] -= 1
+                        if prev[1] == prev[2]:
+                            directives.pop()
+                    else:
+                        directives.pop()
+                        ks, vs = prev[1], prev[2]
+                    run_keys = ks + run_keys
+                    run_vals = vs + run_vals
+            for size in _chunk_sizes(len(run_keys), target, min_leaf, slots):
+                directives.append(["N", run_keys[:size], run_vals[:size]])
+                run_keys = run_keys[size:]
+                run_vals = run_vals[size:]
+            i = j
+
+        res = self.result
+        res.moved_clean = sum(d[2] - d[1] for d in directives if d[0] == "K")
+        res.rebuilt_dirty = sum(1 for d in directives if d[0] == "N")
+        res.underflow_leaves = len(self.underflow)
+        return directives
+
+    def _materialize(
+        self, directives: List[list]
+    ) -> Optional[HarmoniaLayout]:
+        """Build the new layout from the movement plan in block operations:
+        keep-ranges gather as contiguous slices, rebuilt and modified rows
+        land via one flat ``(row, col)`` scatter, pending fast-path value
+        writes scatter through the old→new row map."""
+        if not directives:
+            return None  # every key was deleted
+        old = self.layout
+        slots = self._slots
+        if (
+            len(directives) == 1
+            and directives[0][0] == "K"
+            and directives[0][1] == 0
+            and directives[0][2] == old.n_leaves
+        ):
+            # No leaf moved: every row keeps its slot, so the child
+            # structure (prefix sum, level starts, chunking) is unchanged
+            # and a full reassembly would reproduce the old internal
+            # region except where a leaf's minimum changed.  Patch those
+            # separators in place instead of rebuilding — the common case
+            # for in-place-dominated batches.
+            return self._materialize_kept()
+
+        keep_ranges: List[Tuple[int, int, int]] = []  # (dst, src_lo, src_hi)
+        write_rows: List[Tuple[int, List[int], List[int]]] = []
+        dst = 0
+        for d in directives:
+            if d[0] == "K":
+                keep_ranges.append((dst, d[1], d[2]))
+                dst += d[2] - d[1]
+            else:
+                write_rows.append((dst, d[1], d[2]))
+                dst += 1
+        new_n_leaves = dst
+
+        leaf_keys = np.full((new_n_leaves, slots), KEY_MAX, dtype=KEY_DTYPE)
+        leaf_vals = np.full(
+            (new_n_leaves, slots), NOT_FOUND, dtype=VALUE_DTYPE
+        )
+        old_to_new = np.full(old.n_leaves, -1, dtype=np.int64)
+        old_keys = old.key_region[old.leaf_start :]
+        for dlo, slo, shi in keep_ranges:
+            n = shi - slo
+            leaf_keys[dlo : dlo + n] = old_keys[slo:shi]
+            leaf_vals[dlo : dlo + n] = old.leaf_values[slo:shi]
+            old_to_new[slo:shi] = np.arange(dlo, dlo + n, dtype=np.int64)
+
+        # Kept leaves the replay modified in place: overwrite their rows
+        # with the final content, padded to full canonical rows (the
+        # gather above copied the stale original).
+        for leaf, node in self.modified.items():
+            nd = int(old_to_new[leaf])
+            if nd >= 0:
+                pad = slots - len(node.keys)
+                write_rows.append((
+                    nd,
+                    node.keys + [int(KEY_MAX)] * pad,
+                    node.values + [int(NOT_FOUND)] * pad,
+                ))
+
+        if write_rows:
+            sizes = np.asarray(
+                [len(ks) for _, ks, _ in write_rows], dtype=np.int64
+            )
+            total = int(sizes.sum())
+            if total:
+                dsts = np.asarray(
+                    [d for d, _, _ in write_rows], dtype=np.int64
+                )
+                row_idx = np.repeat(dsts, sizes)
+                starts = np.zeros(sizes.size, dtype=np.int64)
+                np.cumsum(sizes[:-1], out=starts[1:])
+                col_idx = (
+                    np.arange(total, dtype=np.int64) - np.repeat(starts, sizes)
+                )
+                flat_keys = np.concatenate(
+                    [np.asarray(ks, dtype=KEY_DTYPE)
+                     for _, ks, _ in write_rows]
+                )
+                flat_vals = np.concatenate(
+                    [np.asarray(vs, dtype=VALUE_DTYPE)
+                     for _, _, vs in write_rows]
+                )
+                leaf_keys[row_idx, col_idx] = flat_keys
+                leaf_vals[row_idx, col_idx] = flat_vals
+
+        # Pending fast-path value writes into kept rows (writes into
+        # absorbed rows were already folded in via _leaf_content).
+        if self._ov_leaf is not None:
+            kept = old_to_new[self._ov_leaf]
+            live = kept >= 0
+            if np.any(live):
+                leaf_vals[kept[live], self._ov_pos[live]] = self._ov_val[live]
+
+        n_keys = int(np.count_nonzero(leaf_keys != KEY_MAX))
+        return _assemble_layout(
+            old.fanout, leaf_keys, leaf_vals, n_keys, self.fill
+        )
+
+    def _materialize_kept(self) -> HarmoniaLayout:
+        """All leaves keep their slots: copy the old arrays, overwrite
+        replay-modified rows, scatter pending fast-path value writes, and
+        patch the internal separators whose leaf minimum changed.
+
+        Equivalent to a full reassembly because the assembler derives the
+        child structure from the leaf count alone (unchanged here) and
+        every internal key from a subtree minimum — all of which are
+        already in the old region except the patched ones.
+        """
+        old = self.layout
+        slots = self._slots
+        key_region = old.key_region.copy()
+        leaf_values = old.leaf_values.copy()
+        leaf_keys = key_region[old.leaf_start :]
+        delta = 0
+        changed: List[Tuple[int, int]] = []  # (leaf index, new minimum)
+        for leaf, node in self.modified.items():
+            row = leaf_keys[leaf]
+            old_min = int(row[0])
+            delta += len(node.keys) - int(np.count_nonzero(row != KEY_MAX))
+            pad = slots - len(node.keys)
+            leaf_keys[leaf] = node.keys + [int(KEY_MAX)] * pad
+            leaf_values[leaf] = node.values + [int(NOT_FOUND)] * pad
+            if node.keys[0] != old_min:
+                changed.append((leaf, node.keys[0]))
+        if self._ov_leaf is not None:
+            leaf_values[self._ov_leaf, self._ov_pos] = self._ov_val
+        if changed:
+            self._patch_separators(key_region, changed)
+        return HarmoniaLayout(
+            fanout=old.fanout,
+            height=old.height,
+            key_region=key_region,
+            prefix_sum=old.prefix_sum.copy(),
+            leaf_values=leaf_values,
+            level_starts=old.level_starts.copy(),
+            n_keys=old.n_keys + delta,
+        )
+
+    def _patch_separators(
+        self, key_region: np.ndarray, changed: List[Tuple[int, int]]
+    ) -> None:
+        """Propagate changed leaf minima up the internal levels.
+
+        A node's minimum appears as separator ``within - 1`` of its
+        parent when it is not the first child; a first child's minimum is
+        the parent's own minimum and recurses upward.  Parents come from
+        the layout's own prefix-sum child region (Equation 1), so the
+        patch is exact for any layout, however it was built.
+        """
+        old = self.layout
+        prefix = old.prefix_sum
+        leaf_start = old.leaf_start
+        pending = [(leaf_start + leaf, new_min) for leaf, new_min in changed]
+        while pending:
+            nxt: List[Tuple[int, int]] = []
+            for c, new_min in pending:
+                if c == 0:  # the root has no parent
+                    continue
+                p = int(np.searchsorted(prefix, c, side="right")) - 1
+                within = c - int(prefix[p])
+                if within > 0:
+                    key_region[p, within - 1] = new_min
+                else:
+                    nxt.append((p, new_min))
+            pending = nxt
+
+
+__all__ = [
+    "K_INSERT",
+    "K_UPDATE",
+    "K_DELETE",
+    "UpdatePlan",
+    "plan_batch",
+    "VectorizedBatchUpdater",
+]

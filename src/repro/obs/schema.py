@@ -168,6 +168,30 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("gpusim.pipeline.*", "gauge", "s|ratio",
                "host-device pipeline model stage times and occupancy, "
                "namespaced by mode (serial / double_buffer / pipeline)"),
+    # ------------------------------------------------------------ update
+    MetricSpec("update.batches", "counter", "batches",
+               "batches applied by the vectorized update pipeline"),
+    MetricSpec("update.ops", "counter", "ops",
+               "operations fed through the vectorized update pipeline"),
+    MetricSpec("update.inplace_ops", "counter", "ops",
+               "ops in update-only leaf groups, resolved by the fully "
+               "vectorized in-place path"),
+    MetricSpec("update.replay_ops", "counter", "ops",
+               "ops in insert/delete leaf groups, replayed per leaf"),
+    MetricSpec("update.split_leaves", "counter", "leaves",
+               "leaves staged on auxiliary nodes (§3.2.2 split/merge path)"),
+    MetricSpec("update.dirty_leaves", "counter", "leaves",
+               "leaves the movement pass could not move verbatim"),
+    MetricSpec("update.moved_leaves", "counter", "leaves",
+               "clean leaf rows block-moved verbatim by the movement pass"),
+    MetricSpec("update.rebuilt_leaves", "counter", "leaves",
+               "leaves re-chunked from dirty runs by the movement pass"),
+    MetricSpec("update.ops_per_leaf", "histogram", "ops/leaf",
+               "mean operations per touched leaf, one observation per batch",
+               edges=COUNT_EDGES),
+    MetricSpec("update.throughput_ops", "gauge", "ops/s",
+               "end-to-end throughput of the last vectorized batch "
+               "(plan + apply + movement)"),
     # ------------------------------------------------------------- bench
     MetricSpec("bench.*", "gauge", "s|x",
                "benchmark emitter timing blocks (BENCH_*.json metrics "
@@ -185,6 +209,15 @@ CATALOGUE: List[MetricSpec] = [
                "ordered delivery of one batch"),
     MetricSpec("psa.prepare", "span", "-",
                "prepare_batch: partial sort + gather to issue order"),
+    MetricSpec("update.plan", "span", "-",
+               "update plan stage: whole-batch leaf routing + stable "
+               "grouping + classification"),
+    MetricSpec("update.apply", "span", "-",
+               "update apply stage: vectorized in-place writes + per-leaf "
+               "replay of structural groups"),
+    MetricSpec("update.movement", "span", "-",
+               "update movement stage: leaf plan + block rebuild of the "
+               "regions"),
 ]
 
 _EXACT: Dict[str, MetricSpec] = {s.name: s for s in CATALOGUE

@@ -1,0 +1,351 @@
+"""Scalar ≡ vectorized equivalence for the batch-update pipeline.
+
+The contract the vectorized plan/apply/movement pipeline ships under
+(docs/update.md): for any batch, ``UpdateConfig(mode="vectorized")``
+produces a layout byte-identical to ``UpdateConfig(mode="scalar",
+n_threads=1)`` and an identical :class:`~repro.core.update.BatchResult`.
+Hypothesis pins the contract over random trees and op mixes; directed
+tests cover the structural extremes (split-heavy, merge-heavy,
+delete-everything) and the pipeline's own guarantees (non-mutation of the
+input snapshot, thread-count independence, plan shape).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EpochManager, HarmoniaTree, UpdateConfig
+from repro.core.layout import HarmoniaLayout
+from repro.core.update import Operation
+from repro.core.update_plan import (
+    K_UPDATE,
+    VectorizedBatchUpdater,
+    plan_batch,
+)
+
+
+def make_tree(n_keys, fanout, fill, stride=2):
+    keys = np.arange(0, n_keys * stride, stride, dtype=np.int64)
+    return HarmoniaTree.from_sorted(keys, fanout=fanout, fill=fill)
+
+
+def run_both(n_keys, fanout, fill, ops, n_threads=1):
+    """Apply ``ops`` through both executors on identical trees."""
+    scalar_tree = make_tree(n_keys, fanout, fill)
+    vector_tree = make_tree(n_keys, fanout, fill)
+    sres = scalar_tree.apply_batch(
+        ops, UpdateConfig(mode="scalar", n_threads=1)
+    )
+    vres = vector_tree.apply_batch(
+        ops, UpdateConfig(mode="vectorized", n_threads=n_threads)
+    )
+    return scalar_tree, sres, vector_tree, vres
+
+
+def assert_layouts_identical(a, b):
+    if a is None or b is None:
+        assert a is None and b is None
+        return
+    assert np.array_equal(a.key_region, b.key_region)
+    assert np.array_equal(a.prefix_sum, b.prefix_sum)
+    assert np.array_equal(a.leaf_values, b.leaf_values)
+    assert np.array_equal(a.level_starts, b.level_starts)
+    assert a.n_keys == b.n_keys
+    assert a.fanout == b.fanout
+    assert a.height == b.height
+
+
+def assert_results_identical(sres, vres):
+    for field in ("inserted", "updated", "deleted", "failed",
+                  "split_leaves", "underflow_leaves",
+                  "moved_clean", "rebuilt_dirty"):
+        assert getattr(sres, field) == getattr(vres, field), field
+
+
+# --------------------------------------------------------------------------
+# Property: random trees × random mixed batches
+# --------------------------------------------------------------------------
+
+op_strategy = st.tuples(
+    st.sampled_from(["insert", "update", "delete"]),
+    st.integers(0, 400),
+)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n_keys=st.integers(1, 200),
+        fanout=st.sampled_from([4, 8, 16]),
+        fill=st.sampled_from([0.5, 0.7, 1.0]),
+        raw_ops=st.lists(op_strategy, min_size=0, max_size=120),
+    )
+    def test_random_mix(self, n_keys, fanout, fill, raw_ops):
+        # Even keys populate the tree; op keys span odd (miss) and even
+        # (hit) values, so inserts collide with existing keys, updates
+        # and deletes miss, and repeated ops conflict on the same leaf.
+        ops = [Operation(kind, key, key * 10 + 1)
+               for kind, key in raw_ops]
+        stree, sres, vtree, vres = run_both(n_keys, fanout, fill, ops)
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+        if vtree._layout is not None:
+            vtree._layout.check_invariants()
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        fanout=st.sampled_from([4, 8]),
+    )
+    def test_structural_heavy(self, seed, fanout):
+        """Mixes weighted towards splits and merges."""
+        rng = np.random.default_rng(seed)
+        n_keys = int(rng.integers(20, 300))
+        kinds = rng.choice(["insert", "delete"], size=150,
+                           p=[0.5, 0.5])
+        keys = rng.integers(0, 2 * n_keys, size=150)
+        ops = [Operation(str(k), int(key), int(key) + 7)
+               for k, key in zip(kinds, keys)]
+        stree, sres, vtree, vres = run_both(n_keys, fanout, 1.0, ops)
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+
+
+# --------------------------------------------------------------------------
+# Directed structural extremes
+# --------------------------------------------------------------------------
+
+class TestDirected:
+    def test_split_heavy_full_leaves(self):
+        """fill=1.0 tree: every odd-key insert forces a split staging."""
+        ops = [Operation("insert", k, k) for k in range(1, 1200, 2)]
+        stree, sres, vtree, vres = run_both(600, 8, 1.0, ops)
+        assert sres.split_leaves > 0
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+
+    def test_merge_heavy(self):
+        """Deleting most keys forces merge staging and absorb loops."""
+        ops = [Operation("delete", k, 0) for k in range(0, 1800, 2)]
+        stree, sres, vtree, vres = run_both(1000, 8, 0.7, ops)
+        assert sres.deleted == 900
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+
+    def test_delete_everything(self):
+        ops = [Operation("delete", k, 0) for k in range(0, 200, 2)]
+        stree, sres, vtree, vres = run_both(100, 8, 0.7, ops)
+        assert stree._layout is None and vtree._layout is None
+        assert_results_identical(sres, vres)
+
+    def test_update_only_fast_path(self):
+        """A pure-update batch runs entirely through the vectorized fast
+        path (no replay groups)."""
+        tree = make_tree(500, 16, 0.7)
+        ops = ([Operation("update", k, -k) for k in range(0, 400, 2)]
+               + [Operation("update", 3, 0)])  # one miss
+        up = VectorizedBatchUpdater(tree.layout, fill=0.7)
+        res = up.run(ops)
+        assert up.plan.n_fast == len(ops)
+        assert up.plan.n_replay == 0
+        assert res.updated == 200
+        assert res.failed == 1
+        # Fast-path writes land in the new snapshot, not the old one.
+        from repro.core.search import search_batch
+        probe = np.array([4], dtype=np.int64)
+        assert search_batch(up.new_layout, probe)[0] == -4
+        assert search_batch(tree.layout, probe)[0] == 4
+        stree, sres, vtree, vres = run_both(500, 16, 0.7, ops)
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+
+    def test_same_leaf_conflicts_last_wins(self):
+        """Repeated updates of one key: arrival-order winner is kept."""
+        ops = [Operation("update", 10, v) for v in (1, 2, 3)]
+        stree, sres, vtree, vres = run_both(300, 8, 0.7, ops)
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert vtree.search(10) == 3
+
+    def test_insert_delete_insert_same_key_full_leaf(self):
+        """Structural state machine: once a leaf goes aux it stays aux."""
+        ops = [
+            Operation("insert", 11, 1),
+            Operation("delete", 11, 0),
+            Operation("insert", 11, 2),
+            Operation("update", 11, 3),
+        ]
+        stree, sres, vtree, vres = run_both(64, 8, 1.0, ops)
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+        assert vtree.search(11) == 3
+
+    def test_kept_leaves_with_changed_minima(self):
+        """In-place deletes of leaf minima / inserts below them: no leaf
+        moves, but internal separators must be repatched up the tree."""
+        tree = make_tree(4_000, 64, 0.7)
+        layout = tree.layout
+        mins = layout.key_region[layout.leaf_start :, 0]
+        ops = []
+        for m in mins[1::2]:
+            ops.append(Operation("delete", int(m), 0))   # min leaves the leaf
+        for m in mins[2::4]:
+            ops.append(Operation("insert", int(m) - 1, -1))  # new, lower min
+        stree, sres, vtree, vres = run_both(4_000, 64, 0.7, ops)
+        assert sres.rebuilt_dirty == 0  # stays on the kept-leaves path
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+        vtree._layout.check_invariants()
+
+    def test_single_leaf_tree(self):
+        ops = [Operation("insert", 1, 1), Operation("delete", 0, 0),
+               Operation("update", 2, -2)]
+        stree, sres, vtree, vres = run_both(3, 8, 1.0, ops)
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert_results_identical(sres, vres)
+
+    def test_empty_batch(self):
+        stree, sres, vtree, vres = run_both(100, 8, 0.7, [])
+        assert_layouts_identical(stree._layout, vtree._layout)
+        assert vres.n_effective == 0
+
+    def test_bootstrap_on_empty_tree(self):
+        """Both modes share the bootstrap path on an empty tree."""
+        for mode in ("scalar", "vectorized"):
+            tree = HarmoniaTree.empty(fanout=8)
+            res = tree.apply_batch(
+                [Operation("insert", k, k) for k in range(50)],
+                UpdateConfig(mode=mode),
+            )
+            assert res.inserted == 50
+            assert tree.search(17) == 17
+
+
+# --------------------------------------------------------------------------
+# Pipeline guarantees
+# --------------------------------------------------------------------------
+
+class TestPipelineGuarantees:
+    def test_input_layout_never_mutated(self):
+        tree = make_tree(400, 8, 0.7)
+        layout = tree.layout
+        before_keys = layout.key_region.copy()
+        before_vals = layout.leaf_values.copy()
+        before_prefix = layout.prefix_sum.copy()
+        ops = ([Operation("insert", k, k) for k in range(1, 200, 2)]
+               + [Operation("update", k, -k) for k in range(0, 200, 4)]
+               + [Operation("delete", k, 0) for k in range(200, 300, 2)])
+        up = VectorizedBatchUpdater(layout, fill=0.7)
+        up.run(ops)
+        assert np.array_equal(layout.key_region, before_keys)
+        assert np.array_equal(layout.leaf_values, before_vals)
+        assert np.array_equal(layout.prefix_sum, before_prefix)
+        assert up.new_layout is not layout
+
+    def test_thread_count_independence(self):
+        """Sharded replay (forced via replay_parallel_min=1) matches the
+        serial result exactly — leaf groups are independent."""
+        tree = make_tree(2_000, 8, 0.7)
+        rng = np.random.default_rng(7)
+        kinds = rng.choice(["insert", "update", "delete"], size=600)
+        keys = rng.integers(0, 4_000, size=600)
+        ops = [Operation(str(k), int(key), int(key))
+               for k, key in zip(kinds, keys)]
+        serial = VectorizedBatchUpdater(tree.layout, fill=0.7)
+        serial.run(ops, n_threads=1)
+        sharded = VectorizedBatchUpdater(
+            tree.layout, fill=0.7, replay_parallel_min=1
+        )
+        sharded.run(ops, n_threads=4)
+        assert_layouts_identical(serial.new_layout, sharded.new_layout)
+        assert_results_identical(serial.result, sharded.result)
+
+    def test_timer_phases_present(self):
+        tree = make_tree(100, 8, 0.7)
+        res = tree.apply_batch(
+            [Operation("insert", 1, 1)], UpdateConfig(mode="vectorized")
+        )
+        for phase in ("plan", "apply", "movement"):
+            assert res.timer.get(phase) >= 0.0
+
+    def test_epoch_manager_skips_copy(self):
+        """The vectorized flush must not clone the outgoing snapshot, and
+        readers pinned on the old epoch keep their data."""
+        keys = np.arange(0, 2_000, 2, dtype=np.int64)
+        em = EpochManager(
+            HarmoniaTree.from_sorted(keys, fanout=8, fill=0.7),
+            update_config=UpdateConfig(mode="vectorized"),
+        )
+        pinned = em._snapshot()
+        old_layout = pinned._layout
+        em.submit(Operation("insert", 1, 1))
+        em.submit(Operation("delete", 0, 0))
+        em.flush()
+        assert em.epoch == 1
+        # New epoch is a distinct object; the pinned snapshot is the very
+        # same array-backed layout, untouched.
+        assert em._tree._layout is not old_layout
+        assert pinned.search(0) == 0
+        assert pinned.search(1) is None
+        assert em.search(1) == 1
+        assert em.search(0) is None
+        em._tree.check_invariants()
+
+
+# --------------------------------------------------------------------------
+# Plan stage
+# --------------------------------------------------------------------------
+
+class TestPlanStage:
+    def test_groups_partition_and_stay_in_arrival_order(self):
+        layout = HarmoniaLayout.from_sorted(
+            np.arange(0, 2_000, 2, dtype=np.int64), fanout=8, fill=0.7
+        )
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2_000, size=300)
+        ops = [Operation("update", int(k), 0) for k in keys]
+        plan = plan_batch(layout, ops)
+        assert plan.n_ops == 300
+        assert plan.group_bounds[0] == 0
+        assert plan.group_bounds[-1] == 300
+        seen = set()
+        for g in range(plan.n_groups):
+            idx = plan.order[plan.group_bounds[g]:plan.group_bounds[g + 1]]
+            # Same leaf throughout the group, arrival order preserved.
+            assert np.all(plan.leaves[idx] == plan.group_leaves[g])
+            assert np.all(np.diff(idx) > 0)
+            seen.update(int(i) for i in idx)
+        assert seen == set(range(300))
+
+    def test_update_only_classification(self):
+        layout = HarmoniaLayout.from_sorted(
+            np.arange(0, 400, 2, dtype=np.int64), fanout=8, fill=0.7
+        )
+        ops = [Operation("update", 0, 1),   # leaf A: update-only
+               Operation("update", 2, 1),
+               Operation("update", 398, 1),  # leaf Z: poisoned by insert
+               Operation("insert", 399, 1)]
+        plan = plan_batch(layout, ops)
+        assert plan.n_fast == 2
+        assert plan.n_replay == 2
+        by_leaf = dict(zip(plan.group_leaves.tolist(),
+                           plan.group_update_only.tolist()))
+        assert sorted(by_leaf.values()) == [False, True]
+
+    def test_empty_plan(self):
+        layout = HarmoniaLayout.from_sorted(
+            np.arange(10, dtype=np.int64), fanout=4
+        )
+        plan = plan_batch(layout, [])
+        assert plan.n_ops == 0
+        assert plan.n_groups == 0
+        assert plan.n_fast == 0
+
+    def test_kind_codes(self):
+        layout = HarmoniaLayout.from_sorted(
+            np.arange(10, dtype=np.int64), fanout=4
+        )
+        plan = plan_batch(layout, [Operation("update", 1, 2)])
+        assert plan.kinds[0] == K_UPDATE

@@ -96,16 +96,25 @@ class TestCrashConsistency:
         tree.check_invariants()
         assert tree.search(0) == 0
 
-    def test_epoch_flush_failure_keeps_old_epoch(self, monkeypatch):
+    @pytest.mark.parametrize("mode,target", [
+        ("scalar", "repro.core.update.BatchUpdater.movement"),
+        ("vectorized",
+         "repro.core.update_plan.VectorizedBatchUpdater._movement"),
+    ])
+    def test_epoch_flush_failure_keeps_old_epoch(self, monkeypatch, mode,
+                                                 target):
+        from repro.core import UpdateConfig
+
         keys = np.arange(0, 1_000, 2, dtype=np.int64)
-        em = EpochManager(HarmoniaTree.from_sorted(keys, fanout=8, fill=0.8))
+        em = EpochManager(
+            HarmoniaTree.from_sorted(keys, fanout=8, fill=0.8),
+            update_config=UpdateConfig(mode=mode),
+        )
 
         def boom(*args, **kwargs):
             raise RuntimeError("injected movement failure")
 
-        monkeypatch.setattr(
-            "repro.core.update.BatchUpdater.movement", boom
-        )
+        monkeypatch.setattr(target, boom)
         em.submit(Operation("insert", 1, 1))
         with pytest.raises(RuntimeError):
             em.flush()
