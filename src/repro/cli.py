@@ -136,6 +136,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """Demo run of the sharded service tier: build, serve a mixed
+    search/update workload across worker processes, report per-shard
+    stats (and per-batch skew/rebalance when asked)."""
+    import time
+
+    from repro.shard import ShardedTree
+    from repro.workloads.generators import make_key_set, uniform_queries
+    from repro.workloads.mixes import PAPER_UPDATE_MIX, make_update_batch
+
+    rng = np.random.default_rng(args.seed)
+    keys = make_key_set(args.keys, rng=args.seed)
+    n_ops = max(args.batch // 4, 1)
+    print(f"sharding {keys.size} keys across {args.shards} workers "
+          f"(batch {args.batch} queries + {n_ops} ops, "
+          f"{args.batches} rounds)")
+    with ShardedTree.from_sorted(keys, n_shards=args.shards,
+                                 fanout=args.fanout) as st:
+        t0 = time.perf_counter()
+        for _ in range(args.batches):
+            st.search_many(uniform_queries(keys, args.batch, rng=rng))
+            st.apply_batch(
+                make_update_batch(keys, n_ops, PAPER_UPDATE_MIX, rng=rng)
+            )
+        wall = time.perf_counter() - t0
+        revived = st.health_check()
+        rebalanced = st.rebalance(args.rebalance_threshold)
+        done = args.batches * (args.batch + n_ops)
+        print(f"served {done} requests in {wall:.3f}s "
+              f"({done / wall / 1e6:.3f} Mreq/s), skew {st.skew():.3f}"
+              + (", rebalanced" if rebalanced else "")
+              + (f", revived {revived}" if revived else ""))
+        for row in st.stats():
+            lo = "-inf" if row["range_lo"] is None else row["range_lo"]
+            hi = "+inf" if row["range_hi"] is None else row["range_hi"]
+            print(f"  shard {row['shard']}: {row['n_keys']} keys, "
+                  f"epoch {row['epoch']}, restarts {row['restarts']}, "
+                  f"range ({lo}, {hi}]")
+    return 0
+
+
 def _cmd_obs_record(args: argparse.Namespace) -> int:
     """One instrumented end-to-end run: overlapped stream + simulated
     kernel under a single recording, exported as snapshot + Chrome trace.
@@ -259,6 +300,20 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--device", choices=("titanv", "k80"), default="titanv")
     m.add_argument("--seed", type=int, default=0)
     m.set_defaults(func=_cmd_simulate)
+
+    sh = sub.add_parser(
+        "shard",
+        help="run a mixed workload through the sharded multi-process tier",
+    )
+    sh.add_argument("--keys", type=int, default=1 << 17)
+    sh.add_argument("--shards", type=int, default=2)
+    sh.add_argument("--batches", type=int, default=4)
+    sh.add_argument("--batch", type=int, default=1 << 14,
+                    help="queries per round (ops per round = batch / 4)")
+    sh.add_argument("--fanout", type=int, default=64)
+    sh.add_argument("--rebalance-threshold", type=float, default=1.5)
+    sh.add_argument("--seed", type=int, default=0)
+    sh.set_defaults(func=_cmd_shard)
 
     o = sub.add_parser(
         "obs", help="observability: record / report / diff / validate"

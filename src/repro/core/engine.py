@@ -260,6 +260,7 @@ class BatchQueryEngine:
         queries,
         issue_sorted: Optional[bool] = None,
         out: Optional[np.ndarray] = None,
+        chunk_quantum: int = 1,
     ) -> np.ndarray:
         """Batch point lookup; values aligned with ``queries`` as given
         (no PSA restore — use :meth:`execute_prepared` for that).
@@ -268,7 +269,11 @@ class BatchQueryEngine:
         correctness never depends on it (runs are detected per level).
         ``out`` lets callers supply the result buffer (the streaming
         executor's per-slot scratch); it must match the batch size and is
-        overwritten in full.
+        overwritten in full.  ``chunk_quantum`` aligns thread-shard
+        boundaries to a multiple of the NTG cohort (§4.2): queries the
+        narrowed group would serve in one warp stay in one chunk, so the
+        split never severs a PSA run mid-cohort.  Results are identical
+        for any quantum.
         """
         rec = obs.active
         t_start = _clock() if rec.enabled else 0.0
@@ -295,7 +300,7 @@ class BatchQueryEngine:
         self._packed_leaves()  # build before any worker threads start
 
         if self.n_workers > 1 and nq >= max(self.min_parallel, self.n_workers):
-            chunks = self._chunk_bounds(nq)
+            chunks = self._chunk_bounds(nq, chunk_quantum)
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 futures = [
                     pool.submit(
@@ -320,22 +325,33 @@ class BatchQueryEngine:
             self.last_stats.record_to(rec, t_start, _clock())
         return values
 
-    def execute_prepared(self, prepared) -> np.ndarray:
+    def execute_prepared(
+        self, prepared, chunk_quantum: Optional[int] = None
+    ) -> np.ndarray:
         """Run a :class:`~repro.core.tree.PreparedBatch` and restore the
         results to arrival order (the full §4.1 contract).
 
         Restore is a direct scatter through the PSA permutation — the
-        inverse permutation is never materialized.
+        inverse permutation is never materialized.  When ``chunk_quantum``
+        is not given, the batch's (possibly cached) NTG group size sets
+        it — the narrowed group is the adjacency unit the profiler chose,
+        so thread shards cut on cohort boundaries.
         """
+        if chunk_quantum is None:
+            chunk_quantum = max(1, int(prepared.group_size))
         issue = self.execute(
-            prepared.psa.queries, issue_sorted=prepared.psa.issue_sorted
+            prepared.psa.queries,
+            issue_sorted=prepared.psa.issue_sorted,
+            chunk_quantum=chunk_quantum,
         )
         return prepared.psa.scatter_restore(issue)
 
     # -------------------------------------------------------------- internals
 
-    def _chunk_bounds(self, nq: int):
+    def _chunk_bounds(self, nq: int, quantum: int = 1):
         step = -(-nq // self.n_workers)  # ceil
+        if quantum > 1:
+            step = -(-step // quantum) * quantum  # round up to the cohort
         return [(s, min(s + step, nq)) for s in range(0, nq, step)]
 
     def _run_chunk(

@@ -77,8 +77,20 @@ class EpochManager:
     ) -> np.ndarray:
         return self._snapshot().search_batch(queries, config)
 
+    def search_many(
+        self, queries: Sequence[int], config: Optional[SearchConfig] = None
+    ) -> np.ndarray:
+        """Engine-path batched lookup against the pinned snapshot."""
+        return self._snapshot().search_many(queries, config)
+
     def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
         return self._snapshot().range_search(lo, hi)
+
+    def range_search_batch(
+        self, los: Sequence[int], his: Sequence[int]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batch of range scans, all against one pinned snapshot."""
+        return self._snapshot().range_search_batch(los, his)
 
     def __len__(self) -> int:
         with self._publish_lock:

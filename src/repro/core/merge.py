@@ -9,10 +9,11 @@ key-at-a-time insertion loop.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.constants import VALUE_DTYPE
 from repro.core.fastbuild import build_layout_fast
 from repro.core.layout import HarmoniaLayout
 from repro.errors import ConfigError
@@ -70,6 +71,42 @@ def merge_layouts(
     )
 
 
+def concat_sorted_runs(
+    runs: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Join ordered, disjoint sorted ``(keys, values)`` runs end to end.
+
+    The degenerate — and, for contiguous key-range shards, exact — merge:
+    when run ``i``'s keys all precede run ``i + 1``'s, sorted union *is*
+    concatenation.  This is how the sharded service tier stitches global
+    range scans and rebalance dumps back together (each shard owns a
+    contiguous key range, and shard order is key order), so the check is
+    asserted, not assumed.
+    """
+    parts = [(np.asarray(k), np.asarray(v)) for k, v in runs]
+    for k, v in parts:
+        if k.shape != v.shape:
+            raise ConfigError("each run needs aligned keys and values")
+    parts = [(k, v) for k, v in parts if k.size]
+    if not parts:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=VALUE_DTYPE),
+        )
+    for (ka, _), (kb, _) in zip(parts, parts[1:]):
+        if ka[-1] >= kb[0]:
+            raise ConfigError(
+                "runs must be disjoint and ascending: "
+                f"{int(ka[-1])} >= {int(kb[0])}"
+            )
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([k for k, _ in parts]),
+        np.concatenate([v for _, v in parts]),
+    )
+
+
 def compact(layout: HarmoniaLayout, fill: float = 1.0) -> HarmoniaLayout:
     """Repack a layout at the target ``fill`` (e.g. after heavy deletes
     left leaves near minimum occupancy)."""
@@ -79,4 +116,4 @@ def compact(layout: HarmoniaLayout, fill: float = 1.0) -> HarmoniaLayout:
     )
 
 
-__all__ = ["merged_items", "merge_layouts", "compact"]
+__all__ = ["merged_items", "merge_layouts", "concat_sorted_runs", "compact"]

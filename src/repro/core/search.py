@@ -160,36 +160,20 @@ def range_search(
     layout: HarmoniaLayout, lo: int, hi: int
 ) -> Tuple[np.ndarray, np.ndarray]:
     """All pairs with ``lo <= key <= hi``, exploiting the contiguous leaf
-    block: one point traversal for ``lo``, then a linear scan of the key
-    region (§3.2.1 — "since the key region is a consecutive array, range
-    queries can achieve high performance")."""
+    block (§3.2.1 — "since the key region is a consecutive array, range
+    queries can achieve high performance").
+
+    Thin wrapper over :func:`range_search_batch` so single- and
+    multi-range scans share one vectorized code path (batched leaf
+    location + contiguous block slicing).
+    """
     lo = ensure_scalar_key(lo)
     hi = ensure_scalar_key(hi)
-    if lo > hi:
-        return (
-            np.empty(0, dtype=layout.key_region.dtype),
-            np.empty(0, dtype=VALUE_DTYPE),
-        )
-    # Locate the first and last leaves with two point traversals, then scan
-    # the contiguous leaf block between them.  (The flattened block cannot
-    # be searchsorted directly: KEY_MAX pads inside interior rows break
-    # global ordering, so bounds come from traversal and pads are masked.)
-    def _leaf_of(target: int) -> int:
-        node = 0
-        for _ in range(layout.height - 1):
-            row = layout.key_region[node]
-            i = int(np.searchsorted(row, target, side="right"))
-            node = int(layout.prefix_sum[node]) + i
-        return node - layout.leaf_start
-
-    start_leaf = _leaf_of(lo)
-    end_leaf = _leaf_of(hi)
-    window_k = layout.key_region[
-        layout.leaf_start + start_leaf : layout.leaf_start + end_leaf + 1
-    ].ravel()
-    window_v = layout.leaf_values[start_leaf : end_leaf + 1].ravel()
-    mask = (window_k >= lo) & (window_k <= hi)
-    return window_k[mask], window_v[mask]
+    return range_search_batch(
+        layout,
+        np.asarray([lo], dtype=np.int64),
+        np.asarray([hi], dtype=np.int64),
+    )[0]
 
 
 def locate_leaves_batch(
@@ -212,8 +196,13 @@ def range_search_batch(
     """Batch of range queries (list of per-query (keys, values) pairs).
 
     All ``lo`` and ``hi`` leaves are located with *one* batched traversal
-    (two scalar Python traversals per query before); only the per-query
-    window extraction — variable-size output — remains a loop.
+    (:func:`locate_leaves_batch`); each window is then a contiguous
+    block slice of the leaf region with ``KEY_MAX`` pads masked out (the
+    flattened block cannot be searchsorted directly: pads inside
+    interior rows break global ordering).  Only the per-query window
+    extraction — variable-size output — remains a loop.  This is the
+    single range-scan code path: the scalar :func:`range_search` and the
+    sharded global scan both route through it.
     """
     lo_arr = ensure_key_array(np.asarray(los), "los")
     hi_arr = ensure_key_array(np.asarray(his), "his")

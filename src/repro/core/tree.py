@@ -19,7 +19,7 @@ snapshot, queries always run against the latest snapshot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.core.ntg import NTGSelection, choose_group_size, fanout_group_size
 from repro.core.psa import PSABatch, identity_batch, prepare_batch
 from repro.core.search import (
     range_search as _range_search,
+    range_search_batch as _range_search_batch,
     search_batch as _search_batch,
     search_scalar,
 )
@@ -115,6 +116,11 @@ class HarmoniaTree:
     _empty_fanout: int = DEFAULT_FANOUT
     #: Cached frontier-compaction engine (rebound on snapshot replacement).
     _engine: Optional[BatchQueryEngine] = None
+    #: Cached §4.2 static-profiling result: ``(layout, warp_size, levels,
+    #: selection)``.  Keyed by layout *identity* so a batch update (which
+    #: swaps the snapshot object) invalidates it implicitly; apply_batch
+    #: also clears it explicitly to release the old snapshot.
+    _ntg_cache: Optional[Tuple[object, int, int, NTGSelection]] = None
 
     # ------------------------------------------------------------ properties
 
@@ -179,17 +185,35 @@ class HarmoniaTree:
         elif cfg.ntg == "fanout":
             gs = fanout_group_size(layout.fanout, cfg.warp_size)
         else:  # "model" — static profiling on a sample of the issue stream
-            sample = psa.queries[: min(cfg.profile_sample, psa.n)]
-            if sample.size == 0:
-                gs = fanout_group_size(layout.fanout, cfg.warp_size)
-            else:
-                selection = choose_group_size(
-                    layout,
-                    sample,
-                    warp_size=cfg.warp_size,
-                    levels=cfg.ntg_profile_levels,
-                )
+            cached = self._ntg_cache
+            if (
+                cached is not None
+                and cached[0] is layout
+                and cached[1] == cfg.warp_size
+                and cached[2] == cfg.ntg_profile_levels
+            ):
+                # §4.2 profiling is per snapshot, not per batch: the step
+                # model depends on the layout's node geometry, so the first
+                # batch's selection is reused until the snapshot is
+                # replaced.
+                selection = cached[3]
                 gs = selection.group_size
+            else:
+                sample = psa.queries[: min(cfg.profile_sample, psa.n)]
+                if sample.size == 0:
+                    gs = fanout_group_size(layout.fanout, cfg.warp_size)
+                else:
+                    selection = choose_group_size(
+                        layout,
+                        sample,
+                        warp_size=cfg.warp_size,
+                        levels=cfg.ntg_profile_levels,
+                    )
+                    gs = selection.group_size
+                    self._ntg_cache = (
+                        layout, cfg.warp_size, cfg.ntg_profile_levels,
+                        selection,
+                    )
         return PreparedBatch(psa=psa, group_size=gs, ntg_selection=selection)
 
     def search_batch(
@@ -312,6 +336,21 @@ class HarmoniaTree:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         return _range_search(self._layout, lo, hi)
 
+    def range_search_batch(
+        self, los: Sequence[int], his: Sequence[int]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batch of range scans: one vectorized leaf-location pass for all
+        bounds, then per-query contiguous block slices (list of
+        ``(keys, values)`` pairs aligned with the inputs)."""
+        if self._layout is None:
+            lo_arr = ensure_key_array(np.asarray(los), "los")
+            hi_arr = ensure_key_array(np.asarray(his), "his")
+            if lo_arr.shape != hi_arr.shape:
+                raise ValueError("los and his must align")
+            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            return [empty] * lo_arr.size
+        return _range_search_batch(self._layout, los, his)
+
     def items(self, start: Optional[int] = None):
         """Lazy cursor over ``(key, value)`` pairs in key order.
 
@@ -375,6 +414,7 @@ class HarmoniaTree:
             updater = VectorizedBatchUpdater(self._layout, fill=self._fill)
             result = updater.run(ops, n_threads=cfg.n_threads)
             self._layout = updater.new_layout
+            self._ntg_cache = None
             return result
 
         scalar = BatchUpdater(self._layout, fill=self._fill)
@@ -382,6 +422,7 @@ class HarmoniaTree:
             scalar.apply_batch(ops, n_threads=cfg.n_threads)
         with scalar.result.timer.phase("movement"):
             self._layout = scalar.movement()
+        self._ntg_cache = None
         return scalar.result
 
     def _bootstrap_batch(self, ops: Sequence[Operation]) -> BatchResult:

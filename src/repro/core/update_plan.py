@@ -199,6 +199,8 @@ class VectorizedBatchUpdater:
         self.plan: Optional[UpdatePlan] = None
         self._slots = layout.slots
         self._min_leaf = (layout.fanout - 1 + 1) // 2
+        #: Single-op insert/delete groups resolved without replay.
+        self.n_single = 0
         #: Leaves staged for split/merge (leaf-block index -> full content).
         self.aux: Dict[int, AuxiliaryNode] = {}
         #: Leaves edited in place but still clean (kept rows, new content).
@@ -232,7 +234,8 @@ class VectorizedBatchUpdater:
             rec.counter("update.batches")
             rec.counter("update.ops", plan.n_ops)
             rec.counter("update.inplace_ops", plan.n_fast)
-            rec.counter("update.replay_ops", plan.n_replay)
+            rec.counter("update.single_ops", self.n_single)
+            rec.counter("update.replay_ops", plan.n_replay - self.n_single)
             rec.counter("update.split_leaves", res.split_leaves)
             rec.counter("update.dirty_leaves", n_dirty)
             rec.counter("update.moved_leaves", res.moved_clean)
@@ -259,6 +262,9 @@ class VectorizedBatchUpdater:
         self._apply_fast(plan)
 
         replay_groups = np.flatnonzero(~plan.group_update_only)
+        if replay_groups.size == 0:
+            return
+        replay_groups = self._apply_singles(plan, replay_groups)
         if replay_groups.size == 0:
             return
         if (
@@ -324,6 +330,99 @@ class VectorizedBatchUpdater:
         self._ov_leaf = fleaf[hit][winners]
         self._ov_pos = pos[hit][winners]
         self._ov_val = plan.values[arrival[winners]]
+
+    def _apply_singles(
+        self, plan: UpdatePlan, groups: np.ndarray
+    ) -> np.ndarray:
+        """Single-op insert/delete groups whose leaf cannot change shape.
+
+        A one-op group inserting into a non-full leaf (or deleting from an
+        above-minimum leaf) can never stage an auxiliary node: the scalar
+        state machine reduces to "find the slot, shift the row by one".
+        Both steps vectorize across all such groups at once — one gathered
+        row block, one rowwise searchsorted, one ``np.where`` shift — so
+        these groups skip the per-op Python replay loop entirely.  The
+        produced staged content is exactly what the replay would have
+        staged (``modified[leaf]``, successes only), so the movement stage
+        and the scalar-equivalence contract are untouched.  Returns the
+        groups that still need the replay path.
+        """
+        bounds = plan.group_bounds
+        single = groups[np.diff(bounds)[groups] == 1]
+        if single.size == 0:
+            return groups
+        layout = self.layout
+        slots = self._slots
+        op_idx = plan.order[bounds[single]]
+        kinds = plan.kinds[op_idx]
+        lids = plan.group_leaves[single]
+        rows = layout.key_region[layout.leaf_start :][lids]
+        counts = (rows != KEY_MAX).sum(axis=1)
+        is_ins = kinds == K_INSERT
+        eligible = np.where(
+            is_ins, counts < slots,
+            (kinds == K_DELETE) & (counts > self._min_leaf),
+        )
+        e = np.flatnonzero(eligible)
+        if e.size == 0:
+            return groups
+        rows = rows[e]
+        vrows = layout.leaf_values[lids[e]]
+        okeys = plan.keys[op_idx[e]]
+        ovals = plan.values[op_idx[e]]
+        ins_e = is_ins[e]
+        pos = np.sum(rows < okeys[:, None], axis=1)
+        clamped = np.minimum(pos, slots - 1)
+        exists = rows[np.arange(e.size), clamped] == okeys
+        ok = np.where(ins_e, ~exists, exists)
+        n_ins = int(np.count_nonzero(ins_e & ok))
+        n_del = int(np.count_nonzero(~ins_e & ok))
+        res = self.result
+        res.inserted += n_ins
+        res.deleted += n_del
+        res.failed += int(e.size - n_ins - n_del)
+        self.n_single += int(e.size)
+
+        win = np.flatnonzero(ok)
+        if win.size:
+            cols = np.arange(slots)
+            wrows, wvrows = rows[win], vrows[win]
+            wpos = pos[win][:, None]
+            wins = ins_e[win]
+            # Insert: row shifted right of the slot (a non-full leaf's
+            # last column is a pad, so nothing real falls off the end).
+            right_k = np.concatenate([wrows[:, :1], wrows[:, :-1]], axis=1)
+            right_v = np.concatenate([wvrows[:, :1], wvrows[:, :-1]], axis=1)
+            ins_k = np.where(
+                cols < wpos, wrows,
+                np.where(cols == wpos, okeys[win][:, None], right_k),
+            )
+            ins_v = np.where(
+                cols < wpos, wvrows,
+                np.where(cols == wpos, ovals[win][:, None], right_v),
+            )
+            # Delete: row shifted left of the slot, pad rolling in.
+            pad_k = np.full((win.size, 1), KEY_MAX, dtype=wrows.dtype)
+            pad_v = np.full((win.size, 1), NOT_FOUND, dtype=wvrows.dtype)
+            del_k = np.where(
+                cols < wpos, wrows,
+                np.concatenate([wrows[:, 1:], pad_k], axis=1),
+            )
+            del_v = np.where(
+                cols < wpos, wvrows,
+                np.concatenate([wvrows[:, 1:], pad_v], axis=1),
+            )
+            new_k = np.where(wins[:, None], ins_k, del_k)
+            new_v = np.where(wins[:, None], ins_v, del_v)
+            new_counts = counts[e][win] + np.where(wins, 1, -1)
+            wleaves = lids[e][win].tolist()
+            for i, leaf in enumerate(wleaves):
+                c = int(new_counts[i])
+                self.modified[int(leaf)] = AuxiliaryNode(
+                    keys=new_k[i, :c].tolist(),
+                    values=new_v[i, :c].tolist(),
+                )
+        return groups[~np.isin(groups, single[e])]
 
     def _replay_shard(
         self, plan: UpdatePlan, groups: np.ndarray

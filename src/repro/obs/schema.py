@@ -176,6 +176,9 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("update.inplace_ops", "counter", "ops",
                "ops in update-only leaf groups, resolved by the fully "
                "vectorized in-place path"),
+    MetricSpec("update.single_ops", "counter", "ops",
+               "single-op insert/delete groups resolved by the vectorized "
+               "row-shift path (no per-op replay)"),
     MetricSpec("update.replay_ops", "counter", "ops",
                "ops in insert/delete leaf groups, replayed per leaf"),
     MetricSpec("update.split_leaves", "counter", "leaves",
@@ -192,6 +195,26 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("update.throughput_ops", "gauge", "ops/s",
                "end-to-end throughput of the last vectorized batch "
                "(plan + apply + movement)"),
+    # ------------------------------------------------------------- shard
+    MetricSpec("shard.batches", "counter", "batches",
+               "query/update batches routed by the ShardedTree front-end"),
+    MetricSpec("shard.queries", "counter", "queries",
+               "point lookups fanned out across shard workers"),
+    MetricSpec("shard.ops", "counter", "ops",
+               "update operations fanned out across shard workers"),
+    MetricSpec("shard.range_queries", "counter", "queries",
+               "range scans served by the sharded global-scan path"),
+    MetricSpec("shard.restarts", "counter", "workers",
+               "worker processes restarted and rebuilt from snapshot + "
+               "op-log replay"),
+    MetricSpec("shard.rebalances", "counter", "rebalances",
+               "key-space re-cuts performed by ShardedTree.rebalance"),
+    MetricSpec("shard.batch_size", "histogram", "items",
+               "per-shard slice size of each routed batch (scatter balance)",
+               edges=COUNT_EDGES),
+    MetricSpec("shard.skew", "gauge", "ratio",
+               "shard size skew (max shard / ideal share) at the last "
+               "rebalance check"),
     # ------------------------------------------------------------- bench
     MetricSpec("bench.*", "gauge", "s|x",
                "benchmark emitter timing blocks (BENCH_*.json metrics "
@@ -218,6 +241,13 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("update.movement", "span", "-",
                "update movement stage: leaf plan + block rebuild of the "
                "regions"),
+    MetricSpec("shard.scatter", "span", "-",
+               "routing pass of one sharded batch (searchsorted + stable "
+               "grouping)"),
+    MetricSpec("shard.dispatch", "span", "-",
+               "concurrent worker round-trip of one sharded batch"),
+    MetricSpec("shard.gather", "span", "-",
+               "reassembly of worker results into caller order"),
 ]
 
 _EXACT: Dict[str, MetricSpec] = {s.name: s for s in CATALOGUE

@@ -1,0 +1,150 @@
+"""Key-space partitioning for the sharded service tier.
+
+The :class:`Partitioner` splits the (signed 64-bit) key space into
+``n_shards`` contiguous ranges by ``n_shards - 1`` sorted *boundary
+keys*: shard ``s`` owns every key ``k`` with
+``boundaries[s - 1] < k <= boundaries[s]`` (the first shard is open
+below, the last open above).  Routing a batch is therefore one
+``np.searchsorted`` pass: a key equal to a boundary routes to the shard
+*ending* at that boundary, so a boundary chosen as "last key of shard
+``s``" keeps every stored key on the shard its slice came from.
+
+Boundaries are chosen by **key-count quantiles** over the stored keys
+(:meth:`Partitioner.from_keys`), so shards start balanced regardless of
+the key distribution.  Skewed growth is detected by
+:meth:`Partitioner.skew` and corrected by recomputing the quantiles on
+the current contents (:meth:`Partitioner.from_keys` again — the
+router's rebalance operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import KEY_DTYPE
+from repro.errors import ConfigError
+from repro.utils.validation import ensure_key_array
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Contiguous range partition of the key space.
+
+    ``boundaries`` holds ``n_shards - 1`` strictly increasing keys; an
+    empty array means a single shard owning everything.
+    """
+
+    n_shards: int
+    boundaries: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=KEY_DTYPE))
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {self.n_shards}")
+        b = np.asarray(self.boundaries, dtype=KEY_DTYPE)
+        if b.ndim != 1 or b.size != self.n_shards - 1:
+            raise ConfigError(
+                f"{self.n_shards} shards need {self.n_shards - 1} "
+                f"boundaries, got {b.size}"
+            )
+        if b.size > 1 and not bool(np.all(b[1:] > b[:-1])):
+            raise ConfigError("boundaries must be strictly increasing")
+        object.__setattr__(self, "boundaries", b)
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_keys(cls, keys: Sequence[int], n_shards: int) -> "Partitioner":
+        """Quantile boundaries balancing *key counts* across shards.
+
+        ``keys`` must be sorted ascending (the layout's leaf order); the
+        boundary before shard ``s`` is the last key of shard ``s - 1``,
+        so every stored key routes to the shard its slice came from.
+        Duplicate quantile keys (tiny key sets) are deduplicated; the
+        partitioner then ends up with fewer effective cut points but
+        stays valid.
+        """
+        k = ensure_key_array(np.asarray(keys), "keys")
+        if n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards == 1 or k.size == 0:
+            return cls(n_shards=n_shards,
+                       boundaries=_spread_boundaries(n_shards))
+        cuts = (np.arange(1, n_shards, dtype=np.int64) * k.size) // n_shards
+        cuts = np.maximum(cuts, 1)
+        bounds = np.unique(k[cuts - 1])
+        if bounds.size < n_shards - 1:
+            # Not enough distinct keys to cut n_shards ways: pad with
+            # synthetic boundaries above the data so trailing shards are
+            # empty but the shard count the caller asked for is kept.
+            top = int(bounds[-1]) if bounds.size else int(k[-1])
+            pad = np.arange(1, n_shards - bounds.size, dtype=KEY_DTYPE) + top
+            bounds = np.concatenate([bounds, pad])
+        return cls(n_shards=n_shards, boundaries=bounds)
+
+    # -------------------------------------------------------------- routing
+
+    def shard_of(self, keys: Sequence[int]) -> np.ndarray:
+        """Shard index of every key — one ``searchsorted`` pass."""
+        k = np.asarray(keys, dtype=KEY_DTYPE)
+        return np.searchsorted(self.boundaries, k, side="left").astype(np.int64)
+
+    def scatter(
+        self, keys: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group a batch by shard: ``(shard_ids, order, bounds)``.
+
+        ``order`` is a *stable* permutation grouping same-shard elements
+        contiguously in arrival order (the invariant per-shard update
+        replay relies on); shard ``s``'s slice of ``order`` is
+        ``order[bounds[s]:bounds[s + 1]]``.
+        """
+        ids = self.shard_of(keys)
+        order = np.argsort(ids, kind="stable")
+        bounds = np.searchsorted(ids[order], np.arange(self.n_shards + 1))
+        return ids, order, bounds.astype(np.int64)
+
+    def shard_range(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Inclusive shard span ``[first, last]`` overlapping ``[lo, hi]``."""
+        first, last = self.shard_of(np.asarray([lo, hi], dtype=KEY_DTYPE))
+        return int(first), int(last)
+
+    def clip(self, shard: int, lo: int, hi: int) -> Tuple[int, int]:
+        """``[lo, hi]`` clipped to ``shard``'s owned range (may be empty
+        only if the inputs were; shards are contiguous so any range that
+        routes to the shard intersects it)."""
+        if shard > 0:
+            lo = max(lo, int(self.boundaries[shard - 1]) + 1)
+        if shard < self.n_shards - 1:
+            hi = min(hi, int(self.boundaries[shard]))
+        return lo, hi
+
+    # ------------------------------------------------------------ balancing
+
+    @staticmethod
+    def skew(counts: Sequence[int]) -> float:
+        """Size skew of per-shard key counts: ``max / ideal`` where
+        ``ideal = total / n_shards`` (1.0 = perfectly balanced; 0 keys
+        anywhere = 1.0 by convention)."""
+        c = np.asarray(counts, dtype=np.float64)
+        total = float(c.sum())
+        if total <= 0.0 or c.size == 0:
+            return 1.0
+        return float(c.max() / (total / c.size))
+
+
+def _spread_boundaries(n_shards: int) -> np.ndarray:
+    """Evenly spread synthetic boundaries for an empty key set (keeps
+    ``n_shards`` workers routable before any data arrives)."""
+    if n_shards == 1:
+        return np.empty(0, dtype=KEY_DTYPE)
+    span = np.iinfo(KEY_DTYPE)
+    step = (int(span.max) - int(span.min)) // n_shards
+    return (np.arange(1, n_shards, dtype=np.int64) * step + int(span.min)).astype(
+        KEY_DTYPE
+    )
+
+
+__all__ = ["Partitioner"]

@@ -1,0 +1,677 @@
+"""The sharded service front-end: scatter, dispatch, gather.
+
+:class:`ShardedTree` serves the :class:`~repro.core.tree.HarmoniaTree`
+API over a fleet of worker *processes*, one contiguous key range each
+(:class:`~repro.shard.partition.Partitioner`), to get past the GIL cap
+on CPU-bound batch replay and fan-out query service:
+
+* **scatter** — one ``np.searchsorted`` pass routes every query / op to
+  its shard; a stable argsort groups the batch per shard (arrival order
+  is preserved inside each shard, the invariant update replay needs);
+* **dispatch** — per-shard slices go to the workers concurrently (the
+  router threads block on the workers' pipes, so worker CPU runs truly
+  in parallel); arrays travel through shared memory, never pickle
+  (:class:`~repro.shard.transport.ShardChannel`);
+* **gather** — results scatter back into caller order through the
+  routing permutation (searches), sum into one
+  :class:`~repro.core.update.BatchResult` (updates), or concatenate in
+  shard order (range scans — shard order *is* key order, so the global
+  scan is :func:`repro.core.merge.concat_sorted_runs` over per-shard
+  leaf-region slices).
+
+Robustness is the router's job, not the workers': every worker is a
+deterministic function of its **base snapshot** (the arrays it was
+loaded with) plus the **op log** (the batches routed to it since), both
+of which the router keeps.  A dead worker — detected by liveness checks
+or a broken pipe mid-call — is restarted and rebuilt from snapshot +
+log replay, then the failed call is retried; :meth:`checkpoint` folds
+the log back into the base to bound replay cost, and :meth:`rebalance`
+re-cuts the key space by fresh quantiles (merging shrunken shards,
+splitting swollen ones) when the size skew exceeds a threshold.
+
+Everything is observable through the ``shard.*`` metric family
+(docs/observability.md): scatter/dispatch/gather spans, per-shard batch
+sizes, restart and rebalance counters, the live skew gauge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+import repro.obs as obs
+from repro.constants import DEFAULT_FANOUT, NOT_FOUND, VALUE_DTYPE
+from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.merge import concat_sorted_runs
+from repro.core.update import BatchResult, Operation
+from repro.core.update_plan import _KIND_CODE
+from repro.errors import ConfigError
+from repro.shard.partition import Partitioner
+from repro.shard.transport import DEFAULT_CAPACITY_BYTES, ShardChannel
+from repro.shard.worker import worker_main
+from repro.utils.validation import ensure_key_array, ensure_scalar_key
+
+T = TypeVar("T")
+
+_clock = time.perf_counter
+
+
+@dataclass
+class _Shard:
+    """Router-side record of one worker: link, lifecycle, rebuild state."""
+
+    index: int
+    proc: mp.Process
+    channel: ShardChannel
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Base snapshot (sorted keys/values the worker was last loaded with).
+    base_keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    base_values: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VALUE_DTYPE)
+    )
+    #: Op batches routed since the base (wire triples: kinds/keys/values).
+    oplog: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=list
+    )
+    restarts: int = 0
+
+
+def _encode_ops(
+    ops: Sequence[Operation],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Operation list → wire arrays (the planner's kind codes)."""
+    n = len(ops)
+    code = _KIND_CODE
+    kinds = np.fromiter((code[op.kind] for op in ops), dtype=np.int8, count=n)
+    keys = np.fromiter((op.key for op in ops), dtype=np.int64, count=n)
+    values = np.fromiter(
+        (op.value for op in ops), dtype=VALUE_DTYPE, count=n
+    )
+    return kinds, keys, values
+
+
+class ShardedTree:
+    """Key-space sharded, multi-process Harmonia service tier.
+
+    >>> st = ShardedTree.from_sorted(range(0, 1000, 2), n_shards=2)
+    >>> int(st.search(4))
+    4
+    >>> st.close()
+
+    Results are identical to a single :class:`HarmoniaTree` holding the
+    same data — hypothesis-pinned in ``tests/test_shard_equivalence.py``.
+    Use as a context manager (or call :meth:`close`) so the worker
+    processes shut down deterministically.
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+        search_config: Optional[SearchConfig] = None,
+        update_config: Optional[UpdateConfig] = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    ) -> None:
+        self.partitioner = partitioner
+        self.fanout = fanout
+        self.fill = fill
+        # Workers run their own recording (or none): the trace knob is a
+        # per-process registry reference that cannot cross the boundary.
+        cfg = search_config or SearchConfig()
+        self.search_config = cfg.with_(trace=None)
+        self.update_config = update_config or UpdateConfig()
+        self.capacity_bytes = int(capacity_bytes)
+        self._closed = False
+        self._shards: List[_Shard] = [
+            self._spawn(i) for i in range(partitioner.n_shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=partitioner.n_shards,
+            thread_name_prefix="shard-router",
+        )
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        n_shards: int = 2,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 1.0,
+        search_config: Optional[SearchConfig] = None,
+        update_config: Optional[UpdateConfig] = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    ) -> "ShardedTree":
+        """Bulk-build: quantile-partition sorted ``keys`` and load one
+        contiguous slice per worker."""
+        karr = ensure_key_array(np.asarray(keys))
+        if values is None:
+            varr = karr.astype(VALUE_DTYPE)
+        else:
+            varr = np.asarray(values, dtype=VALUE_DTYPE)
+            if varr.shape != karr.shape:
+                raise ConfigError("keys and values must align")
+        part = Partitioner.from_keys(karr, n_shards)
+        tree = cls(
+            part, fanout=fanout, fill=fill, search_config=search_config,
+            update_config=update_config, capacity_bytes=capacity_bytes,
+        )
+        bounds = np.searchsorted(
+            part.boundaries, karr, side="left"
+        ) if karr.size else np.empty(0, dtype=np.int64)
+        cuts = np.searchsorted(bounds, np.arange(part.n_shards + 1))
+        for s in range(part.n_shards):
+            lo, hi = int(cuts[s]), int(cuts[s + 1])
+            tree._load_shard(s, karr[lo:hi], varr[lo:hi])
+        return tree
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def n_shards(self) -> int:
+        return self.partitioner.n_shards
+
+    def _spawn(self, index: int) -> _Shard:
+        router_side, worker_side = ShardChannel.pair(self.capacity_bytes)
+        proc = mp.Process(
+            target=worker_main,
+            args=(worker_side, self.fanout, self.fill,
+                  self.search_config, self.update_config),
+            daemon=True,
+            name=f"harmonia-shard-{index}",
+        )
+        proc.start()
+        # The worker side of the pipe belongs to the child now.
+        worker_side.conn.close()
+        return _Shard(index=index, proc=proc, channel=router_side)
+
+    def _load_shard(
+        self, s: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Replace shard ``s``'s contents (and its rebuild base)."""
+        shard = self._shards[s]
+        with shard.lock:
+            ch = shard.channel
+            ch.send("load")
+            ch.send_array(keys)
+            ch.send_array(values)
+            reply = ch.recv()
+            if not reply or reply[0] != "loaded":  # pragma: no cover
+                raise ConfigError(f"shard {s} load failed: {reply!r}")
+            shard.base_keys = keys
+            shard.base_values = values
+            shard.oplog = []
+
+    def _restart_locked(self, s: int) -> None:
+        """Rebuild a dead worker from base snapshot + op-log replay.
+
+        Caller holds the shard lock.  The new worker sees exactly the
+        batches the old one acknowledged — an unacknowledged in-flight
+        batch is *not* in the log, so the caller's retry applies it
+        exactly once.
+        """
+        shard = self._shards[s]
+        try:
+            shard.channel.close()
+        finally:
+            if shard.proc.is_alive():  # pragma: no cover — hung worker
+                shard.proc.terminate()
+            shard.proc.join(timeout=5.0)
+        fresh = self._spawn(s)
+        shard.proc = fresh.proc
+        shard.channel = fresh.channel
+        shard.restarts += 1
+        ch = shard.channel
+        ch.send("load")
+        ch.send_array(shard.base_keys)
+        ch.send_array(shard.base_values)
+        reply = ch.recv()
+        if not reply or reply[0] != "loaded":  # pragma: no cover
+            raise ConfigError(f"shard {s} rebuild load failed: {reply!r}")
+        for kinds, keys, values in shard.oplog:
+            ch.send("apply")
+            ch.send_array(kinds)
+            ch.send_array(keys)
+            ch.send_array(values)
+            reply = ch.recv()
+            if not reply or reply[0] != "applied":  # pragma: no cover
+                raise ConfigError(
+                    f"shard {s} rebuild replay failed: {reply!r}"
+                )
+        rec = obs.active
+        if rec.enabled:
+            rec.counter("shard.restarts")
+
+    def _call(self, s: int, fn: Callable[[ShardChannel], T]) -> T:
+        """Run one request against shard ``s``, restarting and retrying
+        once if the worker is dead or dies mid-call."""
+        shard = self._shards[s]
+        with shard.lock:
+            if shard.proc.is_alive():
+                try:
+                    return fn(shard.channel)
+                except (EOFError, OSError, BrokenPipeError):
+                    pass  # fall through to rebuild + retry
+            self._restart_locked(s)
+            return fn(shard.channel)
+
+    def close(self) -> None:
+        """Stop all workers and release the channels (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            with shard.lock:
+                try:
+                    shard.channel.send("stop")
+                    shard.channel.recv(timeout=2.0)
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+                shard.channel.close()
+                if shard.proc.is_alive():
+                    shard.proc.join(timeout=2.0)
+                if shard.proc.is_alive():  # pragma: no cover — hung worker
+                    shard.proc.terminate()
+                    shard.proc.join(timeout=2.0)
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardedTree":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # --------------------------------------------------------------- health
+
+    def ping(self, s: int, timeout: float = 5.0) -> Tuple[int, int]:
+        """(epoch, n_keys) of shard ``s``; restarts it first if dead."""
+
+        def do(ch: ShardChannel) -> Tuple[int, int]:
+            ch.send("ping")
+            reply = ch.recv(timeout=timeout)
+            if not reply or reply[0] != "pong":
+                raise EOFError(f"shard {s} ping got {reply!r}")
+            return int(reply[1]), int(reply[2])
+
+        return self._call(s, do)
+
+    def health_check(self, timeout: float = 5.0) -> List[int]:
+        """Ping every worker; dead ones are restarted and rebuilt.
+        Returns the indices that needed a restart."""
+        revived: List[int] = []
+        for s, shard in enumerate(self._shards):
+            before = shard.restarts
+            self.ping(s, timeout=timeout)
+            if self._shards[s].restarts > before:
+                revived.append(s)
+        return revived
+
+    def shard_counts(self) -> np.ndarray:
+        """Per-shard key counts (one ping round)."""
+        return np.asarray(
+            [self.ping(s)[1] for s in range(self.n_shards)], dtype=np.int64
+        )
+
+    def stats(self) -> List[dict]:
+        """Per-shard service stats (epoch, keys, restarts, boundaries)."""
+        out = []
+        for s in range(self.n_shards):
+            epoch, n_keys = self.ping(s)
+            lo = (int(self.partitioner.boundaries[s - 1]) + 1 if s > 0
+                  else None)
+            hi = (int(self.partitioner.boundaries[s])
+                  if s < self.n_shards - 1 else None)
+            out.append({
+                "shard": s, "epoch": epoch, "n_keys": n_keys,
+                "restarts": self._shards[s].restarts,
+                "range_lo": lo, "range_hi": hi,
+            })
+        return out
+
+    def __len__(self) -> int:
+        return int(self.shard_counts().sum())
+
+    # -------------------------------------------------------------- queries
+
+    def search(self, key: int) -> Optional[int]:
+        """Single-key convenience over the batched path."""
+        out = self.search_many(np.asarray([ensure_scalar_key(key)]))
+        return None if out[0] == NOT_FOUND else int(out[0])
+
+    def search_many(self, queries: Sequence[int]) -> np.ndarray:
+        """Batched point lookup: scatter by boundary key, dispatch to all
+        owning workers concurrently, gather into caller order.
+
+        Identical results to ``HarmoniaTree.search_many`` on the same
+        data (misses map to :data:`~repro.constants.NOT_FOUND`).
+        """
+        q = ensure_key_array(np.asarray(queries), "queries")
+        rec = obs.active
+        out = np.empty(q.size, dtype=VALUE_DTYPE)
+        if q.size == 0:
+            return out
+        t0 = _clock()
+        ids, order, bounds = self.partitioner.scatter(q)
+        routed = q[order]
+        t1 = _clock()
+
+        def do_search(s: int, lo: int, hi: int) -> np.ndarray:
+            chunk = routed[lo:hi]
+
+            def call(ch: ShardChannel) -> np.ndarray:
+                ch.send("search")
+                ch.send_array(chunk)
+                reply = ch.recv()
+                if not reply or reply[0] != "found":
+                    raise EOFError(f"shard {s} search got {reply!r}")
+                return ch.recv_array()
+
+            return self._call(s, call)
+
+        parts = self._dispatch(bounds, do_search, rec)
+        t2 = _clock()
+        for s, lo, hi, res in parts:
+            out[order[lo:hi]] = res
+        t3 = _clock()
+        if rec.enabled:
+            rec.counter("shard.batches")
+            rec.counter("shard.queries", q.size)
+            rec.span_at("shard.scatter", t0, t1, cat="shard", nq=q.size)
+            rec.span_at("shard.dispatch", t1, t2, cat="shard",
+                        shards=len(parts))
+            rec.span_at("shard.gather", t2, t3, cat="shard")
+        return out
+
+    def _dispatch(
+        self,
+        bounds: np.ndarray,
+        fn: Callable[[int, int, int], T],
+        rec,
+    ) -> List[Tuple[int, int, int, T]]:
+        """Fan one scattered batch out to every shard with a non-empty
+        slice; returns ``(shard, lo, hi, result)`` per dispatched slice."""
+        jobs: List[Tuple[int, int, int]] = []
+        for s in range(self.n_shards):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if hi > lo:
+                jobs.append((s, lo, hi))
+                if rec.enabled:
+                    rec.histogram("shard.batch_size", hi - lo)
+        if len(jobs) == 1:
+            s, lo, hi = jobs[0]
+            return [(s, lo, hi, fn(s, lo, hi))]
+        futures = [
+            (s, lo, hi, self._pool.submit(fn, s, lo, hi))
+            for s, lo, hi in jobs
+        ]
+        return [(s, lo, hi, f.result()) for s, lo, hi, f in futures]
+
+    # -------------------------------------------------------------- updates
+
+    def apply_batch(self, ops: Sequence[Operation]) -> BatchResult:
+        """Apply one update batch across the shards (§3.2.2 per shard).
+
+        The batch is scattered by key with the same stable grouping the
+        queries use, so each shard replays its ops in arrival order;
+        per-key outcomes (and therefore the summed accounting below) are
+        identical to the unsharded path because an op's success depends
+        only on same-key history.  Structural counters
+        (``split_leaves`` …) are per-shard quantities and are summed as
+        such.  Acknowledged batches enter the shard's op log (the
+        restart-and-rebuild source); a crash mid-batch is retried after
+        rebuild, exactly once.
+        """
+        rec = obs.active
+        result = BatchResult()
+        n = len(ops)
+        if n == 0:
+            return result
+        t0 = _clock()
+        kinds, keys, values = _encode_ops(ops)
+        ids, order, bounds = self.partitioner.scatter(keys)
+        rk, rkeys, rvals = kinds[order], keys[order], values[order]
+        t1 = _clock()
+
+        def do_apply(s: int, lo: int, hi: int):
+            sk = np.ascontiguousarray(rk[lo:hi])
+            skeys = np.ascontiguousarray(rkeys[lo:hi])
+            svals = np.ascontiguousarray(rvals[lo:hi])
+
+            def call(ch: ShardChannel):
+                ch.send("apply")
+                ch.send_array(sk)
+                ch.send_array(skeys)
+                ch.send_array(svals)
+                reply = ch.recv()
+                if not reply or reply[0] != "applied":
+                    raise EOFError(f"shard {s} apply got {reply!r}")
+                return reply[1:]
+
+            counts = self._call(s, call)
+            return (sk, skeys, svals), counts
+
+        parts = self._dispatch(bounds, do_apply, rec)
+        t2 = _clock()
+        for s, _lo, _hi, (wire, counts) in parts:
+            self._shards[s].oplog.append(wire)
+            ins, upd, dele, fail, split = counts
+            result.inserted += ins
+            result.updated += upd
+            result.deleted += dele
+            result.failed += fail
+            result.split_leaves += split
+        t3 = _clock()
+        if rec.enabled:
+            rec.counter("shard.batches")
+            rec.counter("shard.ops", n)
+            rec.span_at("shard.scatter", t0, t1, cat="shard", ops=n)
+            rec.span_at("shard.dispatch", t1, t2, cat="shard",
+                        shards=len(parts))
+            rec.span_at("shard.gather", t2, t3, cat="shard")
+        return result
+
+    def insert(self, key: int, value: int) -> bool:
+        return self.apply_batch([Operation("insert", key, value)]).inserted == 1
+
+    def update(self, key: int, value: int) -> bool:
+        return self.apply_batch([Operation("update", key, value)]).updated == 1
+
+    def delete(self, key: int) -> bool:
+        return self.apply_batch([Operation("delete", key)]).deleted == 1
+
+    # ---------------------------------------------------------- range scans
+
+    def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Global range scan ``[lo, hi]``: per-shard leaf-region slices,
+        concatenated in shard order (= key order)."""
+        out = self.range_search_batch([lo], [hi])
+        return out[0]
+
+    def range_search_batch(
+        self, los: Sequence[int], his: Sequence[int]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batch of global range scans (list of per-query pairs).
+
+        Each range is clipped to the shards it overlaps; every shard
+        scans its clips in one request (its contiguous leaf region makes
+        each clip a block slice), and per-query results are stitched
+        back by concatenating the shard parts in shard order via
+        :func:`~repro.core.merge.concat_sorted_runs`.
+        """
+        lo_arr = ensure_key_array(np.asarray(los), "los")
+        hi_arr = ensure_key_array(np.asarray(his), "his")
+        if lo_arr.shape != hi_arr.shape:
+            raise ConfigError("los and his must align")
+        n = lo_arr.size
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=VALUE_DTYPE),
+        )
+        if n == 0:
+            return []
+        rec = obs.active
+        t0 = _clock()
+        firsts = self.partitioner.shard_of(lo_arr)
+        lasts = self.partitioner.shard_of(hi_arr)
+        valid = lo_arr <= hi_arr
+        # Per shard: the (query, clipped-bounds) list it must scan.
+        jobs: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        for s in range(self.n_shards):
+            qidx = np.flatnonzero(valid & (firsts <= s) & (lasts >= s))
+            if qidx.size == 0:
+                continue
+            clo = lo_arr[qidx].copy()
+            chi = hi_arr[qidx].copy()
+            if s > 0:
+                np.maximum(clo, int(self.partitioner.boundaries[s - 1]) + 1,
+                           out=clo)
+            if s < self.n_shards - 1:
+                np.minimum(chi, int(self.partitioner.boundaries[s]),
+                           out=chi)
+            jobs.append((s, qidx, clo, chi))
+        t1 = _clock()
+
+        def do_range(s, qidx, clo, chi):
+            def call(ch: ShardChannel):
+                ch.send("range")
+                ch.send_array(clo)
+                ch.send_array(chi)
+                reply = ch.recv()
+                if not reply or reply[0] != "ranged":
+                    raise EOFError(f"shard {s} range got {reply!r}")
+                counts = ch.recv_array()
+                keys = ch.recv_array()
+                vals = ch.recv_array()
+                return counts, keys, vals
+
+            return self._call(s, call)
+
+        if len(jobs) == 1:
+            results = [do_range(*jobs[0])]
+        else:
+            futures = [self._pool.submit(do_range, *job) for job in jobs]
+            results = [f.result() for f in futures]
+        t2 = _clock()
+
+        # Stitch: shards were visited in ascending order, so per query
+        # the parts arrive as sorted disjoint runs.
+        per_query: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(n)
+        ]
+        for (s, qidx, _clo, _chi), (counts, keys, vals) in zip(jobs, results):
+            offsets = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            for j, qi in enumerate(qidx.tolist()):
+                a, b = int(offsets[j]), int(offsets[j + 1])
+                per_query[qi].append((keys[a:b], vals[a:b]))
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for parts in per_query:
+            if not parts:
+                out.append(empty)
+            elif len(parts) == 1:
+                out.append(parts[0])
+            else:
+                out.append(concat_sorted_runs(parts))
+        t3 = _clock()
+        if rec.enabled:
+            rec.counter("shard.range_queries", int(np.count_nonzero(valid)))
+            rec.span_at("shard.scatter", t0, t1, cat="shard", ranges=n)
+            rec.span_at("shard.dispatch", t1, t2, cat="shard",
+                        shards=len(jobs))
+            rec.span_at("shard.gather", t2, t3, cat="shard")
+        return out
+
+    # ---------------------------------------------------- rebalance / ckpt
+
+    def _dump(self, s: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Shard ``s``'s full sorted contents."""
+
+        def call(ch: ShardChannel):
+            ch.send("dump")
+            reply = ch.recv()
+            if not reply or reply[0] != "dumped":
+                raise EOFError(f"shard {s} dump got {reply!r}")
+            return ch.recv_array(), ch.recv_array()
+
+        return self._call(s, call)
+
+    def checkpoint(self) -> None:
+        """Fold every shard's op log into its base snapshot.
+
+        Bounds restart-and-rebuild replay cost after long update runs;
+        contents and boundaries are unchanged.
+        """
+        for s in range(self.n_shards):
+            keys, values = self._dump(s)
+            shard = self._shards[s]
+            with shard.lock:
+                shard.base_keys = keys
+                shard.base_values = values
+                shard.oplog = []
+
+    def skew(self) -> float:
+        """Current size skew (``max shard / ideal share``, 1.0 = even)."""
+        return Partitioner.skew(self.shard_counts())
+
+    def rebalance(
+        self, threshold: float = 1.5, force: bool = False
+    ) -> bool:
+        """Re-cut the key space when shard sizes drift apart.
+
+        When ``skew() > threshold`` (or ``force``), every shard is
+        dumped, the global sorted contents are re-joined
+        (:func:`~repro.core.merge.concat_sorted_runs` — shard order is
+        key order) and fresh key-count quantiles become the new
+        boundaries: swollen shards are split, shrunken neighbours merged
+        in one pass.  Workers are reloaded with their new slices (which
+        also checkpoints: op logs reset).  Returns whether a rebalance
+        ran.
+        """
+        if threshold < 1.0:
+            raise ConfigError(
+                f"rebalance threshold must be >= 1.0, got {threshold}"
+            )
+        rec = obs.active
+        current = self.skew()
+        if rec.enabled:
+            rec.gauge("shard.skew", current)
+        if not force and current <= threshold:
+            return False
+        dumps = [self._dump(s) for s in range(self.n_shards)]
+        keys, values = concat_sorted_runs(dumps)
+        self.partitioner = Partitioner.from_keys(keys, self.n_shards)
+        bounds = np.searchsorted(self.partitioner.boundaries, keys,
+                                 side="left")
+        cuts = np.searchsorted(bounds, np.arange(self.n_shards + 1))
+        for s in range(self.n_shards):
+            lo, hi = int(cuts[s]), int(cuts[s + 1])
+            self._load_shard(s, keys[lo:hi], values[lo:hi])
+        if rec.enabled:
+            rec.counter("shard.rebalances")
+            rec.gauge("shard.skew", self.skew())
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"ShardedTree(shards={self.n_shards}, fanout={self.fanout})"
+        )
+
+
+__all__ = ["ShardedTree"]

@@ -1,0 +1,139 @@
+"""Shared-memory numpy transport between the router and one worker.
+
+Key and value arrays never cross the process boundary through pickle:
+each worker channel owns one anonymous shared-memory block
+(``multiprocessing.RawArray``, plain ``mmap`` pages — inherited on fork,
+transferred by handle on spawn), and both sides view it as numpy arrays.
+The control :class:`~multiprocessing.connection.Connection` (pipe)
+carries only tiny tuples — command names, element counts, dtype codes,
+accounting integers.
+
+The protocol is strictly lock-step (one request in flight per worker —
+the router serializes access with a per-worker lock), so a single block
+serves both directions.  Arrays larger than the block stream through it
+in capacity-sized windows with an ack handshake per window:
+
+    sender:   ("arr", total, dtype_code) → [write window; ("w", n); wait "ok"]*
+    receiver: read header → [copy window out of the block; send "ok"]*
+
+Copy-out is required only for the *assembled* result (the receiver
+concatenates windows); single-window payloads still pay one copy so the
+block can be reused immediately — that copy is a vectorized
+``ndarray.copy`` of the window, never element pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Default shared block capacity in bytes (64 Ki int64 slots).
+DEFAULT_CAPACITY_BYTES = (1 << 16) * 8
+
+_DTYPES = (np.dtype(np.int64), np.dtype(np.int8), np.dtype(np.float64))
+_DTYPE_CODE = {dt: i for i, dt in enumerate(_DTYPES)}
+
+
+class ShardChannel:
+    """One side of a router↔worker link: shared block + control pipe.
+
+    Constructed in the router (:meth:`pair`); the worker side is rebuilt
+    from the same raw block and the peer connection inside the worker
+    process.  ``send_array`` / ``recv_array`` move numpy arrays through
+    the block; ``send`` / ``recv`` pass small control tuples on the pipe.
+    """
+
+    def __init__(self, conn: Connection, raw, capacity_bytes: int) -> None:
+        self.conn = conn
+        self.raw = raw
+        self.capacity_bytes = int(capacity_bytes)
+        self._buf = np.frombuffer(raw, dtype=np.uint8)
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def pair(
+        cls, capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    ) -> Tuple["ShardChannel", "ShardChannel"]:
+        """A connected (router_side, worker_side) channel pair sharing one
+        block."""
+        if capacity_bytes < 8:
+            raise ConfigError(
+                f"capacity_bytes must be >= 8, got {capacity_bytes}"
+            )
+        raw = mp.RawArray("b", int(capacity_bytes))
+        a, b = mp.Pipe(duplex=True)
+        return cls(a, raw, capacity_bytes), cls(b, raw, capacity_bytes)
+
+    # ------------------------------------------------------------- control
+
+    def send(self, *msg) -> None:
+        self.conn.send(msg)
+
+    def recv(self, timeout: Optional[float] = None):
+        """Receive one control tuple; ``None`` on timeout (when given)."""
+        if timeout is not None and not self.conn.poll(timeout):
+            return None
+        return self.conn.recv()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.conn.poll(timeout)
+
+    # -------------------------------------------------------------- arrays
+
+    def _view(self, dtype: np.dtype, n: int) -> np.ndarray:
+        return self._buf[: n * dtype.itemsize].view(dtype)
+
+    def send_array(self, arr: np.ndarray) -> None:
+        """Stream ``arr`` through the shared block in windows."""
+        arr = np.ascontiguousarray(arr)
+        dtype = arr.dtype
+        code = _DTYPE_CODE.get(dtype)
+        if code is None:
+            raise ConfigError(f"unsupported transport dtype {dtype}")
+        window = self.capacity_bytes // dtype.itemsize
+        total = int(arr.size)
+        self.send("arr", total, code)
+        sent = 0
+        while sent < total:
+            n = min(window, total - sent)
+            self._view(dtype, n)[:] = arr[sent : sent + n]
+            self.send("w", n)
+            ack = self.conn.recv()
+            if ack != ("ok",):  # pragma: no cover — protocol violation
+                raise ConfigError(f"bad transport ack {ack!r}")
+            sent += n
+
+    def recv_array(self) -> np.ndarray:
+        """Receive one array announced by a peer :meth:`send_array`."""
+        header = self.conn.recv()
+        if not (isinstance(header, tuple) and header and header[0] == "arr"):
+            raise ConfigError(f"bad transport header {header!r}")
+        _, total, code = header
+        dtype = _DTYPES[code]
+        out = np.empty(total, dtype=dtype)
+        got = 0
+        while got < total:
+            tag, n = self.conn.recv()
+            if tag != "w":  # pragma: no cover — protocol violation
+                raise ConfigError(f"bad transport window tag {tag!r}")
+            out[got : got + n] = self._view(dtype, n)
+            self.send("ok")
+            got += n
+        return out
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover — already torn down
+            pass
+
+
+__all__ = ["ShardChannel", "DEFAULT_CAPACITY_BYTES"]

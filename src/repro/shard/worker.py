@@ -1,0 +1,188 @@
+"""The shard worker process: one key-range, one epoch-managed tree.
+
+Each worker owns the :class:`~repro.core.epoch.EpochManager`-wrapped
+:class:`~repro.core.tree.HarmoniaTree` for one contiguous key range and
+serves the router over a :class:`~repro.shard.transport.ShardChannel`:
+
+* ``search``  — batch point lookups through the frontier-compacted
+  engine (:meth:`EpochManager.search_many`);
+* ``apply``   — one §3.2.2 update batch (submit + single flush, so the
+  shard publishes exactly one new epoch per router batch);
+* ``range``   — a batch of range scans over the shard's contiguous leaf
+  region (:meth:`EpochManager.range_search_batch`);
+* ``dump``    — the shard's full sorted contents (checkpoint/rebalance);
+* ``ping``    — liveness + ``(epoch, n_keys)`` for health checks and
+  skew tracking;
+* ``crash``   — hard ``os._exit`` (failure-injection hook for the
+  restart-and-rebuild tests);
+* ``stop``    — clean shutdown.
+
+Workers are replaceable by construction: everything a worker holds is a
+deterministic function of its base slice plus the op batches the router
+has routed to it, so the router can rebuild a crashed worker from its
+snapshot log (see :class:`~repro.shard.router.ShardedTree`).
+
+The module-level :func:`worker_main` is the process target (top-level so
+it is importable under the ``spawn`` start method too; under the default
+``fork`` the channel's raw block is inherited directly).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import VALUE_DTYPE
+from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.epoch import EpochManager
+from repro.core.tree import HarmoniaTree
+from repro.core.update import Operation
+from repro.core.update_plan import K_DELETE, K_INSERT
+from repro.shard.transport import ShardChannel
+
+#: Numeric op codes on the wire (shared with the router's encoder — the
+#: planner's codes from :mod:`repro.core.update_plan`).
+_CODE_KIND = {K_INSERT: "insert", K_DELETE: "delete"}
+
+
+def _decode_ops(
+    kinds: np.ndarray, keys: np.ndarray, values: np.ndarray
+) -> List[Operation]:
+    """Wire arrays → Operation list (arrival order is preserved by the
+    router's stable scatter)."""
+    kind_of = _CODE_KIND
+    return [
+        Operation(kind_of.get(k, "update"), int(key), int(val))
+        for k, key, val in zip(kinds.tolist(), keys.tolist(), values.tolist())
+    ]
+
+
+class _WorkerState:
+    """The worker loop's mutable state: the epoch manager + configs."""
+
+    def __init__(
+        self,
+        fanout: int,
+        fill: float,
+        search_config: Optional[SearchConfig],
+        update_config: Optional[UpdateConfig],
+    ) -> None:
+        self.fanout = fanout
+        self.fill = fill
+        self.search_config = search_config or SearchConfig()
+        self.update_config = update_config or UpdateConfig()
+        self.manager = self._manager_for(None, None)
+
+    def _manager_for(self, keys, values) -> EpochManager:
+        if keys is None or keys.size == 0:
+            tree = HarmoniaTree.empty(
+                fanout=self.fanout, fill=self.fill,
+                search_config=self.search_config,
+            )
+        else:
+            tree = HarmoniaTree.from_sorted(
+                keys, values, fanout=self.fanout, fill=self.fill,
+                search_config=self.search_config,
+            )
+        # One epoch per router batch: the router flushes explicitly, so
+        # the capacity only needs to stay above any single batch.
+        return EpochManager(
+            tree, batch_capacity=1 << 62, update_config=self.update_config
+        )
+
+    def load(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self.manager = self._manager_for(keys, values)
+
+
+def worker_main(
+    channel: ShardChannel,
+    fanout: int,
+    fill: float,
+    search_config: Optional[SearchConfig] = None,
+    update_config: Optional[UpdateConfig] = None,
+) -> None:
+    """Process entry point: serve requests until ``stop`` (or EOF)."""
+    state = _WorkerState(fanout, fill, search_config, update_config)
+    conn = channel
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # router went away
+            return
+        if msg is None:  # pragma: no cover — no timeout is set here
+            continue
+        cmd = msg[0]
+
+        if cmd == "ping":
+            mgr = state.manager
+            conn.send("pong", mgr.epoch, len(mgr))
+
+        elif cmd == "load":
+            keys = conn.recv_array()
+            values = conn.recv_array()
+            state.load(keys, values)
+            conn.send("loaded", len(state.manager))
+
+        elif cmd == "search":
+            queries = conn.recv_array()
+            out = state.manager.search_many(queries)
+            conn.send("found")
+            conn.send_array(np.ascontiguousarray(out, dtype=VALUE_DTYPE))
+
+        elif cmd == "apply":
+            kinds = conn.recv_array()
+            keys = conn.recv_array()
+            values = conn.recv_array()
+            ops = _decode_ops(kinds, keys, values)
+            state.manager.submit_many(ops)
+            res = state.manager.flush()
+            if res is None:
+                conn.send("applied", 0, 0, 0, 0, 0)
+            else:
+                conn.send(
+                    "applied", res.inserted, res.updated, res.deleted,
+                    res.failed, res.split_leaves,
+                )
+
+        elif cmd == "range":
+            los = conn.recv_array()
+            his = conn.recv_array()
+            pairs = state.manager.range_search_batch(los, his)
+            counts = np.asarray([p[0].size for p in pairs], dtype=np.int64)
+            conn.send("ranged")
+            conn.send_array(counts)
+            if pairs:
+                conn.send_array(np.concatenate([p[0] for p in pairs]))
+                conn.send_array(np.concatenate([p[1] for p in pairs]))
+            else:
+                conn.send_array(np.empty(0, dtype=np.int64))
+                conn.send_array(np.empty(0, dtype=VALUE_DTYPE))
+
+        elif cmd == "dump":
+            mgr = state.manager
+            tree = mgr._snapshot()
+            if tree._layout is None:
+                keys = np.empty(0, dtype=np.int64)
+                values = np.empty(0, dtype=VALUE_DTYPE)
+            else:
+                items = tree.layout.iter_leaf_items()
+                keys, values = items[:, 0], items[:, 1]
+            conn.send("dumped", mgr.epoch)
+            conn.send_array(np.ascontiguousarray(keys))
+            conn.send_array(np.ascontiguousarray(values))
+
+        elif cmd == "crash":  # failure-injection hook (tests)
+            os._exit(17)
+
+        elif cmd == "stop":
+            conn.send("stopped")
+            return
+
+        else:  # pragma: no cover — protocol violation
+            conn.send("error", f"unknown command {cmd!r}")
+
+
+__all__ = ["worker_main"]
