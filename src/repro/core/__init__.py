@@ -29,13 +29,19 @@ from repro.core.stats import layout_stats
 from repro.core.stream import BatchTrace, StreamExecutor, StreamStats
 from repro.core.tree import HarmoniaTree
 from repro.core.tuning import recommend_fanout
-from repro.core.update_plan import UpdatePlan, VectorizedBatchUpdater, plan_batch
+from repro.core.update_plan import (
+    GappedBatchUpdater,
+    UpdatePlan,
+    VectorizedBatchUpdater,
+    plan_batch,
+)
 
 __all__ = [
     "HarmoniaLayout",
     "HarmoniaTree",
     "UpdatePlan",
     "VectorizedBatchUpdater",
+    "GappedBatchUpdater",
     "plan_batch",
     "BatchQueryEngine",
     "EngineScratch",

@@ -142,19 +142,39 @@ class UpdateConfig:
     per-operation reference path
     (:class:`~repro.core.update.BatchUpdater`, Algorithm 1 locking per
     op).  The two are equivalent: byte-identical layouts and identical
-    accounting, hypothesis-pinned (docs/update.md).
+    accounting, hypothesis-pinned (docs/update.md).  ``"gapped"`` runs
+    :class:`~repro.core.update_plan.GappedBatchUpdater`: updates and
+    gap-absorbable inserts/deletes scatter into per-leaf slack in place
+    and the movement rebuild is demoted to a rare compaction epoch —
+    *result*-equivalent to the other two (identical query results and
+    accounting; the physical layout differs by design, see
+    docs/update.md).
 
     ``n_threads`` sizes the worker pool — per-op workers under
     Algorithm 1 locking in scalar mode, per-leaf-group replay shards in
     vectorized mode; ``rebuild_policy`` controls when the post-batch
     movement runs ("always" after every batch, or "threshold" once dirty
     leaves exceed ``rebuild_threshold`` of all leaves).
+
+    Gapped-mode knobs (ignored by the other modes):
+
+    * ``gap_watermark`` — a compaction epoch runs once the fraction of
+      leaves pending compaction (underflowed past the B+tree minimum or
+      filled to the brim) exceeds this;
+    * ``occupancy_low`` — epoch trigger on global leaf-slot occupancy
+      falling below this (delete-heavy drift);
+    * ``plan_window`` — oversized batches stream through the planner in
+      windows of this many operations, so routing/scatter scratch stays
+      cache-resident instead of scaling with the batch.
     """
 
     n_threads: int = 4
     rebuild_policy: str = "always"
     rebuild_threshold: float = 0.1
     mode: str = "vectorized"
+    gap_watermark: float = 0.10
+    occupancy_low: float = 0.35
+    plan_window: int = 1 << 16
 
     def __post_init__(self) -> None:
         ensure_positive("n_threads", self.n_threads)
@@ -164,10 +184,15 @@ class UpdateConfig:
             )
         if not 0.0 < self.rebuild_threshold <= 1.0:
             raise ConfigError("rebuild_threshold must be in (0, 1]")
-        if self.mode not in ("vectorized", "scalar"):
+        if self.mode not in ("vectorized", "scalar", "gapped"):
             raise ConfigError(
-                f"mode must be 'vectorized'|'scalar', got {self.mode!r}"
+                f"mode must be 'vectorized'|'scalar'|'gapped', got {self.mode!r}"
             )
+        if not 0.0 < self.gap_watermark <= 1.0:
+            raise ConfigError("gap_watermark must be in (0, 1]")
+        if not 0.0 <= self.occupancy_low < 1.0:
+            raise ConfigError("occupancy_low must be in [0, 1)")
+        ensure_positive("plan_window", self.plan_window)
 
 
 __all__ = ["SearchConfig", "UpdateConfig"]

@@ -59,6 +59,40 @@ class EpochManager:
         with self._write_lock:
             return len(self._pending)
 
+    def occupancy(self) -> float:
+        """Leaf-slot occupancy of the current snapshot in ``[0, 1]``.
+
+        The observable behind the gapped mode's watermark policy
+        (``UpdateConfig(mode="gapped")``): in-place absorption lets
+        occupancy drift between flushes — inserts consume per-leaf slack,
+        deletes leave gaps — and the executor schedules a compaction
+        epoch once it sinks below ``update_config.occupancy_low`` (or the
+        per-leaf under/overflow fraction crosses
+        ``update_config.gap_watermark``).  Exposed here so operators can
+        watch the drift (also surfaced as the ``layout.occupancy`` obs
+        gauge) without reaching into layout internals.  Returns 1.0 for
+        an empty tree (nothing to compact).
+        """
+        with self._publish_lock:
+            layout = self._tree._layout
+        return layout.occupancy() if layout is not None else 1.0
+
+    def compaction_pending(self) -> float:
+        """Fraction of leaves the gapped executor would enqueue for
+        compaction right now (under the B+tree minimum or packed full) —
+        the other input to the watermark policy; see :meth:`occupancy`.
+        Returns 0.0 for an empty tree."""
+        with self._publish_lock:
+            layout = self._tree._layout
+        if layout is None or layout.n_leaves == 0:
+            return 0.0
+        counts = layout.leaf_key_counts(copy=False)
+        min_leaf = (layout.fanout - 1 + 1) // 2
+        pending = counts >= layout.slots
+        if counts.size > 1:
+            pending = pending | (counts < min_leaf)
+        return int(np.count_nonzero(pending)) / counts.size
+
     def _snapshot(self) -> HarmoniaTree:
         # The tree's layout reference is swapped atomically under the
         # publish lock; pinning = grabbing the current layout object.
@@ -137,7 +171,8 @@ class EpochManager:
         # snapshot while the batch runs; publication is a single reference
         # swap.  The scalar §3.2.2 path edits the key/value regions in
         # place and therefore needs a copy-on-write clone; the vectorized
-        # pipeline never mutates its input layout, so the copy is skipped.
+        # and gapped pipelines never mutate their input layout (gapped
+        # absorbs into a private working copy), so the copy is skipped.
         with self._publish_lock:
             current = self._tree._layout
             fill = self._tree._fill

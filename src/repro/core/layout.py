@@ -16,6 +16,19 @@ beginning and ``leaf_values`` aligns with it.  The prefix-sum array is tiny
 (8 bytes/node ≈ key region / (fanout-1)), which is what lets the real system
 keep it in constant memory + read-only cache; :meth:`child_region_bytes`
 exposes the footprint so the GPU model can decide what fits where.
+
+**Gapped leaves.**  Leaf rows may carry pre-allocated slack: a leaf with
+``c`` real keys stores them sorted in slots ``[0, c)`` and pads the tail
+with ``KEY_MAX`` sentinels, so every per-row ``searchsorted``/``bisect``
+works unmodified and the flattened leaf block stays globally sorted once
+pads are masked.  The optional :attr:`leaf_counts` array caches the
+per-leaf fill counts (computed lazily otherwise); the gapped batch-update
+pipeline (:class:`~repro.core.update_plan.GappedBatchUpdater`) absorbs
+inserts/deletes into the slack in place and keeps the *internal* region —
+and therefore :meth:`leaf_bounds`, the per-leaf routing intervals —
+untouched between rare compaction epochs.  A leaf's content is always a
+subset of its routing interval, so gaps (even fully emptied leaves) never
+perturb traversal, range scans or the packed-leaf block.
 """
 
 from __future__ import annotations
@@ -56,6 +69,9 @@ class HarmoniaLayout:
     leaf_values: np.ndarray  #: (n_leaves, fanout-1) int64, NOT_FOUND padded
     level_starts: np.ndarray  #: (height+1,) first BFS index of each level
     n_keys: int  #: number of stored key/value pairs
+    #: Optional per-leaf fill counts (gapped layouts); ``None`` means every
+    #: leaf is packed and counts are derived lazily from the sentinels.
+    leaf_counts: Optional[np.ndarray] = None
 
     # Derived fields (filled in __post_init__).
     n_nodes: int = field(init=False)
@@ -73,6 +89,7 @@ class HarmoniaLayout:
         # for the next phase, so cached *internal* rows never go stale.
         self._row_lists: dict = {}
         self._prefix_list: Optional[List[int]] = None
+        self._leaf_bounds: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------- builders
 
@@ -160,11 +177,64 @@ class HarmoniaLayout:
         row = self.key_region[node]
         return int(np.searchsorted(row, KEY_MAX, side="left"))
 
-    def leaf_key_counts(self) -> np.ndarray:
-        """Per-leaf key counts over the whole leaf block in one vectorized
-        pass — the occupancy vector the batch-update planner classifies
-        in-place vs structural operations against."""
-        return np.sum(self.key_region[self.leaf_start :] != KEY_MAX, axis=1)
+    def leaf_key_counts(self, copy: bool = True) -> np.ndarray:
+        """Per-leaf key counts — the occupancy vector the batch-update
+        planner classifies in-place vs structural operations against.
+
+        Derived from the sentinel pads in one vectorized pass and cached
+        on :attr:`leaf_counts`; gapped builders pass the counts in
+        directly.  Returns a fresh array by default so callers may
+        scribble on it; ``copy=False`` hands out the cached array for
+        read-only use.
+        """
+        if self.leaf_counts is None:
+            self.leaf_counts = np.sum(
+                self.key_region[self.leaf_start :] != KEY_MAX, axis=1
+            )
+        return self.leaf_counts.copy() if copy else self.leaf_counts
+
+    def occupancy(self) -> float:
+        """Fraction of leaf key slots holding real keys — the quantity the
+        gapped update pipeline's watermark policy tracks."""
+        total = self.n_leaves * self.slots
+        return self.n_keys / total if total else 0.0
+
+    def leaf_bounds(self) -> np.ndarray:
+        """Lower routing bound of every leaf (cached, ``(n_leaves,)``).
+
+        ``bounds[i]`` is the smallest key that routes to leaf ``i``
+        (``bounds[0]`` is the int64 minimum: the leftmost leaf catches
+        everything below the first separator), derived top-down from the
+        internal separators: a node's first child inherits the node's own
+        bound, child ``j > 0`` starts at separator ``j - 1``.  Because
+        separators route equal keys right (side='right'), the leaf for key
+        ``k`` is ``searchsorted(bounds, k, side='right') - 1`` — one
+        binary search instead of a level-synchronous traversal, which is
+        what makes the gapped planner's routing O(log n_leaves) per key.
+        Valid for gapped layouts by construction: in-place absorption
+        never touches the internal region, so every leaf's content stays
+        inside its routing interval.
+        """
+        if self._leaf_bounds is None:
+            bounds = np.full(1, np.iinfo(np.int64).min, dtype=KEY_DTYPE)
+            for lvl in range(self.height - 1):
+                a = int(self.level_starts[lvl])
+                b = int(self.level_starts[lvl + 1])
+                child_counts = np.diff(self.prefix_sum)[a:b]
+                n_children = int(child_counts.sum())
+                parent = np.repeat(np.arange(b - a), child_counts)
+                # Slot of each child within its parent (children of one
+                # level are contiguous on the next — §3.1's BFS order).
+                firsts = self.prefix_sum[a:b] - int(self.prefix_sum[a])
+                within = np.arange(n_children, dtype=np.int64) - firsts[parent]
+                nxt = np.where(
+                    within == 0,
+                    bounds[parent],
+                    self.key_region[a:b][parent, np.maximum(within - 1, 0)],
+                )
+                bounds = nxt.astype(KEY_DTYPE, copy=False)
+            self._leaf_bounds = bounds
+        return self._leaf_bounds
 
     def children_count(self, node: int) -> int:
         return int(self.prefix_sum[node + 1] - self.prefix_sum[node])
@@ -241,18 +311,26 @@ class HarmoniaLayout:
         return leaf_keys[leaf_keys != KEY_MAX]
 
     def max_key(self) -> int:
-        """Largest stored key (the rightmost leaf is the last BFS node)."""
-        row = self.key_region[-1]
-        count = int(np.searchsorted(row, KEY_MAX, side="left"))
-        if count == 0:
-            raise EmptyTreeError("layout holds no keys")
-        return int(row[count - 1])
+        """Largest stored key.
 
-    def min_key(self) -> int:
-        """Smallest stored key (first slot of the first leaf)."""
+        The rightmost *non-empty* leaf holds it — a gapped layout may have
+        emptied its tail leaves in place, so scan back from the last BFS
+        node (packed layouts stop at the first row).
+        """
         if self.n_keys == 0:
             raise EmptyTreeError("layout holds no keys")
-        return int(self.key_region[self.leaf_start, 0])
+        counts = self.leaf_key_counts(copy=False)
+        nonempty = np.flatnonzero(counts)
+        leaf = int(nonempty[-1])
+        return int(self.key_region[self.leaf_start + leaf, counts[leaf] - 1])
+
+    def min_key(self) -> int:
+        """Smallest stored key (first slot of the first non-empty leaf)."""
+        if self.n_keys == 0:
+            raise EmptyTreeError("layout holds no keys")
+        counts = self.leaf_key_counts(copy=False)
+        leaf = int(np.flatnonzero(counts)[0])
+        return int(self.key_region[self.leaf_start + leaf, 0])
 
     def key_space_bits(self) -> int:
         """Bits needed to represent the stored key range — the effective
@@ -275,6 +353,9 @@ class HarmoniaLayout:
             leaf_values=self.leaf_values.copy(),
             level_starts=self.level_starts.copy(),
             n_keys=self.n_keys,
+            leaf_counts=(
+                None if self.leaf_counts is None else self.leaf_counts.copy()
+            ),
         )
 
     # ------------------------------------------------------------ validation
@@ -322,6 +403,8 @@ class HarmoniaLayout:
                 )
 
         # Leaf keys globally sorted & unique, and count matches n_keys.
+        # (Gapped leaves hold: sorted rows put pads at the tail, so the
+        # masked flatten stays globally increasing whatever the gaps.)
         flat = self.all_keys()
         if flat.size != self.n_keys:
             raise InvariantViolation(
@@ -329,6 +412,14 @@ class HarmoniaLayout:
             )
         if flat.size > 1 and not bool(np.all(flat[1:] > flat[:-1])):
             raise InvariantViolation("leaf keys not globally increasing")
+
+        # A cached fill-count vector must agree with the sentinels.
+        if self.leaf_counts is not None:
+            actual = np.sum(kr[self.leaf_start :] != KEY_MAX, axis=1)
+            if self.leaf_counts.shape != (self.n_leaves,) or not bool(
+                np.all(self.leaf_counts == actual)
+            ):
+                raise InvariantViolation("leaf_counts disagree with rows")
 
     def __repr__(self) -> str:  # pragma: no cover — debugging aid
         return (

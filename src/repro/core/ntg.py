@@ -19,6 +19,9 @@ warp-max step count.  Halve ``GS`` while the predicted ratio exceeds 1.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -174,6 +177,79 @@ def choose_group_size(
     return NTGSelection(group_size=current.gs, profiles=profiles, ratios=ratios)
 
 
+class SelectionCache:
+    """Small LRU of §4.2 profiling results, keyed by layout identity.
+
+    Profiling is per *snapshot* — the step model depends only on the
+    layout's node geometry — so a selection is reusable until the snapshot
+    object is replaced.  A single-slot cache (the previous design) thrashes
+    whenever callers alternate between layouts, e.g.
+    :class:`~repro.core.epoch.EpochManager` handing out fresh tree facades
+    over a few live snapshots, or a sharded service round-robining shard
+    trees.  This keeps the last ``capacity`` selections instead.
+
+    Keys are ``(id(layout), warp_size, levels)``; the entry stores a
+    ``weakref`` to the layout and :meth:`get` validates both identity and
+    liveness, so a dead snapshot's recycled ``id()`` can never alias a
+    stale selection and the cache never pins retired snapshots in memory.
+    Thread-safe: epoch/shard readers profile concurrently.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        ensure_positive("capacity", capacity)
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def get(
+        self,
+        layout: HarmoniaLayout,
+        warp_size: int,
+        levels: Optional[int],
+    ) -> Optional[NTGSelection]:
+        key = (id(layout), warp_size, levels)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            ref, selection = entry
+            if ref() is not layout:  # id() reuse after gc — stale entry
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return selection
+
+    def put(
+        self,
+        layout: HarmoniaLayout,
+        warp_size: int,
+        levels: Optional[int],
+        selection: NTGSelection,
+    ) -> None:
+        key = (id(layout), warp_size, levels)
+        with self._lock:
+            self._entries[key] = (weakref.ref(layout), selection)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Process-wide selection cache used by
+#: :meth:`~repro.core.tree.HarmoniaTree.prepare_queries`.  Module-level
+#: (not per tree) because distinct tree facades over the same snapshot —
+#: the :class:`~repro.core.epoch.EpochManager` pattern — should share one
+#: profile.
+selection_cache = SelectionCache()
+
+
 __all__ = [
     "DEFAULT_PROFILE_SAMPLE",
     "fanout_group_size",
@@ -183,4 +259,6 @@ __all__ = [
     "NTGSelection",
     "profile_group_size",
     "choose_group_size",
+    "SelectionCache",
+    "selection_cache",
 ]

@@ -28,7 +28,12 @@ from repro.constants import DEFAULT_FANOUT, NOT_FOUND
 from repro.core.config import SearchConfig, UpdateConfig
 from repro.core.engine import BatchQueryEngine, EngineStats
 from repro.core.layout import HarmoniaLayout
-from repro.core.ntg import NTGSelection, choose_group_size, fanout_group_size
+from repro.core.ntg import (
+    NTGSelection,
+    choose_group_size,
+    fanout_group_size,
+    selection_cache,
+)
 from repro.core.psa import PSABatch, identity_batch, prepare_batch
 from repro.core.search import (
     range_search as _range_search,
@@ -37,7 +42,7 @@ from repro.core.search import (
     search_scalar,
 )
 from repro.core.update import BatchResult, BatchUpdater, Operation
-from repro.core.update_plan import VectorizedBatchUpdater
+from repro.core.update_plan import GappedBatchUpdater, VectorizedBatchUpdater
 from repro.errors import EmptyTreeError
 from repro.utils.validation import ensure_key_array, ensure_scalar_key
 
@@ -116,11 +121,10 @@ class HarmoniaTree:
     _empty_fanout: int = DEFAULT_FANOUT
     #: Cached frontier-compaction engine (rebound on snapshot replacement).
     _engine: Optional[BatchQueryEngine] = None
-    #: Cached §4.2 static-profiling result: ``(layout, warp_size, levels,
-    #: selection)``.  Keyed by layout *identity* so a batch update (which
-    #: swaps the snapshot object) invalidates it implicitly; apply_batch
-    #: also clears it explicitly to release the old snapshot.
-    _ntg_cache: Optional[Tuple[object, int, int, NTGSelection]] = None
+    # NTG selections live in the module-level
+    # :data:`repro.core.ntg.selection_cache` LRU (weakref-validated, keyed
+    # by layout identity), so they are shared across tree facades over the
+    # same snapshot and evicted naturally — no per-tree invalidation.
 
     # ------------------------------------------------------------ properties
 
@@ -185,18 +189,15 @@ class HarmoniaTree:
         elif cfg.ntg == "fanout":
             gs = fanout_group_size(layout.fanout, cfg.warp_size)
         else:  # "model" — static profiling on a sample of the issue stream
-            cached = self._ntg_cache
-            if (
-                cached is not None
-                and cached[0] is layout
-                and cached[1] == cfg.warp_size
-                and cached[2] == cfg.ntg_profile_levels
-            ):
-                # §4.2 profiling is per snapshot, not per batch: the step
-                # model depends on the layout's node geometry, so the first
-                # batch's selection is reused until the snapshot is
-                # replaced.
-                selection = cached[3]
+            # §4.2 profiling is per snapshot, not per batch: the step model
+            # depends on the layout's node geometry, so the first batch's
+            # selection is reused (via the module LRU) until the snapshot
+            # is replaced or evicted.
+            cached = selection_cache.get(
+                layout, cfg.warp_size, cfg.ntg_profile_levels
+            )
+            if cached is not None:
+                selection = cached
                 gs = selection.group_size
             else:
                 sample = psa.queries[: min(cfg.profile_sample, psa.n)]
@@ -210,7 +211,7 @@ class HarmoniaTree:
                         levels=cfg.ntg_profile_levels,
                     )
                     gs = selection.group_size
-                    self._ntg_cache = (
+                    selection_cache.put(
                         layout, cfg.warp_size, cfg.ntg_profile_levels,
                         selection,
                     )
@@ -403,8 +404,12 @@ class HarmoniaTree:
 
         ``config.mode`` picks the executor: the vectorized
         plan/apply/movement pipeline (default; never mutates the outgoing
-        snapshot) or the per-op scalar reference path — equivalent
-        results either way (see :class:`~repro.core.config.UpdateConfig`).
+        snapshot), the gapped in-place absorber
+        (:class:`~repro.core.update_plan.GappedBatchUpdater` — movement
+        demoted to a rare compaction epoch; result-equivalent, physically
+        gapped layout), or the per-op scalar reference path — equivalent
+        results in every case (see
+        :class:`~repro.core.config.UpdateConfig`).
         """
         cfg = config or UpdateConfig()
         if self._layout is None:
@@ -414,7 +419,13 @@ class HarmoniaTree:
             updater = VectorizedBatchUpdater(self._layout, fill=self._fill)
             result = updater.run(ops, n_threads=cfg.n_threads)
             self._layout = updater.new_layout
-            self._ntg_cache = None
+            return result
+
+        if cfg.mode == "gapped":
+            gapped = GappedBatchUpdater(self._layout, fill=self._fill,
+                                        config=cfg)
+            result = gapped.run(ops, n_threads=cfg.n_threads)
+            self._layout = gapped.new_layout
             return result
 
         scalar = BatchUpdater(self._layout, fill=self._fill)
@@ -422,7 +433,6 @@ class HarmoniaTree:
             scalar.apply_batch(ops, n_threads=cfg.n_threads)
         with scalar.result.timer.phase("movement"):
             self._layout = scalar.movement()
-        self._ntg_cache = None
         return scalar.result
 
     def _bootstrap_batch(self, ops: Sequence[Operation]) -> BatchResult:

@@ -37,6 +37,25 @@ carried as a scatter plan and applied to the *new* arrays, which is what
 lets :class:`~repro.core.epoch.EpochManager` skip its copy-on-write step —
 readers keep serving from the old snapshot until the swap.
 
+**Gapped mode** (:class:`GappedBatchUpdater`, ``UpdateConfig(mode=
+"gapped")``) goes one step further: every batch still pays stage 3 above
+(even a single absorbed insert rebuilds both regions), so on mixed
+workloads the movement rebuild dominates.  The gapped executor instead
+works on leaf rows with pre-allocated slack (sentinel-padded tails, per-
+leaf fill counts — see the gapped-leaves note in
+:mod:`repro.core.layout`): updates and gap-absorbable inserts/deletes
+collapse to fully-vectorized in-place scatters against a private working
+copy, deletes leave gaps behind instead of re-chunking, and the movement
+rebuild runs only as a rare *compaction epoch* once overflowed leaves, the
+underflow/full watermark, or global occupancy demand it.  Routing uses the
+cached per-leaf bounds (:func:`~repro.core.search.locate_leaves_bounds`) —
+valid across absorption because the internal region is immutable between
+epochs — and oversized batches stream through the planner in fixed
+``plan_window`` chunks.  The contract is *result* equivalence with the
+scalar reference (identical accounting, query results and key/value
+content; the physical layout differs by design), hypothesis-pinned in
+``tests/test_core_gapped.py``.
+
 Equivalence contract (hypothesis-pinned in
 ``tests/test_core_update_plan.py``): for any batch, the resulting layout
 is byte-identical to the scalar path's (``UpdateConfig(mode="scalar")``,
@@ -78,6 +97,83 @@ from repro.core.update import (
 # Integer op-kind codes for the planner's numpy arrays.
 K_INSERT, K_UPDATE, K_DELETE = 0, 1, 2
 _KIND_CODE = {INSERT: K_INSERT, UPDATE: K_UPDATE, DELETE: K_DELETE}
+
+
+def _plan_leaf_movement(
+    n_leaves: int,
+    dirty_set: Set[int],
+    content,
+    min_leaf: int,
+    slots: int,
+    target: int,
+) -> List[list]:
+    """The §3.2.2 movement plan as directives, over any leaf store.
+
+    ``["K", src_start, src_stop]`` — a contiguous range of clean leaf
+    rows reused verbatim; ``["N", keys, vals]`` — one rebuilt leaf.
+    ``content(leaf)`` supplies a dirty leaf's final logical
+    ``(keys, values)`` lists.  Semantically identical to the scalar pass
+    (same dirty runs, same absorb-clean-neighbour loop, same
+    re-chunking), but clean stretches advance via the sorted dirty array
+    instead of a per-leaf scan, so plan cost scales with the number of
+    dirty leaves.  Shared by the vectorized movement stage and the
+    gapped compaction epoch.
+    """
+    dirty = np.fromiter(
+        sorted(dirty_set), dtype=np.int64, count=len(dirty_set)
+    )
+    n_dirty = dirty.size
+
+    directives: List[list] = []
+    i = 0
+    dp = 0
+    while i < n_leaves:
+        while dp < n_dirty and dirty[dp] < i:
+            dp += 1
+        if dp == n_dirty:
+            directives.append(["K", i, n_leaves])
+            break
+        nxt = int(dirty[dp])
+        if nxt > i:
+            directives.append(["K", i, nxt])
+            i = nxt
+        # Maximal dirty run [i, j).
+        j = i
+        run_keys: List[int] = []
+        run_vals: List[int] = []
+        while j < n_leaves and j in dirty_set:
+            ks, vs = content(j)
+            run_keys.extend(ks)
+            run_vals.extend(vs)
+            j += 1
+        # Absorb clean neighbours while the run is too small to chunk
+        # legally (borrow-from-sibling at movement time).
+        while 0 < len(run_keys) < min_leaf and (
+            j < n_leaves or directives
+        ):
+            if j < n_leaves:
+                ks, vs = content(j)
+                run_keys.extend(ks)
+                run_vals.extend(vs)
+                j += 1
+            else:
+                prev = directives[-1]
+                if prev[0] == "K":
+                    ks, vs = content(prev[2] - 1)
+                    prev[2] -= 1
+                    if prev[1] == prev[2]:
+                        directives.pop()
+                else:
+                    directives.pop()
+                    ks, vs = prev[1], prev[2]
+                run_keys = ks + run_keys
+                run_vals = vs + run_vals
+        for size in _chunk_sizes(len(run_keys), target, min_leaf, slots):
+            directives.append(["N", run_keys[:size], run_vals[:size]])
+            run_keys = run_keys[size:]
+            run_vals = run_vals[size:]
+        i = j
+    return directives
 
 
 # --------------------------------------------------------------------------
@@ -550,76 +646,18 @@ class VectorizedBatchUpdater:
         return self._n_dirty
 
     def _movement_plan(self) -> List[list]:
-        """The §3.2.2 movement plan as directives.
-
-        ``["K", src_start, src_stop]`` — a contiguous range of clean leaf
-        rows reused verbatim; ``["N", keys, vals]`` — one rebuilt leaf.
-        Semantically identical to the scalar pass (same dirty runs, same
-        absorb-clean-neighbour loop, same re-chunking), but clean
-        stretches advance via the sorted dirty array instead of a per-leaf
-        scan, so plan cost scales with the number of dirty leaves.
-        """
+        """The §3.2.2 movement plan (see :func:`_plan_leaf_movement`),
+        over this batch's staged replay state."""
         layout = self.layout
-        n_leaves = layout.n_leaves
         dirty_set = self._dirty_set()
         self._n_dirty = len(dirty_set)
-        dirty = np.fromiter(
-            sorted(dirty_set), dtype=np.int64, count=len(dirty_set)
-        )
-        n_dirty = dirty.size
         min_leaf = self._min_leaf
         slots = self._slots
         target = max(min_leaf, min(slots, round(self.fill * slots)))
-
-        directives: List[list] = []
-        i = 0
-        dp = 0
-        while i < n_leaves:
-            while dp < n_dirty and dirty[dp] < i:
-                dp += 1
-            if dp == n_dirty:
-                directives.append(["K", i, n_leaves])
-                break
-            nxt = int(dirty[dp])
-            if nxt > i:
-                directives.append(["K", i, nxt])
-                i = nxt
-            # Maximal dirty run [i, j).
-            j = i
-            run_keys: List[int] = []
-            run_vals: List[int] = []
-            while j < n_leaves and j in dirty_set:
-                ks, vs = self._leaf_content(j)
-                run_keys.extend(ks)
-                run_vals.extend(vs)
-                j += 1
-            # Absorb clean neighbours while the run is too small to chunk
-            # legally (borrow-from-sibling at movement time).
-            while 0 < len(run_keys) < min_leaf and (
-                j < n_leaves or directives
-            ):
-                if j < n_leaves:
-                    ks, vs = self._leaf_content(j)
-                    run_keys.extend(ks)
-                    run_vals.extend(vs)
-                    j += 1
-                else:
-                    prev = directives[-1]
-                    if prev[0] == "K":
-                        ks, vs = self._leaf_content(prev[2] - 1)
-                        prev[2] -= 1
-                        if prev[1] == prev[2]:
-                            directives.pop()
-                    else:
-                        directives.pop()
-                        ks, vs = prev[1], prev[2]
-                    run_keys = ks + run_keys
-                    run_vals = vs + run_vals
-            for size in _chunk_sizes(len(run_keys), target, min_leaf, slots):
-                directives.append(["N", run_keys[:size], run_vals[:size]])
-                run_keys = run_keys[size:]
-                run_vals = run_vals[size:]
-            i = j
+        directives = _plan_leaf_movement(
+            layout.n_leaves, dirty_set, self._leaf_content,
+            min_leaf, slots, target,
+        )
 
         res = self.result
         res.moved_clean = sum(d[2] - d[1] for d in directives if d[0] == "K")
@@ -797,6 +835,578 @@ class VectorizedBatchUpdater:
             pending = nxt
 
 
+# --------------------------------------------------------------------------
+# Gapped executor — absorb in place, compact rarely
+# --------------------------------------------------------------------------
+
+
+class GappedBatchUpdater:
+    """Applies batches against gapped leaf rows; movement is demoted to a
+    rare compaction epoch.
+
+    One instance per batch.  The input layout is never mutated: the leaf
+    arrays are copied once up front (the internal region and prefix sum
+    are *shared* — absorption never touches them), updates and gap-
+    absorbable inserts/deletes land as vectorized in-place scatters on
+    the working copy, and only three conditions trigger a compaction
+    epoch (the §3.2.2 movement plan + re-chunking at the fill target):
+
+    * **hard** — a leaf group could overflow its row (gross inserts would
+      exceed the slack), so its final content is staged on an
+      :class:`~repro.core.update.AuxiliaryNode`;
+    * **watermark** — the fraction of leaves pending compaction
+      (underflowed past the B+tree minimum, or packed full when the fill
+      target leaves slack) crosses ``config.gap_watermark``;
+    * **occupancy** — global leaf-slot occupancy falls below
+      ``config.occupancy_low`` (delete-heavy drift).
+
+    Between epochs leaves may legally sit under-full or even empty: a
+    leaf's content is always a subset of its routing interval, so global
+    leaf-key ordering, the packed-leaf block and range scans are
+    unaffected (see the gapped-leaves note in :mod:`repro.core.layout`).
+    Oversized batches stream through the planner in ``config.plan_window``
+    chunks in arrival order, which keeps routing/scatter scratch bounded
+    and lets an epoch in one window hand fresh slack to the next.
+
+    Equivalence contract: identical *results* to the scalar reference —
+    accounting (inserted/updated/deleted/failed), query answers, and
+    logical key/value content — not byte-identical arrays (gaps change
+    the physical layout by design).  ``n_threads`` is accepted for
+    interface parity and ignored: the absorb path is one NumPy pass and
+    overflow replay is rare by construction.
+    """
+
+    def __init__(
+        self,
+        layout: HarmoniaLayout,
+        fill: float = 0.7,
+        config=None,
+    ) -> None:
+        from repro.core.config import UpdateConfig
+
+        self.layout = layout
+        self.fill = fill
+        cfg = config or UpdateConfig(mode="gapped")
+        self.watermark = cfg.gap_watermark
+        self.occupancy_low = cfg.occupancy_low
+        self.window = cfg.plan_window
+        self.result = BatchResult()
+        self.new_layout: Optional[HarmoniaLayout] = None
+        self._fanout = layout.fanout
+        self._slots = layout.slots
+        self._min_leaf = (layout.fanout - 1 + 1) // 2
+        target = max(
+            self._min_leaf, min(self._slots, round(fill * self._slots))
+        )
+        self._target = target
+        # A leaf counts as compaction-pending when packed to the brim only
+        # if the fill target actually reserves slack (fill=1.0 layouts are
+        # legitimately full everywhere).
+        self._full_mark = self._slots if target < self._slots else self._slots + 1
+        #: Overflow leaves staged for this window's epoch.
+        self._aux: Dict[int, AuxiliaryNode] = {}
+        # Stats surfaced via update.* metrics.
+        self.absorbed_ops = 0
+        self.overflow_ops = 0
+        self.movement_epochs = 0
+        self.windows = 0
+        self.dirty_total = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, ops: Sequence[Operation], n_threads: int = 1) -> BatchResult:
+        rec = obs.active
+        timer = self.result.timer
+        t0 = time.perf_counter()
+        n = len(ops)
+        code = _KIND_CODE
+        kinds = np.fromiter(
+            (code[op.kind] for op in ops), dtype=np.int8, count=n
+        )
+        keys = np.fromiter((op.key for op in ops), dtype=KEY_DTYPE, count=n)
+        values = np.fromiter(
+            (op.value for op in ops), dtype=VALUE_DTYPE, count=n
+        )
+
+        if n == 0:
+            # Nothing to absorb and nothing moved: the snapshot stands.
+            self.new_layout = self.layout
+            return self.result
+
+        self._adopt(self.layout, copy=True)
+        for lo in range(0, n, self.window):
+            hi = min(lo + self.window, n)
+            self.windows += 1
+            if self._kr is None:
+                self._window_bootstrap(
+                    kinds[lo:hi], keys[lo:hi], values[lo:hi]
+                )
+                continue
+            with timer.phase("plan"):
+                plan = self._window_plan(keys[lo:hi], kinds[lo:hi])
+            with timer.phase("apply"):
+                self._absorb(plan, kinds[lo:hi], keys[lo:hi], values[lo:hi])
+                self._overflow_replay(
+                    plan, kinds[lo:hi], keys[lo:hi], values[lo:hi]
+                )
+            with timer.phase("movement"):
+                if self._epoch_due():
+                    self._compaction_epoch()
+
+        if self._kr is None:
+            self.new_layout = None
+        else:
+            self.new_layout = HarmoniaLayout(
+                fanout=self._fanout,
+                height=self._height,
+                key_region=self._kr,
+                prefix_sum=self._prefix,
+                leaf_values=self._lv,
+                level_starts=self._lstarts,
+                n_keys=self._n_keys,
+                leaf_counts=self._counts,
+            )
+        t1 = time.perf_counter()
+
+        if rec.enabled:
+            res = self.result
+            rec.counter("update.batches")
+            rec.counter("update.ops", n)
+            rec.counter("update.inplace_ops", self.absorbed_ops)
+            rec.counter("update.absorbed_ops", self.absorbed_ops)
+            rec.counter("update.replay_ops", self.overflow_ops)
+            rec.counter("update.windows", self.windows)
+            rec.counter("update.movement_epochs", self.movement_epochs)
+            rec.counter("update.split_leaves", res.split_leaves)
+            rec.counter("update.dirty_leaves", self.dirty_total)
+            rec.counter("update.moved_leaves", res.moved_clean)
+            rec.counter("update.rebuilt_leaves", res.rebuilt_dirty)
+            rec.gauge("update.gap_absorption", self.absorbed_ops / n)
+            if self._kr is not None:
+                counts = self._counts
+                occ = self._n_keys / max(counts.size * self._slots, 1)
+                rec.gauge("layout.occupancy", occ)
+                rec.gauge(
+                    "layout.compaction_pending",
+                    int(np.count_nonzero(self._pending(counts)))
+                    / max(counts.size, 1),
+                )
+            wall = t1 - t0
+            if wall > 0.0:
+                rec.gauge("update.throughput_ops", n / wall)
+            # Phase durations accumulate across windows; surface them as
+            # three contiguous spans so trace totals stay truthful.
+            plan_s = timer.get("plan")
+            apply_s = timer.get("apply")
+            move_s = timer.get("movement")
+            base = t1 - (plan_s + apply_s + move_s)
+            rec.span_at("update.plan", base, base + plan_s, cat="update",
+                        ops=n)
+            rec.span_at("update.apply", base + plan_s,
+                        base + plan_s + apply_s, cat="update",
+                        fast_ops=self.absorbed_ops,
+                        replay_ops=self.overflow_ops)
+            rec.span_at("update.movement", base + plan_s + apply_s, t1,
+                        cat="update", dirty_leaves=self.dirty_total,
+                        epochs=self.movement_epochs)
+        return self.result
+
+    # ------------------------------------------------------- working state
+
+    def _adopt(self, layout: HarmoniaLayout, copy: bool) -> None:
+        """Load the working arrays from a layout (copying when the layout
+        is the published input snapshot; epoch outputs are already ours)."""
+        self._kr = layout.key_region.copy() if copy else layout.key_region
+        self._lv = layout.leaf_values.copy() if copy else layout.leaf_values
+        self._leaf = self._kr[layout.leaf_start :]
+        self._counts = layout.leaf_key_counts()
+        self._n_keys = int(layout.n_keys)
+        self._bounds = layout.leaf_bounds()
+        self._prefix = layout.prefix_sum
+        self._lstarts = layout.level_starts
+        self._height = layout.height
+
+    # ----------------------------------------------------------------- plan
+
+    def _window_plan(self, wkeys: np.ndarray, wkinds: np.ndarray):
+        """Route one window via the cached bounds and group per leaf.
+
+        Returns ``(order, group_bounds, group_leaves, absorbable)``:
+        the stable grouping permutation plus the per-group verdict —
+        a group absorbs in place iff the leaf's current fill plus the
+        group's gross inserts fits the row (a conservative bound: the
+        row can then never overflow mid-sequence, whatever succeeds).
+        """
+        leaf = np.searchsorted(self._bounds, wkeys, side="right") - 1
+        order = np.argsort(leaf, kind="stable")
+        sl = leaf[order]
+        m = sl.size
+        starts = np.flatnonzero(
+            np.concatenate(([True], sl[1:] != sl[:-1]))
+        )
+        gb = np.concatenate((starts, [m])).astype(np.int64)
+        glf = sl[starts]
+        g_ins = np.add.reduceat(
+            (wkinds[order] == K_INSERT).astype(np.int64), starts
+        )
+        absorbable = self._counts[glf] + g_ins <= self._slots
+        return order, gb, glf, absorbable
+
+    # --------------------------------------------------------------- absorb
+
+    def _absorb(
+        self,
+        plan,
+        wkinds: np.ndarray,
+        wkeys: np.ndarray,
+        wvals: np.ndarray,
+    ) -> None:
+        """Fold every absorbable group into the working rows, one NumPy
+        pass.
+
+        Ops are bucketed per (leaf, key) with arrival order preserved;
+        single-op keys (the overwhelming majority) resolve fully
+        vectorized from the key's initial presence, multi-op chains fold
+        in a small Python loop over their ops.  The fold yields, per
+        distinct key: its final presence, its final value (when written)
+        and the per-kind success counts — *logical* semantics, identical
+        to the scalar reference because an op's outcome depends only on
+        its own key's membership at that point, never on row capacity
+        (the absorbability bound guarantees capacity up front).  Value
+        overwrites scatter flat; leaves whose membership changed have
+        their rows rebuilt by one concatenate + lexsort + segment-column
+        scatter, writing canonical gapped rows (sorted keys, sentinel
+        tail).
+        """
+        order, gb, glf, absorbable = plan
+        take = np.repeat(absorbable, np.diff(gb))
+        idx = order[take]
+        if idx.size == 0:
+            return
+        self.absorbed_ops += int(idx.size)
+        slots = self._slots
+        L = np.repeat(glf[absorbable],
+                      np.diff(gb)[absorbable])  # leaf per absorbed op
+        K = wkeys[idx]
+        D = wkinds[idx]
+        V = wvals[idx]
+
+        # Stable (leaf, key) bucketing; arrival order survives within a
+        # bucket because idx is already (leaf, arrival)-ordered.
+        srt = np.lexsort((K, L))
+        L, K, D, V = L[srt], K[srt], D[srt], V[srt]
+        nb = np.concatenate(
+            ([True], (L[1:] != L[:-1]) | (K[1:] != K[:-1]))
+        )
+        ustart = np.flatnonzero(nb)
+        ulen = np.diff(np.concatenate((ustart, [L.size])))
+        uleaf = L[ustart]
+        ukey = K[ustart]
+        u = ustart.size
+
+        rows = self._leaf[uleaf]
+        pos = np.sum(rows < ukey[:, None], axis=1)
+        clamped = np.minimum(pos, slots - 1)
+        present0 = rows[np.arange(u), clamped] == ukey
+
+        final_present = present0.copy()
+        wrote = np.zeros(u, dtype=bool)
+        write_val = np.zeros(u, dtype=VALUE_DTYPE)
+
+        res = self.result
+        single = ulen == 1
+        if np.any(single):
+            sk = D[ustart[single]]
+            sv = V[ustart[single]]
+            p0 = present0[single]
+            is_i = sk == K_INSERT
+            is_u = sk == K_UPDATE
+            is_d = sk == K_DELETE
+            ok = np.where(is_i, ~p0, p0)
+            res.inserted += int(np.count_nonzero(is_i & ok))
+            res.updated += int(np.count_nonzero(is_u & ok))
+            res.deleted += int(np.count_nonzero(is_d & ok))
+            res.failed += int(np.count_nonzero(~ok))
+            # Inserts end present either way (a failed insert means the
+            # key was already there); deletes end absent either way.
+            final_present[single] = np.where(
+                is_i, True, np.where(is_d, False, p0)
+            )
+            wrote[single] = ok & ~is_d
+            write_val[single] = np.where(ok & ~is_d, sv, 0)
+
+        for t in np.flatnonzero(~single).tolist():
+            a = int(ustart[t])
+            b = a + int(ulen[t])
+            p = bool(present0[t])
+            w = False
+            val = 0
+            for j in range(a, b):
+                kind = int(D[j])
+                if kind == K_UPDATE:
+                    if p:
+                        res.updated += 1
+                        val = int(V[j])
+                        w = True
+                    else:
+                        res.failed += 1
+                elif kind == K_INSERT:
+                    if p:
+                        res.failed += 1
+                    else:
+                        res.inserted += 1
+                        p = True
+                        val = int(V[j])
+                        w = True
+                else:  # K_DELETE
+                    if p:
+                        res.deleted += 1
+                        p = False
+                        w = False
+                    else:
+                        res.failed += 1
+            final_present[t] = p
+            wrote[t] = w
+            write_val[t] = val
+
+        # 1) Value overwrites on keys that stay put: one flat scatter.
+        vw = present0 & final_present & wrote
+        if np.any(vw):
+            self._lv[uleaf[vw], pos[vw]] = write_val[vw]
+
+        # 2) Membership changes: rebuild the touched rows wholesale.
+        add = ~present0 & final_present
+        rem = present0 & ~final_present
+        if not (np.any(add) or np.any(rem)):
+            return
+        touched = np.union1d(uleaf[add], uleaf[rem])
+        R = self._leaf[touched]
+        Vv = self._lv[touched]
+        drop = np.zeros(R.shape, dtype=bool)
+        drop[np.searchsorted(touched, uleaf[rem]), pos[rem]] = True
+        keep = (R != KEY_MAX) & ~drop
+        kept_row, _ = np.nonzero(keep)
+        flat_row = np.concatenate(
+            (kept_row, np.searchsorted(touched, uleaf[add]))
+        )
+        flat_key = np.concatenate((R[keep], ukey[add]))
+        flat_val = np.concatenate((Vv[keep], write_val[add]))
+        o = np.lexsort((flat_key, flat_row))
+        flat_row, flat_key, flat_val = flat_row[o], flat_key[o], flat_val[o]
+        cnt = np.bincount(flat_row, minlength=touched.size).astype(np.int64)
+        seg = np.zeros(touched.size, dtype=np.int64)
+        np.cumsum(cnt[:-1], out=seg[1:])
+        col = np.arange(flat_row.size, dtype=np.int64) - seg[flat_row]
+        newR = np.full((touched.size, slots), KEY_MAX, dtype=KEY_DTYPE)
+        newV = np.full((touched.size, slots), NOT_FOUND, dtype=VALUE_DTYPE)
+        newR[flat_row, col] = flat_key
+        newV[flat_row, col] = flat_val
+        self._leaf[touched] = newR
+        self._lv[touched] = newV
+        self._counts[touched] = cnt
+        self._n_keys += int(np.count_nonzero(add)) - int(
+            np.count_nonzero(rem)
+        )
+
+    # ------------------------------------------------------------- overflow
+
+    def _overflow_replay(
+        self,
+        plan,
+        wkinds: np.ndarray,
+        wkeys: np.ndarray,
+        wvals: np.ndarray,
+    ) -> None:
+        """Groups whose gross inserts exceed the leaf's slack: stage the
+        leaf's full content on an auxiliary node and replay in arrival
+        order (logical semantics — aux capacity is unbounded, exactly as
+        in the scalar path).  Staging forces a compaction epoch at the
+        end of this window, which re-chunks the aux content."""
+        order, gb, glf, absorbable = plan
+        ovf = np.flatnonzero(~absorbable)
+        if ovf.size == 0:
+            return
+        res = self.result
+        kinds = wkinds.tolist()
+        keys = wkeys.tolist()
+        vals = wvals.tolist()
+        order_l = order.tolist()
+        gb_l = gb.tolist()
+        for g in ovf.tolist():
+            leaf = int(glf[g])
+            node = self._aux.get(leaf)
+            if node is None:
+                c = int(self._counts[leaf])
+                node = AuxiliaryNode(
+                    keys=self._leaf[leaf, :c].tolist(),
+                    values=self._lv[leaf, :c].tolist(),
+                )
+                self._aux[leaf] = node
+                res.split_leaves += 1
+            for oi in order_l[gb_l[g] : gb_l[g + 1]]:
+                kind = kinds[oi]
+                self.overflow_ops += 1
+                if kind == K_UPDATE:
+                    if node.update(keys[oi], vals[oi]):
+                        res.updated += 1
+                    else:
+                        res.failed += 1
+                elif kind == K_INSERT:
+                    if node.insert(keys[oi], vals[oi]):
+                        res.inserted += 1
+                        self._n_keys += 1
+                    else:
+                        res.failed += 1
+                else:
+                    if node.delete(keys[oi]):
+                        res.deleted += 1
+                        self._n_keys -= 1
+                    else:
+                        res.failed += 1
+
+    # ------------------------------------------------------------ epochs
+
+    def _pending(self, counts: np.ndarray) -> np.ndarray:
+        """Leaves enqueued in the compaction set: below the B+tree minimum
+        or packed to the brim (single-leaf trees are exempt from the
+        minimum, as everywhere else)."""
+        pending = counts >= self._full_mark
+        if counts.size > 1:
+            pending = pending | (counts < self._min_leaf)
+        return pending
+
+    def _epoch_due(self) -> bool:
+        if self._aux:
+            return True  # hard trigger: staged overflow content
+        if self._n_keys == 0:
+            return True
+        counts = self._counts
+        n_leaves = counts.size
+        frac = int(np.count_nonzero(self._pending(counts))) / n_leaves
+        if frac > self.watermark:
+            return True
+        if n_leaves > 1:
+            occ = self._n_keys / (n_leaves * self._slots)
+            if occ < self.occupancy_low:
+                return True
+        return False
+
+    def _compaction_epoch(self) -> None:
+        """The demoted movement pass: plan dirty runs over the compaction
+        set (plus staged overflow leaves), re-chunk them at the fill
+        target, and rebuild the internal region with the shared
+        assembler.  Adopts the new arrays as the working state — they are
+        freshly allocated, so later windows absorb into them in place
+        without another copy."""
+        self.movement_epochs += 1
+        counts = self._counts
+        dirty_set: Set[int] = set(
+            int(x) for x in np.flatnonzero(self._pending(counts))
+        )
+        dirty_set.update(self._aux)
+        self.dirty_total += len(dirty_set)
+        res = self.result
+        if counts.size > 1:
+            res.underflow_leaves += int(
+                np.count_nonzero(counts < self._min_leaf)
+            )
+
+        leaf = self._leaf
+        lv = self._lv
+        aux = self._aux
+
+        def content(j: int):
+            node = aux.get(j)
+            if node is not None:
+                return list(node.keys), list(node.values)
+            c = int(counts[j])
+            return leaf[j, :c].tolist(), lv[j, :c].tolist()
+
+        directives = _plan_leaf_movement(
+            counts.size, dirty_set, content,
+            self._min_leaf, self._slots, self._target,
+        )
+        res.moved_clean += sum(
+            d[2] - d[1] for d in directives if d[0] == "K"
+        )
+        res.rebuilt_dirty += sum(1 for d in directives if d[0] == "N")
+        self._aux = {}
+        if not directives:
+            self._kr = None  # every key deleted; later windows bootstrap
+            return
+
+        slots = self._slots
+        keep_ranges: List[Tuple[int, int, int]] = []
+        write_rows: List[Tuple[int, List[int], List[int]]] = []
+        dst = 0
+        for d in directives:
+            if d[0] == "K":
+                keep_ranges.append((dst, d[1], d[2]))
+                dst += d[2] - d[1]
+            else:
+                write_rows.append((dst, d[1], d[2]))
+                dst += 1
+        leaf_keys = np.full((dst, slots), KEY_MAX, dtype=KEY_DTYPE)
+        leaf_vals = np.full((dst, slots), NOT_FOUND, dtype=VALUE_DTYPE)
+        for dlo, slo, shi in keep_ranges:
+            w = shi - slo
+            leaf_keys[dlo : dlo + w] = leaf[slo:shi]
+            leaf_vals[dlo : dlo + w] = lv[slo:shi]
+        for drow, ks, vs in write_rows:
+            leaf_keys[drow, : len(ks)] = ks
+            leaf_vals[drow, : len(vs)] = vs
+        new = _assemble_layout(
+            self._fanout, leaf_keys, leaf_vals, self._n_keys, self.fill
+        )
+        self._adopt(new, copy=False)
+
+    # ------------------------------------------------------------ bootstrap
+
+    def _window_bootstrap(
+        self,
+        wkinds: np.ndarray,
+        wkeys: np.ndarray,
+        wvals: np.ndarray,
+    ) -> None:
+        """A window arriving after the tree emptied mid-batch: fold it
+        through a plain dict (the empty tree has no structure to absorb
+        into) and bulk-build a fresh gapped layout from the survivors —
+        the same semantics as :meth:`HarmoniaTree._bootstrap_batch`."""
+        res = self.result
+        pairs: Dict[int, int] = {}
+        kinds = wkinds.tolist()
+        keys = wkeys.tolist()
+        vals = wvals.tolist()
+        for i in range(len(keys)):
+            k = keys[i]
+            kind = kinds[i]
+            if kind == K_INSERT:
+                if k in pairs:
+                    res.failed += 1
+                else:
+                    pairs[k] = vals[i]
+                    res.inserted += 1
+            elif kind == K_UPDATE:
+                if k in pairs:
+                    pairs[k] = vals[i]
+                    res.updated += 1
+                else:
+                    res.failed += 1
+            else:
+                if pairs.pop(k, None) is not None:
+                    res.deleted += 1
+                else:
+                    res.failed += 1
+        if pairs:
+            sk = np.fromiter(sorted(pairs), dtype=KEY_DTYPE, count=len(pairs))
+            sv = np.asarray([pairs[int(k)] for k in sk], dtype=VALUE_DTYPE)
+            new = HarmoniaLayout.from_sorted(
+                sk, sv, fanout=self._fanout, fill=self.fill
+            )
+            self._adopt(new, copy=False)
+            self._n_keys = len(pairs)
+
+
 __all__ = [
     "K_INSERT",
     "K_UPDATE",
@@ -804,4 +1414,5 @@ __all__ = [
     "UpdatePlan",
     "plan_batch",
     "VectorizedBatchUpdater",
+    "GappedBatchUpdater",
 ]

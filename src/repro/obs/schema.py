@@ -195,6 +195,21 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("update.throughput_ops", "gauge", "ops/s",
                "end-to-end throughput of the last vectorized batch "
                "(plan + apply + movement)"),
+    MetricSpec("update.absorbed_ops", "counter", "ops",
+               "ops absorbed in place by gapped leaf slack (no movement)"),
+    MetricSpec("update.windows", "counter", "windows",
+               "plan_window chunks streamed through the gapped planner"),
+    MetricSpec("update.movement_epochs", "counter", "epochs",
+               "compaction epochs the gapped executor actually ran"),
+    MetricSpec("update.gap_absorption", "gauge", "ratio",
+               "absorbed / total ops of the last gapped batch (the "
+               "fraction that dodged the movement rebuild)"),
+    MetricSpec("layout.occupancy", "gauge", "ratio",
+               "keys / leaf slots of the published layout (gapped drift "
+               "observable behind the occupancy_low watermark)"),
+    MetricSpec("layout.compaction_pending", "gauge", "ratio",
+               "fraction of leaves in the gapped compaction set "
+               "(underflowed or packed full) after the last batch"),
     # ------------------------------------------------------------- shard
     MetricSpec("shard.batches", "counter", "batches",
                "query/update batches routed by the ShardedTree front-end"),

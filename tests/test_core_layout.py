@@ -130,3 +130,83 @@ class TestInvariantChecker:
         layout.n_keys += 1
         with pytest.raises(InvariantViolation):
             layout.check_invariants()
+
+
+class TestGappedAccessors:
+    """Per-leaf fill counts, routing bounds and occupancy — the layout
+    surface the gapped update executor builds on."""
+
+    def _gapped(self, n=500, fanout=8, fill=0.7):
+        keys = np.arange(0, n * 2, 2, dtype=np.int64)
+        return HarmoniaLayout.from_sorted(keys, values=keys,
+                                          fanout=fanout, fill=fill), keys
+
+    def test_leaf_key_counts_match_rows(self):
+        layout, _ = self._gapped()
+        counts = layout.leaf_key_counts()
+        ref = np.sum(layout.key_region[layout.leaf_start:] != KEY_MAX, axis=1)
+        assert np.array_equal(counts, ref)
+        assert counts.sum() == layout.n_keys
+
+    def test_leaf_key_counts_copy_semantics(self):
+        layout, _ = self._gapped()
+        a = layout.leaf_key_counts()
+        a[0] = -99  # callers may scribble on the default copy
+        assert layout.leaf_key_counts()[0] != -99
+        b = layout.leaf_key_counts(copy=False)
+        assert b is layout.leaf_key_counts(copy=False)  # cached view
+
+    def test_occupancy(self):
+        layout, _ = self._gapped(fill=0.7)
+        occ = layout.occupancy()
+        assert 0.6 <= occ <= 0.85
+        full, _ = self._gapped(fill=1.0)
+        assert full.occupancy() > occ
+
+    def test_leaf_bounds_route_like_traversal(self):
+        from repro.core.search import locate_leaves_batch
+
+        layout, keys = self._gapped(fanout=16, fill=0.6)
+        bounds = layout.leaf_bounds()
+        assert bounds.size == layout.n_leaves
+        assert bounds[0] == np.iinfo(np.int64).min  # leaf 0 catches all
+        assert np.all(np.diff(bounds[1:]) >= 0)  # (diff over the sentinel
+        # would overflow int64, so sortedness is checked past it)
+        targets = np.concatenate([keys, keys + 1, [0, 10**9]])
+        via_bounds = np.searchsorted(bounds, targets, side="right") - 1
+        assert np.array_equal(via_bounds,
+                              locate_leaves_batch(layout, targets))
+
+    def test_min_max_key_skip_emptied_leaves(self):
+        from repro.core import HarmoniaTree, UpdateConfig
+        from repro.core.update import Operation
+
+        keys = np.arange(0, 200, 2, dtype=np.int64)
+        tree = HarmoniaTree.from_sorted(keys, fanout=8, fill=0.7)
+        # Empty the first and last leaves in place (lax watermarks keep
+        # the gaps instead of compacting them away).
+        lax = UpdateConfig(mode="gapped", gap_watermark=1.0,
+                           occupancy_low=0.0)
+        ops = [Operation("delete", k) for k in range(0, 12, 2)]
+        ops += [Operation("delete", k) for k in range(188, 200, 2)]
+        tree.apply_batch(ops, lax)
+        layout = tree.layout
+        counts = layout.leaf_key_counts()
+        assert counts[0] == 0 or counts[-1] == 0  # gaps really exist
+        assert layout.min_key() == 12
+        assert layout.max_key() == 186
+
+    def test_invariants_reject_stale_leaf_counts(self):
+        layout, _ = self._gapped()
+        layout.leaf_counts = layout.leaf_key_counts()
+        layout.check_invariants()
+        layout.leaf_counts[0] += 1
+        with pytest.raises(InvariantViolation):
+            layout.check_invariants()
+
+    def test_copy_preserves_leaf_counts(self):
+        layout, _ = self._gapped()
+        layout.leaf_counts = layout.leaf_key_counts()
+        dup = layout.copy()
+        assert np.array_equal(dup.leaf_counts, layout.leaf_counts)
+        assert dup.leaf_counts is not layout.leaf_counts

@@ -130,3 +130,94 @@ class TestProfileAndChoose:
         p = NTGProfile(gs=4, queries_per_warp=8, avg_warp_steps=2.0,
                        per_level=np.array([1.0, 1.0]))
         assert p.throughput_proxy() == pytest.approx(4.0)
+
+
+class TestSelectionCache:
+    """The module-level LRU behind HarmoniaTree.prepare_queries."""
+
+    def _layout(self, n=2_000, fanout=16):
+        keys = np.arange(0, n * 2, 2, dtype=np.int64)
+        return HarmoniaLayout.from_sorted(keys, fanout=fanout, fill=0.7)
+
+    def _selection(self):
+        return NTGSelection(group_size=4)
+
+    def test_hit_requires_same_identity_and_key(self):
+        from repro.core.ntg import SelectionCache
+
+        cache = SelectionCache(capacity=4)
+        a, b = self._layout(), self._layout()
+        sel = self._selection()
+        cache.put(a, 32, 2, sel)
+        assert cache.get(a, 32, 2) is sel
+        assert cache.get(b, 32, 2) is None          # different snapshot
+        assert cache.get(a, 64, 2) is None          # different warp size
+        assert cache.get(a, 32, None) is None       # different levels
+
+    def test_alternating_layouts_both_stay_cached(self):
+        # The regression this cache exists for: a single-slot cache
+        # thrashes when callers alternate between two live snapshots
+        # (epoch facades, shard round-robin).
+        from repro.core.ntg import SelectionCache
+
+        cache = SelectionCache(capacity=4)
+        a, b = self._layout(), self._layout()
+        sa, sb = self._selection(), self._selection()
+        cache.put(a, 32, 2, sa)
+        cache.put(b, 32, 2, sb)
+        for _ in range(5):
+            assert cache.get(a, 32, 2) is sa
+            assert cache.get(b, 32, 2) is sb
+
+    def test_lru_eviction_order(self):
+        from repro.core.ntg import SelectionCache
+
+        cache = SelectionCache(capacity=2)
+        layouts = [self._layout(200) for _ in range(3)]
+        sels = [self._selection() for _ in range(3)]
+        cache.put(layouts[0], 32, 2, sels[0])
+        cache.put(layouts[1], 32, 2, sels[1])
+        cache.get(layouts[0], 32, 2)            # refresh 0 → 1 is now LRU
+        cache.put(layouts[2], 32, 2, sels[2])   # evicts 1
+        assert cache.get(layouts[0], 32, 2) is sels[0]
+        assert cache.get(layouts[1], 32, 2) is None
+        assert cache.get(layouts[2], 32, 2) is sels[2]
+
+    def test_dead_layout_id_reuse_cannot_alias(self):
+        # Entries hold weakrefs: once the snapshot dies, a recycled id()
+        # must not resurrect the stale selection.
+        from repro.core.ntg import SelectionCache
+
+        cache = SelectionCache(capacity=4)
+        a = self._layout(100)
+        cache.put(a, 32, 2, self._selection())
+        key = (id(a), 32, 2)
+        del a
+        # Forge a fresh layout; even if id() matched, the weakref target
+        # differs, so get() must miss and drop the entry.
+        b = self._layout(100)
+        ref, sel = cache._entries.get(key, (None, None))
+        if ref is not None:
+            assert ref() is None  # original is gone
+        assert cache.get(b, 32, 2) is None
+
+    def test_prepare_queries_reuses_across_tree_facades(self):
+        # EpochManager builds a fresh HarmoniaTree facade per query call;
+        # the selection must still be computed once per snapshot.
+        from repro.core.config import SearchConfig
+        from repro.core.ntg import selection_cache
+        from repro.core.tree import HarmoniaTree
+
+        selection_cache.clear()
+        layout = self._layout()
+        cfg = SearchConfig(ntg="model")
+        q = np.arange(0, 2_000, 2, dtype=np.int64)
+        first = HarmoniaTree(layout).prepare_queries(q, cfg)
+        second = HarmoniaTree(layout).prepare_queries(q, cfg)
+        assert first.ntg_selection is second.ntg_selection
+
+    def test_capacity_must_be_positive(self):
+        from repro.core.ntg import SelectionCache
+
+        with pytest.raises(ConfigError):
+            SelectionCache(capacity=0)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.layout import HarmoniaLayout
 from repro.core.search import range_search, range_search_batch
@@ -118,3 +120,90 @@ class TestRangeBatchVectorized:
         leaves = locate_leaves_batch(layout, targets)
         trace = traverse_batch(layout, targets)
         assert np.array_equal(leaves, trace.node_idx[-1] - layout.leaf_start)
+
+    def test_locate_leaves_bounds_agrees_with_traversal(self, setup):
+        from repro.core.search import locate_leaves_batch, locate_leaves_bounds
+
+        layout, _ = setup
+        gen = np.random.default_rng(7)
+        targets = gen.integers(-100, 11_000, 500).astype(np.int64)
+        targets = np.maximum(targets, 0)
+        assert np.array_equal(
+            locate_leaves_bounds(layout, targets),
+            locate_leaves_batch(layout, targets),
+        )
+
+
+class TestRangeBatchEdgeCases:
+    """Hypothesis coverage of the edge geometry: empty/inverted/duplicate
+    bounds, bound pairs that collapse to one leaf, and windows spanning
+    gapped leaves (slack, empty rows) produced by the gapped executor."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        bounds=st.lists(
+            st.tuples(st.integers(-50, 10_200), st.integers(-50, 10_200)),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_arbitrary_bound_pairs_match_bruteforce(self, setup, bounds):
+        layout, keys = setup
+        los = np.asarray([max(a, 0) for a, _ in bounds], dtype=np.int64)
+        his = np.asarray([max(b, 0) for _, b in bounds], dtype=np.int64)
+        out = range_search_batch(layout, los, his)
+        for (bk, bv), lo, hi in zip(out, los, his):
+            ref = keys[(keys >= lo) & (keys <= hi)]
+            assert np.array_equal(bk, ref)
+            assert np.array_equal(bv, ref * 2)
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(lo=st.integers(0, 10_200))
+    def test_duplicate_and_inverted_bounds(self, setup, lo):
+        layout, keys = setup
+        los = np.asarray([lo, lo, lo + 1], dtype=np.int64)
+        his = np.asarray([lo, lo - 1, lo], dtype=np.int64)  # point/inverted
+        point, inverted, backwards = range_search_batch(layout, los, his)
+        ref = keys[(keys >= lo) & (keys <= lo)]
+        assert np.array_equal(point[0], ref)
+        assert inverted[0].size == 0
+        assert backwards[0].size == 0
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        dels=st.lists(st.integers(0, 199), min_size=0, max_size=120,
+                      unique=True),
+        ins=st.lists(st.integers(0, 420), min_size=0, max_size=40,
+                     unique=True),
+        lo=st.integers(-5, 430),
+        width=st.integers(0, 430),
+    )
+    def test_windows_spanning_gapped_leaves(self, dels, ins, lo, width):
+        """Build a gapped layout (slack + possibly emptied leaves) through
+        the gapped executor, then check windows crossing it: sentinel pads
+        and empty rows inside the window must never leak."""
+        from repro.core import HarmoniaTree, UpdateConfig
+        from repro.core.update import Operation
+
+        keys = np.arange(0, 400, 2, dtype=np.int64)
+        tree = HarmoniaTree.from_sorted(keys, values=keys * 3,
+                                        fanout=8, fill=0.7)
+        ops = [Operation("delete", 2 * d) for d in dels]
+        ops += [Operation("insert", 2 * i + 1, (2 * i + 1) * 3)
+                for i in ins]
+        lax = UpdateConfig(mode="gapped", gap_watermark=1.0,
+                           occupancy_low=0.0)
+        tree.apply_batch(ops, lax)
+        if tree._layout is None:
+            return
+        stored = np.asarray([k for k, _ in tree.items()], dtype=np.int64)
+        lo = max(lo, 0)
+        hi = lo + width
+        (k, v), = range_search_batch(
+            tree._layout, np.asarray([lo]), np.asarray([hi])
+        )
+        ref = stored[(stored >= lo) & (stored <= hi)]
+        assert np.array_equal(k, ref)
+        assert np.array_equal(v, ref * 3)
