@@ -34,7 +34,7 @@ import time
 
 import numpy as np
 
-from repro.core import HarmoniaTree, UpdateConfig
+from repro.core import EpochManager, HarmoniaTree, UpdateConfig
 from repro.core.update import BatchUpdater
 from repro.core.update_plan import GappedBatchUpdater, VectorizedBatchUpdater
 from repro.workloads.generators import make_key_set
@@ -199,6 +199,115 @@ def measure(tree_log2: int, batch_log2: int, mix: UpdateMix = MIXED,
     }
 
 
+# ------------------------------------------------- concurrent epoch bench
+
+
+def measure_concurrent(tree_log2: int, batch_log2: int, rounds: int = 8,
+                       seed: int = 1234, reps: int = 2) -> dict:
+    """Mixed read/write rounds: synchronous flush vs snapshot+delta.
+
+    Each round submits one mixed batch, flushes, then serves a read batch
+    — the service-loop shape the EpochManager exists for.  Read latency
+    is measured from the *round start*, so the synchronous mode pays the
+    full rebuild before its reads return while the concurrent mode pays
+    only batch resolution (the rebuild runs in the drain); the final
+    ``sync()`` is inside the concurrent wall, so deferred work is not
+    dropped from the throughput comparison.  Equivalence of every read
+    batch (and the final contents) is asserted before any timing is
+    reported.
+    """
+    keys = make_key_set(1 << tree_log2, rng=seed)
+    n_batch = 1 << batch_log2
+    rng = np.random.default_rng(seed + 7)
+    batches = [
+        make_update_batch(keys, n_batch, mix=MIXED, rng=seed + 11 + r)
+        for r in range(rounds)
+    ]
+    reads = [
+        np.concatenate([
+            rng.choice(keys, size=n_batch // 2),
+            rng.integers(0, int(keys.max()) + 2, size=n_batch // 2),
+        ]).astype(np.int64)
+        for _ in range(rounds)
+    ]
+
+    def run_mode(concurrent: bool):
+        tree = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+        mgr = EpochManager(
+            tree, update_config=UpdateConfig(),
+            concurrent=concurrent, drain_threshold=3 * n_batch,
+        )
+        lat, outs = [], []
+        t0 = time.perf_counter()
+        for ops, q in zip(batches, reads):
+            r0 = time.perf_counter()
+            mgr.submit_many(ops)
+            mgr.flush()
+            outs.append(mgr.search_many(q))
+            lat.append(time.perf_counter() - r0)
+        mgr.sync()
+        wall = time.perf_counter() - t0
+        return wall, lat, outs, mgr
+
+    sync_wall, sync_lat, sync_outs, sync_mgr = run_mode(False)
+    conc_wall, conc_lat, conc_outs, conc_mgr = run_mode(True)
+    for rep in range(reps - 1):  # keep the best wall per mode
+        w, l, _, _ = run_mode(False)
+        if w < sync_wall:
+            sync_wall, sync_lat = w, l
+        w, l, _, _ = run_mode(True)
+        if w < conc_wall:
+            conc_wall, conc_lat = w, l
+
+    # Equivalence gate: never report a speedup for wrong answers.
+    for a, b in zip(sync_outs, conc_outs):
+        assert np.array_equal(a, b), "concurrent reads diverged"
+    ka, va = sync_mgr.dump_items()
+    kb, vb = conc_mgr.dump_items()
+    assert np.array_equal(ka, kb) and np.array_equal(va, vb)
+
+    # Read-only overlay overhead: the same query batch against the plain
+    # base tree vs a pinned snapshot carrying an undrained 2-batch delta.
+    base = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    mgr = EpochManager(base, update_config=UpdateConfig(),
+                       concurrent=True, drain_threshold=1 << 62)
+    for ops in batches[:2]:
+        mgr.submit_many(ops)
+        mgr.flush()
+    snap = mgr._snapshot()
+    plain = HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7)
+    q = reads[0]
+    # Interleave the two timings so background-load drift on the host
+    # hits both sides equally instead of biasing the ratio.
+    t_plain = t_overlay = float("inf")
+    for _ in range(9):
+        t_plain = min(t_plain, _best_of(lambda: plain.search_many(q), 1))
+        t_overlay = min(t_overlay, _best_of(lambda: snap.search_many(q), 1))
+    overhead = t_overlay / t_plain - 1.0
+
+    total_items = rounds * 2 * n_batch  # reads + writes per round
+    return {
+        "tree_log2": tree_log2,
+        "batch_log2": batch_log2,
+        "rounds": rounds,
+        "mix": {"insert": MIXED.insert, "update": MIXED.update,
+                "delete": MIXED.delete},
+        "sync_wall_s": round(sync_wall, 6),
+        "concurrent_wall_s": round(conc_wall, 6),
+        "mixed_speedup": round(sync_wall / conc_wall, 2),
+        "mixed_kops": round(total_items / conc_wall / 1e3, 1),
+        "sync_read_round_max_ms": round(max(sync_lat) * 1e3, 3),
+        "concurrent_read_round_max_ms": round(max(conc_lat) * 1e3, 3),
+        "read_only_plain_s": round(t_plain, 6),
+        "read_only_overlay_s": round(t_overlay, 6),
+        "overlay_overhead": round(overhead, 4),
+        "delta_size_at_probe": snap.delta.size,
+        "drains": conc_mgr.drains,
+        "flushes": conc_mgr.epoch,
+        "equivalent": True,
+    }
+
+
 def _capture_metrics(acceptance: dict, seed: int = 1234) -> dict:
     """One *recorded* vectorized run of the acceptance point — outside the
     timed loops so the emitted timings stay disabled-path numbers — plus
@@ -213,6 +322,18 @@ def _capture_metrics(acceptance: dict, seed: int = 1234) -> dict:
     with obs.recording() as rec:
         VectorizedBatchUpdater(tree.layout, fill=0.7).run(ops)
         GappedBatchUpdater(tree.layout, fill=0.7).run(ops)
+        # A short concurrent session so the epoch.* / delta.* family is
+        # present (and catalogue-validated) in the emitted snapshot.
+        mgr = EpochManager(
+            HarmoniaTree.from_sorted(keys, fanout=64, fill=0.7),
+            update_config=UpdateConfig(), concurrent=True,
+            drain_threshold=1 << 62,
+        )
+        mgr.submit_many(ops)
+        mgr.flush()
+        mgr.search_many(np.asarray([op.key for op in ops[:1024]],
+                                   dtype=np.int64))
+        mgr.sync()
         rec.gauge("bench.update.scalar_s", acceptance["scalar_s"])
         rec.gauge("bench.update.vectorized_s", acceptance["vectorized_s"])
         rec.gauge("bench.update.speedup", acceptance["speedup"])
@@ -240,6 +361,15 @@ def main(out_path: str = None, smoke: bool = False) -> dict:
     # movement rebuild demoted below 15% of its phase time.
     fig14_log2 = points[-1]
     fig14 = measure(fig14_log2[0], fig14_log2[1], mix=PAPER_UPDATE_MIX)
+
+    # Snapshot epochs + delta: mixed read/write service loop, synchronous
+    # flush vs concurrent publish-then-drain (docs/epochs.md).
+    conc_point = (18, 12) if smoke else (20, 13)
+    concurrent = measure_concurrent(
+        conc_point[0], conc_point[1],
+        rounds=6 if smoke else 8,
+        reps=1 if smoke else 2,
+    )
     record = {
         "bench": "update",
         "workload": "mixed insert/update/delete batches, fanout 64, "
@@ -265,9 +395,19 @@ def main(out_path: str = None, smoke: bool = False) -> dict:
                 fig14["gapped_speedup_vs_vectorized"] >= 1.5
                 and fig14["gapped_movement_share"] < 0.15
             ),
+            "concurrent_criterion": "snapshot+delta mixed read/write "
+            "throughput >= 1.3x the synchronous-flush baseline, read-only "
+            "delta-merge overhead <= 10%",
+            "concurrent_mixed_speedup": concurrent["mixed_speedup"],
+            "concurrent_overlay_overhead": concurrent["overlay_overhead"],
+            "concurrent_ok": (
+                concurrent["mixed_speedup"] >= 1.3
+                and concurrent["overlay_overhead"] <= 0.10
+            ),
         },
         "rows": rows,
         "fig14_paper_mix": fig14,
+        "concurrent": concurrent,
         "metrics": _capture_metrics(acceptance),
     }
     path = pathlib.Path(
@@ -296,6 +436,25 @@ def gap_check(min_absorption: float = 0.8) -> None:
           f"{min_absorption}")
 
 
+def delta_check(max_overhead: float = 0.15) -> None:
+    """CI quick gate for the concurrent epoch path: one small mixed
+    read/write point must (a) produce byte-identical reads to the
+    synchronous baseline (asserted inside :func:`measure_concurrent`) and
+    (b) keep the read-only delta-overlay overhead under ``max_overhead``.
+    Exits non-zero (via AssertionError) on regression."""
+    row = measure_concurrent(18, 12, rounds=5, reps=1)
+    print(json.dumps({k: row[k] for k in
+                      ("mixed_speedup", "overlay_overhead",
+                       "delta_size_at_probe", "drains", "flushes",
+                       "equivalent")}, indent=2))
+    assert row["overlay_overhead"] <= max_overhead, (
+        f"delta overlay overhead {row['overlay_overhead']} > {max_overhead} "
+        "on the standard concurrent point"
+    )
+    print(f"delta-check OK: overlay overhead {row['overlay_overhead']} <= "
+          f"{max_overhead}")
+
+
 if __name__ == "__main__":  # pragma: no cover
     ap = argparse.ArgumentParser()
     ap.add_argument("--smoke", action="store_true",
@@ -303,9 +462,23 @@ if __name__ == "__main__":  # pragma: no cover
     ap.add_argument("--gap-check", action="store_true",
                     help="CI quick gate: fail if the gapped executor's "
                     "absorption ratio < 0.8 on a small fig14 paper mix")
+    ap.add_argument("--delta-check", action="store_true",
+                    help="CI quick gate: fail if the concurrent epoch "
+                    "path's read-only overlay overhead > 0.15 (equivalence "
+                    "is asserted inside the measurement)")
+    ap.add_argument("--concurrent", action="store_true",
+                    help="run only the concurrent mixed read/write "
+                    "measurement and print its row")
     ap.add_argument("--out", default=None)
     ns = ap.parse_args()
     if ns.gap_check:
         gap_check()
+    elif ns.delta_check:
+        delta_check()
+    elif ns.concurrent:
+        row = measure_concurrent(*((18, 12) if ns.smoke else (20, 13)),
+                                 rounds=6 if ns.smoke else 8,
+                                 reps=1 if ns.smoke else 2)
+        print(json.dumps(row, indent=2))
     else:
         main(ns.out, smoke=ns.smoke)

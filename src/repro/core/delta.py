@@ -1,0 +1,508 @@
+"""Mergeable delta index: the write-side absorber of the snapshot-epoch
+read path (docs/epochs.md).
+
+A flush in concurrent mode does *not* rebuild the tree.  It resolves the
+batch against the currently *visible* state (base snapshot + published
+delta), appends the per-key outcomes as one immutable sorted
+:class:`DeltaRun` of upserts and tombstones, and returns — the run is
+visible to readers the moment it is published, and the expensive
+rebuild is deferred to a background drain that folds accumulated runs
+into snapshot N+1 while reads continue against N.
+
+Readers pin a :class:`DeltaView` — an immutable tuple of runs — together
+with the base layout and overlay it on every read path with one
+``np.searchsorted`` pass per run (oldest → newest, so later runs win):
+
+* point lookups: hit positions overwrite the base values; tombstone
+  hits become :data:`~repro.constants.NOT_FOUND` (last-wins semantics);
+* range scans: the delta's slice of ``[lo, hi]`` is merged over the base
+  window with the same stable last-occurrence-wins pass
+  :func:`repro.core.merge.merged_items` uses, then tombstones masked;
+* full iteration / dumps: one last-wins merge of the base items with
+  the collapsed delta.
+
+Cost model: with ``k`` runs of total size ``d`` the overlay adds
+``O(k · n · log d)`` to an ``n``-query batch — bounded because
+:class:`DeltaIndex` collapses runs (one ``policy="last_wins"``
+:func:`~repro.core.merge.concat_sorted_runs`) whenever more than
+``max_runs`` pile up, so ``k`` never exceeds a small constant and the
+overlay is skipped entirely when the delta is empty.
+
+Equivalence contract (hypothesis-pinned in
+``tests/test_epoch_concurrent.py``): reads through snapshot + delta are
+byte-identical to reads against a tree that applied every batch
+synchronously — including the per-op success/failure accounting, which
+:func:`resolve_batch` reproduces exactly (an op's outcome depends only
+on its key's visible history, so resolution needs existence bits, not
+the tree).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.constants import NOT_FOUND, VALUE_DTYPE
+from repro.core.merge import concat_sorted_runs
+from repro.core.update import BatchResult, Operation
+from repro.core.update_plan import K_DELETE, K_INSERT, K_UPDATE, _KIND_CODE
+from repro.errors import ConfigError
+
+#: Default cap on published runs before a collapse folds them into one.
+DEFAULT_MAX_RUNS = 8
+
+
+@dataclass(frozen=True)
+class DeltaRun:
+    """One immutable published run: sorted unique keys with final values
+    and tombstone flags, plus the visible-key-count change it caused."""
+
+    keys: np.ndarray  # (n,) int64, strictly increasing
+    values: np.ndarray  # (n,) VALUE_DTYPE
+    tombstones: np.ndarray  # (n,) bool
+    net: int  # visible keys gained (+) / lost (-) when published
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+
+def _last_wins_entries(
+    runs: Sequence[DeltaRun],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse runs (oldest → newest) into one sorted entry set.
+
+    Runs the keys through ``concat_sorted_runs(policy="last_wins")``
+    with *global indices* as payload, then gathers values and tombstones
+    through the surviving indices — one merge covers both arrays.
+    """
+    if not runs:
+        empty_k = np.empty(0, dtype=np.int64)
+        return empty_k, np.empty(0, dtype=VALUE_DTYPE), np.empty(0, dtype=bool)
+    if len(runs) == 1:
+        r = runs[0]
+        return r.keys, r.values, r.tombstones
+    offsets = np.cumsum([0] + [r.n for r in runs])
+    indexed = [
+        (r.keys, np.arange(offsets[i], offsets[i + 1], dtype=np.int64))
+        for i, r in enumerate(runs)
+    ]
+    keys, idx = concat_sorted_runs(indexed, policy="last_wins")
+    all_values = np.concatenate([r.values for r in runs])
+    all_tombs = np.concatenate([r.tombstones for r in runs])
+    return keys, all_values[idx], all_tombs[idx]
+
+
+class DeltaView:
+    """Immutable reader-side view: a pinned tuple of runs.
+
+    Built once per snapshot pin (cheap: tuple + net int); every overlay
+    helper is a pure function of the pinned runs, so a view stays
+    consistent however the live :class:`DeltaIndex` moves on.
+    """
+
+    __slots__ = ("runs", "net", "_collapsed", "_filter")
+
+    def __init__(self, runs: Tuple[DeltaRun, ...], net: int) -> None:
+        self.runs = runs
+        self.net = int(net)
+        self._collapsed: Optional[Tuple[np.ndarray, ...]] = None
+        self._filter: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        """Total entries across runs (the ``delta.size`` gauge)."""
+        return sum(r.n for r in self.runs)
+
+    def __bool__(self) -> bool:
+        return bool(self.runs)
+
+    # ------------------------------------------------------------- lookups
+
+    def overlay_values(self, keys: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Overlay the delta onto base lookup results, in place.
+
+        ``out[i]`` holds the base value for ``keys[i]`` (``NOT_FOUND``
+        when absent); after the overlay it holds the *visible* value —
+        the newest entry per key wins, and a tombstone hit masks to
+        ``NOT_FOUND``.  One ``searchsorted`` against the collapsed
+        entries (cached per view, so the last-wins collapse is paid once
+        however many query batches pin this snapshot); a span + counter
+        is recorded when obs is on.
+        """
+        rec = obs.active
+        if rec.enabled:
+            t0 = time.perf_counter()
+        dk, dv, dt = self.entries()
+        if dk.size:
+            cand = self._candidates(keys)
+            if cand.size:
+                qc = keys[cand]
+                pos = np.searchsorted(dk, qc, side="left")
+                np.minimum(pos, dk.size - 1, out=pos)
+                hit = dk[pos] == qc
+                if hit.any():
+                    hp = pos[hit]
+                    out[cand[hit]] = np.where(
+                        dt[hp], NOT_FOUND, dv[hp]
+                    )
+        if rec.enabled:
+            t1 = time.perf_counter()
+            rec.counter("delta.overlay_keys", int(keys.size))
+            rec.span_at("delta.overlay", t0, t1, cat="delta",
+                        n=int(keys.size), runs=len(self.runs))
+        return out
+
+    def overlay_exists(self, keys: np.ndarray, exists: np.ndarray) -> np.ndarray:
+        """Overlay visible-existence bits (same single probe of the
+        collapsed entries as :meth:`overlay_values`, used by batch
+        resolution)."""
+        dk, _, dt = self.entries()
+        if dk.size:
+            cand = self._candidates(keys)
+            if cand.size:
+                qc = keys[cand]
+                pos = np.searchsorted(dk, qc, side="left")
+                np.minimum(pos, dk.size - 1, out=pos)
+                hit = dk[pos] == qc
+                if hit.any():
+                    exists[cand[hit]] = ~dt[pos[hit]]
+        return exists
+
+    def lookup(self, key: int) -> Optional[Tuple[bool, int]]:
+        """Scalar probe: ``(tombstoned, value)`` of the *newest* entry for
+        ``key``, or ``None`` when no run holds it."""
+        for run in reversed(self.runs):
+            pos = int(np.searchsorted(run.keys, key, side="left"))
+            if pos < run.n and int(run.keys[pos]) == key:
+                return bool(run.tombstones[pos]), int(run.values[pos])
+        return None
+
+    # -------------------------------------------------------------- merges
+
+    def _candidates(self, keys: np.ndarray) -> np.ndarray:
+        """Indices of ``keys`` that *may* be in the delta.
+
+        One-hash Bloom filter over the low bits of the collapsed keys
+        (built lazily, cached per view).  Most queries miss the delta —
+        typically a few percent of the base — so pre-filtering shrinks
+        the ``searchsorted`` probe set by ~an order of magnitude, which
+        is what keeps the read-side overlay overhead in the single-digit
+        percents.  False positives are resolved by the probe; false
+        negatives are impossible (same low-bits hash on both sides).
+        """
+        filt = self._filter
+        if filt is None:
+            dk = self.entries()[0]
+            # ≥ 8 slots per entry → ~12% false-positive rate, capped at
+            # 1 MiB of bool slots for pathological deltas.
+            bits = max(10, min(20, int(8 * dk.size - 1).bit_length()))
+            filt = np.zeros(1 << bits, dtype=bool)
+            filt[dk & (filt.size - 1)] = True
+            self._filter = filt
+        return np.flatnonzero(filt[keys & (filt.size - 1)])
+
+    def entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Collapsed ``(keys, values, tombstones)`` — cached per view."""
+        if self._collapsed is None:
+            self._collapsed = _last_wins_entries(self.runs)
+        return self._collapsed
+
+    def merge_items(
+        self, base_keys: np.ndarray, base_values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Visible sorted contents: base items overlaid with the delta
+        (last wins), tombstones dropped.
+
+        Both sides are sorted and per-side unique, so this is a true
+        two-way merge: one ``searchsorted`` of the (small) delta into the
+        base plus two scatters — O(n + d log n), no argsort of the full
+        contents.  That keeps the bulk drain rebuild linear in the base,
+        which is what the drain's cost model assumes.
+        """
+        dk, dv, dt = self.entries()
+        if dk.size == 0:
+            return base_keys, base_values
+        live = ~dt
+        if base_keys.size == 0:
+            return dk[live], dv[live]
+        idx = np.searchsorted(base_keys, dk, side="left")
+        clip = np.minimum(idx, base_keys.size - 1)
+        dup = base_keys[clip] == dk
+        # Base entries the delta overrides (rewrites *and* tombstones)
+        # drop out; surviving base and live delta keys are disjoint.
+        keep_base = np.ones(base_keys.size, dtype=bool)
+        keep_base[clip[dup]] = False
+        sbk, sbv = base_keys[keep_base], base_values[keep_base]
+        sdk, sdv = dk[live], dv[live]
+        # merged position of delta entry i = (#base below it) + i.
+        pd = np.searchsorted(sbk, sdk, side="left") + np.arange(sdk.size)
+        total = sbk.size + sdk.size
+        out_k = np.empty(total, dtype=base_keys.dtype)
+        out_v = np.empty(total, dtype=base_values.dtype)
+        at_base = np.ones(total, dtype=bool)
+        at_base[pd] = False
+        out_k[at_base] = sbk
+        out_v[at_base] = sbv
+        out_k[pd] = sdk
+        out_v[pd] = sdv
+        return out_k, out_v
+
+    def merge_range(
+        self,
+        lo: int,
+        hi: int,
+        base_keys: np.ndarray,
+        base_values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge the delta's ``[lo, hi]`` slice over one base range window."""
+        dk, dv, dt = self.entries()
+        a = int(np.searchsorted(dk, lo, side="left"))
+        b = int(np.searchsorted(dk, hi, side="right"))
+        if a == b:
+            return base_keys, base_values
+        view = DeltaView.__new__(DeltaView)
+        view.runs = ()
+        view.net = 0
+        view._collapsed = (dk[a:b], dv[a:b], dt[a:b])
+        view._filter = None
+        return view.merge_items(base_keys, base_values)
+
+
+class DeltaIndex:
+    """The writer-side mutable collection of published runs.
+
+    NOT thread-safe on its own — :class:`~repro.core.epoch.EpochManager`
+    serializes mutation under its write lock and publishes run-list
+    changes under its publish lock.  Runs themselves are immutable, so a
+    :meth:`view` handed to a reader never changes underneath it.
+    """
+
+    def __init__(self, max_runs: int = DEFAULT_MAX_RUNS) -> None:
+        if max_runs < 1:
+            raise ConfigError(f"max_runs must be >= 1, got {max_runs}")
+        self.max_runs = int(max_runs)
+        self._runs: List[DeltaRun] = []
+        self._net = 0
+        self._view: Optional[DeltaView] = None
+        self.collapses = 0
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def runs(self) -> Tuple[DeltaRun, ...]:
+        return tuple(self._runs)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def size(self) -> int:
+        return sum(r.n for r in self._runs)
+
+    @property
+    def net(self) -> int:
+        return self._net
+
+    def view(self) -> Optional[DeltaView]:
+        """The current immutable view (``None`` when empty); cached until
+        the run list changes."""
+        if not self._runs:
+            return None
+        if self._view is None:
+            self._view = DeltaView(tuple(self._runs), self._net)
+        return self._view
+
+    # ------------------------------------------------------------ mutation
+
+    def append_run(self, run: DeltaRun, collapse_floor: int = 0) -> None:
+        """Publish one resolved run; collapses the tail past
+        ``collapse_floor`` (runs a drain has already pinned must keep
+        their identity, so only the undrained suffix is foldable) when
+        the run count would exceed ``max_runs``."""
+        if run.n:
+            self._runs.append(run)
+            self._net += run.net
+            self._view = None
+        suffix = len(self._runs) - collapse_floor
+        if suffix > self.max_runs:
+            tail = self._runs[collapse_floor:]
+            keys, values, tombs = _last_wins_entries(tail)
+            folded = DeltaRun(
+                keys=keys, values=values, tombstones=tombs,
+                net=sum(r.net for r in tail),
+            )
+            self._runs[collapse_floor:] = [folded]
+            self._view = None
+            self.collapses += 1
+            rec = obs.active
+            if rec.enabled:
+                rec.counter("delta.collapses")
+
+    def drop_prefix(self, count: int, drained_net: int) -> None:
+        """Remove the first ``count`` runs after a drain folded them into
+        the new base snapshot; ``drained_net`` is the key-count change the
+        base absorbed (kept consistent so ``len`` never jumps)."""
+        del self._runs[:count]
+        self._net -= int(drained_net)
+        self._view = None
+
+
+# --------------------------------------------------------------------------
+# Batch resolution
+# --------------------------------------------------------------------------
+
+_CODE_OF_KIND = _KIND_CODE
+
+
+def resolve_batch(
+    ops: Sequence[Operation],
+    exists_fn: Callable[[np.ndarray], np.ndarray],
+) -> Tuple[DeltaRun, BatchResult]:
+    """Resolve one update batch against the visible state into a delta run.
+
+    ``exists_fn(unique_keys)`` must return the visible-existence bits
+    (base snapshot overlaid with the already-published delta).  The
+    per-op semantics are the scalar reference's, replayed per key in
+    arrival order: insert fails when the key is visible, update/delete
+    fail when it is not — so the returned :class:`BatchResult` counts
+    match a synchronous flush exactly.  Keys touched by a single op are
+    resolved fully vectorized; multi-op keys (rare in real batches) fall
+    back to a per-key Python replay.
+
+    Structural counters (``split_leaves`` …) stay zero: structural work
+    is deferred to the drain and accounted there.
+    """
+    result = BatchResult()
+    n = len(ops)
+    empty = DeltaRun(
+        keys=np.empty(0, dtype=np.int64),
+        values=np.empty(0, dtype=VALUE_DTYPE),
+        tombstones=np.empty(0, dtype=bool),
+        net=0,
+    )
+    if n == 0:
+        return empty, result
+
+    with result.timer.phase("plan"):
+        code = _CODE_OF_KIND
+        kinds = np.fromiter(
+            (code[op.kind] for op in ops), dtype=np.int8, count=n
+        )
+        keys = np.fromiter((op.key for op in ops), dtype=np.int64, count=n)
+        values = np.fromiter(
+            (op.value for op in ops), dtype=VALUE_DTYPE, count=n
+        )
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        skinds = kinds[order]
+        svals = values[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sk[1:] != sk[:-1]))
+        )
+        ukeys = sk[starts]
+        counts = np.diff(np.concatenate((starts, [n])))
+        exists0 = np.asarray(exists_fn(ukeys), dtype=bool)
+
+    with result.timer.phase("apply"):
+        final_exists = exists0.copy()
+        # Zero-filled, not empty: tombstone entries never read their value
+        # but the arrays land in published runs — keep them deterministic.
+        final_vals = np.zeros(ukeys.size, dtype=VALUE_DTYPE)
+        changed = np.zeros(ukeys.size, dtype=bool)
+
+        single = counts == 1
+        if single.any():
+            si = starts[single]
+            sk1 = skinds[si]
+            sv1 = svals[si]
+            se0 = exists0[single]
+            ins = sk1 == K_INSERT
+            upd = sk1 == K_UPDATE
+            dele = sk1 == K_DELETE
+            eff_ins = ins & ~se0
+            eff_upd = upd & se0
+            eff_del = dele & se0
+            result.inserted += int(np.count_nonzero(eff_ins))
+            result.updated += int(np.count_nonzero(eff_upd))
+            result.deleted += int(np.count_nonzero(eff_del))
+            result.failed += int(
+                np.count_nonzero(ins & se0)
+                + np.count_nonzero(upd & ~se0)
+                + np.count_nonzero(dele & ~se0)
+            )
+            s_changed = eff_ins | eff_upd | eff_del
+            s_final = np.where(eff_ins, True, np.where(eff_del, False, se0))
+            changed[single] = s_changed
+            final_exists[single] = s_final
+            idx_single = np.flatnonzero(single)
+            wrote = eff_ins | eff_upd
+            final_vals[idx_single[wrote]] = sv1[wrote]
+
+        multi_groups = np.flatnonzero(~single)
+        bounds = np.concatenate((starts, [n]))
+        for g in multi_groups.tolist():
+            s, e = int(bounds[g]), int(bounds[g + 1])
+            exists = bool(exists0[g])
+            val = 0
+            group_changed = False
+            for i in range(s, e):
+                k = int(skinds[i])
+                if k == K_INSERT:
+                    if exists:
+                        result.failed += 1
+                    else:
+                        exists = True
+                        val = int(svals[i])
+                        result.inserted += 1
+                        group_changed = True
+                elif k == K_UPDATE:
+                    if exists:
+                        val = int(svals[i])
+                        result.updated += 1
+                        group_changed = True
+                    else:
+                        result.failed += 1
+                else:
+                    if exists:
+                        exists = False
+                        result.deleted += 1
+                        group_changed = True
+                    else:
+                        result.failed += 1
+            changed[g] = group_changed
+            final_exists[g] = exists
+            final_vals[g] = val
+
+        # A key that ends the batch absent *and* started it absent
+        # (insert-then-delete within one batch) is a pure no-op on the
+        # visible state — publishing a tombstone for it would be harmless
+        # but wasteful, so mask it out.
+        changed &= final_exists | exists0
+        if not changed.any():
+            return empty, result
+        out_keys = ukeys[changed]
+        out_vals = final_vals[changed]
+        out_tombs = ~final_exists[changed]
+        net = int(
+            np.count_nonzero(final_exists[changed] & ~exists0[changed])
+            - np.count_nonzero(~final_exists[changed] & exists0[changed])
+        )
+        run = DeltaRun(
+            keys=out_keys, values=out_vals, tombstones=out_tombs, net=net
+        )
+    return run, result
+
+
+__all__ = [
+    "DEFAULT_MAX_RUNS",
+    "DeltaRun",
+    "DeltaView",
+    "DeltaIndex",
+    "resolve_batch",
+]

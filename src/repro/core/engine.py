@@ -261,6 +261,7 @@ class BatchQueryEngine:
         issue_sorted: Optional[bool] = None,
         out: Optional[np.ndarray] = None,
         chunk_quantum: int = 1,
+        overlay=None,
     ) -> np.ndarray:
         """Batch point lookup; values aligned with ``queries`` as given
         (no PSA restore — use :meth:`execute_prepared` for that).
@@ -273,7 +274,12 @@ class BatchQueryEngine:
         boundaries to a multiple of the NTG cohort (§4.2): queries the
         narrowed group would serve in one warp stay in one chunk, so the
         split never severs a PSA run mid-cohort.  Results are identical
-        for any quantum.
+        for any quantum.  ``overlay`` is an optional
+        ``fn(keys, values) -> values`` post-pass applied to the finished
+        batch in place — the snapshot-epoch read path passes
+        :meth:`repro.core.delta.DeltaView.overlay_values` here, and since
+        the overlay is elementwise by key it commutes with the PSA
+        permutation.
         """
         rec = obs.active
         t_start = _clock() if rec.enabled else 0.0
@@ -318,6 +324,8 @@ class BatchQueryEngine:
                 q, self._scratch[0], values
             )
             n_chunks = 1
+        if overlay is not None:
+            overlay(q, values)
         self.last_stats = EngineStats(
             nq, h, uniq, grouped, broadcast, n_chunks, issue_sorted
         )
@@ -326,7 +334,8 @@ class BatchQueryEngine:
         return values
 
     def execute_prepared(
-        self, prepared, chunk_quantum: Optional[int] = None
+        self, prepared, chunk_quantum: Optional[int] = None,
+        overlay=None,
     ) -> np.ndarray:
         """Run a :class:`~repro.core.tree.PreparedBatch` and restore the
         results to arrival order (the full §4.1 contract).
@@ -343,6 +352,7 @@ class BatchQueryEngine:
             prepared.psa.queries,
             issue_sorted=prepared.psa.issue_sorted,
             chunk_quantum=chunk_quantum,
+            overlay=overlay,
         )
         return prepared.psa.scatter_restore(issue)
 

@@ -14,22 +14,54 @@ discipline so applications do not have to hand-roll it:
 * :attr:`epoch` counts published snapshots — readers can detect staleness
   cheaply.
 
+**Concurrent mode** (``concurrent=True``) removes the stop-the-world
+flush (docs/epochs.md).  A flush no longer rebuilds the tree on the
+writer's critical path: the batch is *resolved* against the visible
+state and published as one immutable sorted run in a
+:class:`~repro.core.delta.DeltaIndex` — readers overlay the delta on the
+pinned base snapshot (snapshot-then-delta, last wins, tombstones mask),
+byte-identical to a synchronous flush.  A background drain thread folds
+accumulated runs into snapshot N+1 — small gapped deltas absorb in
+place through the existing updaters, everything else bulk-rebuilds via
+the §3.1 sorted construction — while reads continue against N; publication
+of the new base and retirement of the drained runs is a single swap
+under the publish lock, so a reader pin — ``(layout, runs)`` grabbed
+atomically — is always a consistent visible state.
+
 This is deliberately *not* a concurrent B+tree: it is the batch-update
-contract of the paper, enforced.
+contract of the paper, enforced — with the rebuild taken off the read
+path.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
+from repro.constants import KEY_MAX
 from repro.core.config import SearchConfig, UpdateConfig
+from repro.core.delta import (
+    DEFAULT_MAX_RUNS,
+    DeltaIndex,
+    DeltaView,
+    resolve_batch,
+)
+from repro.core.layout import HarmoniaLayout
+from repro.core.search import contains_batch
 from repro.core.tree import HarmoniaTree
 from repro.core.update import BatchResult, Operation
 from repro.errors import ConfigError
 from repro.utils.validation import ensure_positive
+
+#: Default delta size (entries) past which a flush schedules a background
+#: drain.  ~2 mid-size batches: small enough that the query-time overlay
+#: stays a rounding error, large enough to amortize one rebuild over
+#: several flushes.
+DEFAULT_DRAIN_THRESHOLD = 1 << 15
 
 
 class EpochManager:
@@ -40,14 +72,36 @@ class EpochManager:
         tree: HarmoniaTree,
         batch_capacity: int = 1 << 16,
         update_config: Optional[UpdateConfig] = None,
+        concurrent: bool = False,
+        max_delta_runs: int = DEFAULT_MAX_RUNS,
+        drain_threshold: Optional[int] = None,
     ) -> None:
         self._tree = tree
         self.batch_capacity = ensure_positive("batch_capacity", batch_capacity)
         self.update_config = update_config or UpdateConfig()
+        self.concurrent = bool(concurrent)
+        self.max_delta_runs = ensure_positive("max_delta_runs", max_delta_runs)
+        self.drain_threshold = ensure_positive(
+            "drain_threshold",
+            DEFAULT_DRAIN_THRESHOLD if drain_threshold is None
+            else drain_threshold,
+        )
         self._pending: List[Operation] = []
         self._write_lock = threading.Lock()  # serializes writers + flush
         self._publish_lock = threading.Lock()  # guards snapshot swap
         self._epoch = 0
+        # --- concurrent-mode state (inert when concurrent=False) ---
+        self._delta = DeltaIndex(max_runs=self.max_delta_runs)
+        #: Runs pinned by the in-flight drain (prefix of the run list);
+        #: collapse must not fold them, drop_prefix retires exactly them.
+        self._drain_mark = 0
+        self._drain_serial = threading.Lock()  # one drain at a time
+        self._drain_thread: Optional[threading.Thread] = None
+        self._drain_error: Optional[BaseException] = None
+        self._snapshot_version = 0
+        self._epoch_at_swap = 0
+        #: Completed drains (public counter, mirrors ``epoch.drains``).
+        self.drains = 0
 
     # ---------------------------------------------------------------- reads
 
@@ -55,12 +109,38 @@ class EpochManager:
     def epoch(self) -> int:
         return self._epoch
 
+    @property
+    def snapshot_version(self) -> int:
+        """Base-snapshot generation: bumps when a drain (or a synchronous
+        flush) swaps the layout reference.  In synchronous mode it equals
+        :attr:`epoch`."""
+        return self._snapshot_version if self.concurrent else self._epoch
+
+    @property
+    def snapshot_age(self) -> int:
+        """Published epochs the base snapshot is behind the visible state
+        (0 when the delta is fully drained) — the ``epoch.snapshot_age``
+        gauge."""
+        return self._epoch - self._epoch_at_swap if self.concurrent else 0
+
+    @property
+    def delta_size(self) -> int:
+        """Entries currently held by the delta index (0 in sync mode)."""
+        with self._publish_lock:
+            return self._delta.size
+
+    @property
+    def delta_runs(self) -> int:
+        """Published runs currently in the delta index."""
+        with self._publish_lock:
+            return self._delta.n_runs
+
     def pending_operations(self) -> int:
         with self._write_lock:
             return len(self._pending)
 
     def occupancy(self) -> float:
-        """Leaf-slot occupancy of the current snapshot in ``[0, 1]``.
+        """Leaf-slot occupancy of the current *base* snapshot in ``[0, 1]``.
 
         The observable behind the gapped mode's watermark policy
         (``UpdateConfig(mode="gapped")``): in-place absorption lets
@@ -71,7 +151,11 @@ class EpochManager:
         ``update_config.gap_watermark``).  Exposed here so operators can
         watch the drift (also surfaced as the ``layout.occupancy`` obs
         gauge) without reaching into layout internals.  Returns 1.0 for
-        an empty tree (nothing to compact).
+        an empty tree (nothing to compact).  In concurrent mode this
+        reads the published base layout — delta entries occupy no leaf
+        slots until a drain folds them in, and compaction only ever runs
+        inside a drain's shadow rebuild, never on a snapshot a reader
+        still holds.
         """
         with self._publish_lock:
             layout = self._tree._layout
@@ -95,12 +179,17 @@ class EpochManager:
 
     def _snapshot(self) -> HarmoniaTree:
         # The tree's layout reference is swapped atomically under the
-        # publish lock; pinning = grabbing the current layout object.
+        # publish lock; pinning = grabbing the current layout object —
+        # and, in concurrent mode, the current delta view in the same
+        # critical section, so (base, delta) is one consistent state.
         with self._publish_lock:
             layout = self._tree._layout
             fill = self._tree._fill
+            view = self._delta.view() if self.concurrent else None
         pinned = HarmoniaTree(layout, fill=fill,
                               search_config=self._tree.search_config)
+        if view is not None:
+            pinned.delta = view
         return pinned
 
     def search(self, key: int) -> Optional[int]:
@@ -117,6 +206,13 @@ class EpochManager:
         """Engine-path batched lookup against the pinned snapshot."""
         return self._snapshot().search_many(queries, config)
 
+    def search_stream(
+        self, queries: Sequence[int], config: Optional[SearchConfig] = None
+    ) -> np.ndarray:
+        """Streaming-executor lookup against the pinned snapshot (the
+        delta overlay, when present, streams batch by batch too)."""
+        return self._snapshot().search_stream(queries, config)
+
     def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
         return self._snapshot().range_search(lo, hi)
 
@@ -126,9 +222,14 @@ class EpochManager:
         """Batch of range scans, all against one pinned snapshot."""
         return self._snapshot().range_search_batch(los, his)
 
+    def dump_items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The visible sorted contents as ``(keys, values)`` arrays —
+        base snapshot merged with any undrained delta (checkpoint /
+        rebalance path; equals ``iter_leaf_items`` in sync mode)."""
+        return self._snapshot()._merged_items()
+
     def __len__(self) -> int:
-        with self._publish_lock:
-            return len(self._tree)
+        return len(self._snapshot())
 
     # --------------------------------------------------------------- writes
 
@@ -158,13 +259,17 @@ class EpochManager:
 
     def flush(self) -> Optional[BatchResult]:
         """Apply all pending operations as one batch and publish the new
-        snapshot.  No-op (returns ``None``) when nothing is pending."""
+        snapshot (sync mode) or the new delta run (concurrent mode).
+        No-op (returns ``None``) when nothing is pending."""
+        self._raise_drain_error()
         with self._write_lock:
             if not self._pending:
                 return None
             return self._flush_locked()
 
     def _flush_locked(self) -> BatchResult:
+        if self.concurrent:
+            return self._flush_concurrent_locked()
         ops = self._pending
         self._pending = []
         # Snapshot isolation: readers keep querying their pinned (old)
@@ -189,5 +294,232 @@ class EpochManager:
             self._epoch += 1
         return result
 
+    # ------------------------------------------------- concurrent flush path
 
-__all__ = ["EpochManager"]
+    def _visible_exists_fn(self, layout, view):
+        """Existence probe over one pinned (base, delta) state."""
+
+        def exists_fn(ukeys: np.ndarray) -> np.ndarray:
+            if layout is None:
+                exists = np.zeros(ukeys.size, dtype=bool)
+            else:
+                exists = np.asarray(contains_batch(layout, ukeys), dtype=bool)
+            if view is not None:
+                view.overlay_exists(ukeys, exists)
+            return exists
+
+        return exists_fn
+
+    def _flush_concurrent_locked(self) -> BatchResult:
+        t0 = time.perf_counter()
+        ops = self._pending
+        self._pending = []
+        with self._publish_lock:
+            layout = self._tree._layout
+            view = self._delta.view()
+        # Resolution needs only existence bits of the visible state: an
+        # op's outcome depends solely on its key's same-batch history plus
+        # whether the key is visible now.  Counts therefore match the
+        # synchronous flush exactly (structural counters accrue at drain).
+        run, result = resolve_batch(
+            ops, self._visible_exists_fn(layout, view)
+        )
+        with self._publish_lock:
+            self._delta.append_run(run, collapse_floor=self._drain_mark)
+            self._epoch += 1
+            if not self._delta.n_runs:
+                # Nothing undrained (e.g. every op failed): the base
+                # already IS the visible state, don't age the snapshot.
+                self._epoch_at_swap = self._epoch
+            size = self._delta.size
+            n_runs = self._delta.n_runs
+        rec = obs.active
+        if rec.enabled:
+            t1 = time.perf_counter()
+            rec.counter("epoch.flushes")
+            rec.gauge("delta.size", size)
+            rec.gauge("delta.runs", n_runs)
+            rec.gauge("epoch.snapshot_age", self.snapshot_age)
+            rec.span_at("epoch.publish", t0, t1, cat="epoch",
+                        ops=len(ops), delta=size)
+        if size >= self.drain_threshold:
+            self._start_drain()
+        return result
+
+    # ---------------------------------------------------------------- drain
+
+    def _start_drain(self) -> None:
+        """Kick the background drain thread (no-op if one is running)."""
+        t = self._drain_thread
+        if t is not None and t.is_alive():
+            return
+        t = threading.Thread(
+            target=self._drain_worker, daemon=True, name="epoch-drain"
+        )
+        self._drain_thread = t
+        t.start()
+
+    def _drain_worker(self) -> None:
+        try:
+            self._drain_once()
+        except BaseException as exc:  # surfaced on next flush()/sync()
+            self._drain_error = exc
+
+    def _drain_once(self) -> bool:
+        """Fold every currently-published run into a fresh base snapshot.
+
+        Returns whether anything was drained.  Runs that arrive while the
+        shadow rebuild is in flight stay in the delta (they sit after the
+        drain mark) and remain visible through the overlay — the final
+        publish step swaps the base and retires exactly the drained
+        prefix in one critical section.
+        """
+        with self._drain_serial:
+            with self._publish_lock:
+                runs = self._delta.runs
+                mark = len(runs)
+                if mark == 0:
+                    return False
+                self._drain_mark = mark
+                epoch_at_mark = self._epoch
+                layout = self._tree._layout
+                fill = self._tree._fill
+            t0 = time.perf_counter()
+            try:
+                view = DeltaView(runs, 0)
+                dk, dv, dt = view.entries()
+                n_base = layout.n_keys if layout is not None else 0
+                # Two fold strategies.  Gapped mode with a small delta
+                # drains through the in-place absorber — per-leaf slack
+                # makes that O(d), far below a rebuild.  Every other case
+                # (vectorized/scalar modes, bootstrap, or a delta that
+                # grew comparable to the base) bulk-rebuilds from the
+                # merged sorted contents: the movement pass of the
+                # updaters is O(n) regardless, so above a small delta
+                # the §3.1 bulk construction is strictly cheaper than
+                # replaying per-op.
+                incremental = (
+                    self.update_config.mode == "gapped"
+                    and layout is not None
+                    and dk.size * 4 < n_base
+                )
+                if incremental:
+                    base_has = contains_batch(layout, dk)
+                    # Net ops vs the base: every one succeeds by
+                    # construction (existence was checked at resolution).
+                    ops: List[Operation] = []
+                    for k, v, tomb, has in zip(
+                        dk.tolist(), dv.tolist(), dt.tolist(),
+                        base_has.tolist(),
+                    ):
+                        if tomb:
+                            if has:
+                                ops.append(Operation("delete", k))
+                        elif has:
+                            ops.append(Operation("update", k, v))
+                        else:
+                            ops.append(Operation("insert", k, v))
+                    # The gapped updater never mutates its input layout.
+                    shadow = HarmoniaTree(
+                        layout, fill=fill,
+                        search_config=self._tree.search_config,
+                    )
+                    shadow._empty_fanout = self._tree._empty_fanout
+                    if ops:
+                        shadow.apply_batch(ops, self.update_config)
+                    new_layout = shadow._layout
+                else:
+                    if layout is None:
+                        base_k = np.empty(0, dtype=np.int64)
+                        base_v = np.empty(0, dtype=base_k.dtype)
+                    else:
+                        # Contiguous copies straight off the leaf block
+                        # (iter_leaf_items stacks into strided columns,
+                        # which would slow every downstream pass).
+                        lk = layout.key_region[layout.leaf_start:].ravel()
+                        live = lk != KEY_MAX
+                        base_k = lk[live]
+                        base_v = layout.leaf_values.ravel()[live]
+                    new_k, new_v = view.merge_items(base_k, base_v)
+                    if new_k.size:
+                        fanout = (layout.fanout if layout is not None
+                                  else self._tree._empty_fanout)
+                        new_layout = HarmoniaLayout.from_sorted(
+                            new_k, new_v, fanout=fanout, fill=fill,
+                        )
+                    else:
+                        new_layout = None
+                with self._publish_lock:
+                    old_n = layout.n_keys if layout is not None else 0
+                    new_n = (
+                        new_layout.n_keys if new_layout is not None else 0
+                    )
+                    self._tree._layout = new_layout
+                    self._delta.drop_prefix(mark, new_n - old_n)
+                    self._drain_mark = 0
+                    self._snapshot_version += 1
+                    # Runs published after the mark are still undrained:
+                    # the base is current only up to the marked epoch.
+                    self._epoch_at_swap = max(
+                        self._epoch_at_swap, epoch_at_mark
+                    )
+                    self.drains += 1
+            except BaseException:
+                with self._publish_lock:
+                    self._drain_mark = 0
+                raise
+        rec = obs.active
+        if rec.enabled:
+            t1 = time.perf_counter()
+            rec.counter("epoch.drains")
+            rec.counter("epoch.drained_ops", int(dk.size))
+            rec.gauge("delta.size", self.delta_size)
+            rec.gauge("delta.runs", self.delta_runs)
+            rec.gauge("epoch.snapshot_age", self.snapshot_age)
+            rec.span_at("epoch.drain", t0, t1, cat="epoch",
+                        entries=int(dk.size), runs=mark)
+        return True
+
+    def _raise_drain_error(self) -> None:
+        exc = self._drain_error
+        if exc is not None:
+            self._drain_error = None
+            raise exc
+
+    @property
+    def drain_running(self) -> bool:
+        t = self._drain_thread
+        return t is not None and t.is_alive()
+
+    def drain(self, wait: bool = True) -> None:
+        """Fold the published delta into a fresh base snapshot.
+
+        ``wait=True`` (default) drains on the calling thread until the
+        delta is empty; ``wait=False`` just schedules the background
+        drain.  No-op in synchronous mode.
+        """
+        if not self.concurrent:
+            return
+        if not wait:
+            self._start_drain()
+            return
+        t = self._drain_thread
+        if t is not None and t.is_alive():
+            t.join()
+        self._raise_drain_error()
+        while self._drain_once():
+            pass
+
+    def sync(self) -> None:
+        """Flush pending operations and drain the delta completely — the
+        point where concurrent mode's visible state and base snapshot
+        coincide (benchmark epilogues, checkpoints, shutdown)."""
+        self.flush()
+        self.drain(wait=True)
+
+    def close(self) -> None:
+        """Finish background work (drains the delta in concurrent mode)."""
+        self.sync()
+
+
+__all__ = ["EpochManager", "DEFAULT_DRAIN_THRESHOLD"]

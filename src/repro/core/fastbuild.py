@@ -16,7 +16,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.btree.bulk import _chunk_sizes
 from repro.constants import (
     DEFAULT_FANOUT,
     INDEX_DTYPE,
@@ -28,6 +27,32 @@ from repro.constants import (
 from repro.core.layout import HarmoniaLayout
 from repro.errors import ConfigError, EmptyTreeError
 from repro.utils.validation import ensure_fanout, ensure_sorted_unique
+
+
+def _chunk_sizes_fast(
+    n: int, target: int, minimum: int, maximum: int
+) -> np.ndarray:
+    """Closed form of :func:`repro.btree.bulk._chunk_sizes`.
+
+    The greedy loop takes ``target`` exactly while ``remaining >= target
+    + minimum``, then splits the tail in one or two chunks — so the
+    whole schedule is ``k`` full chunks plus an O(1) tail, no Python
+    loop over the (possibly tens of thousands of) chunks.  Byte
+    equality with the loop is pinned by tests.
+    """
+    if n <= 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if n < 2 * minimum:
+        return np.asarray([n], dtype=INDEX_DTYPE)
+    k = max(0, (n - minimum) // target)
+    tail = n - k * target
+    sizes = np.full(k + 2, target, dtype=INDEX_DTYPE)
+    if tail <= maximum:
+        sizes[k] = tail
+        return sizes[: k + 1]
+    sizes[k] = tail - minimum
+    sizes[k + 1] = minimum
+    return sizes
 
 
 def _fill_rows(
@@ -43,15 +68,29 @@ def _fill_rows(
     ``skip_first=1`` drops each chunk's first element (internal nodes store
     the minima of children 1..k-1; child 0's minimum is the separator held
     by an ancestor).
+
+    All chunks except the rebalanced tail share one size, so the bulk of
+    the packing is a single reshaped copy; only the tail rows go through
+    the general gather.
     """
     n_rows = sizes.size
     out = np.full((n_rows, slots), pad, dtype=dtype)
-    take = sizes - skip_first
-    offsets = np.cumsum(sizes) - sizes + skip_first
-    col = np.arange(slots)
-    mask = col[None, :] < take[:, None]
-    src = offsets[:, None] + col[None, :]
-    out[mask] = flat[src[mask]]
+    if n_rows == 0:
+        return out
+    u = int(sizes[0])
+    nz = np.flatnonzero(sizes != u)
+    k = int(nz[0]) if nz.size else n_rows
+    if k:
+        out[:k, : u - skip_first] = flat[: k * u].reshape(k, u)[
+            :, skip_first:
+        ]
+    if k < n_rows:
+        take = sizes[k:] - skip_first
+        offsets = np.cumsum(sizes) - sizes + skip_first
+        col = np.arange(slots)
+        mask = col[None, :] < take[:, None]
+        src = offsets[k:, None] + col[None, :]
+        out[k:][mask] = flat[src[mask]]
     return out
 
 
@@ -82,9 +121,7 @@ def build_layout_fast(
     leaf_target = max(min_leaf, min(slots, round(fill * slots)))
     internal_target = max(min_children, min(fanout, round(fill * fanout)))
 
-    leaf_sizes = np.asarray(
-        _chunk_sizes(karr.size, leaf_target, min_leaf, slots), dtype=INDEX_DTYPE
-    )
+    leaf_sizes = _chunk_sizes_fast(karr.size, leaf_target, min_leaf, slots)
     leaf_keys = _fill_rows(karr, leaf_sizes, slots, KEY_MAX, KEY_DTYPE)
     leaf_values = _fill_rows(varr, leaf_sizes, slots, NOT_FOUND, VALUE_DTYPE)
 
@@ -96,9 +133,8 @@ def build_layout_fast(
     mins = leaf_keys[:, 0].copy()
     while levels_keys[-1].shape[0] > 1:
         child_count = levels_keys[-1].shape[0]
-        sizes = np.asarray(
-            _chunk_sizes(child_count, internal_target, min_children, fanout),
-            dtype=INDEX_DTYPE,
+        sizes = _chunk_sizes_fast(
+            child_count, internal_target, min_children, fanout
         )
         levels_keys.append(
             _fill_rows(mins, sizes, slots, KEY_MAX, KEY_DTYPE, skip_first=1)

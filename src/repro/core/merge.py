@@ -73,16 +73,28 @@ def merge_layouts(
 
 def concat_sorted_runs(
     runs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    policy: str = "disjoint",
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Join ordered, disjoint sorted ``(keys, values)`` runs end to end.
+    """Merge ordered sorted ``(keys, values)`` runs into one sorted run.
 
-    The degenerate — and, for contiguous key-range shards, exact — merge:
-    when run ``i``'s keys all precede run ``i + 1``'s, sorted union *is*
+    ``policy="disjoint"`` (default) joins end to end and *requires* run
+    ``i``'s keys to all precede run ``i + 1``'s — the degenerate and, for
+    contiguous key-range shards, exact merge: sorted union *is*
     concatenation.  This is how the sharded service tier stitches global
     range scans and rebalance dumps back together (each shard owns a
     contiguous key range, and shard order is key order), so the check is
     asserted, not assumed.
+
+    ``policy="last_wins"`` allows runs to overlap and to repeat keys:
+    each run must itself be sorted with unique keys, and on a key held by
+    several runs the *latest* run's value wins.  This is the delta-index
+    merge rule — newer upsert/tombstone runs overlay older ones — and is
+    what :class:`repro.core.delta.DeltaIndex` collapses its runs with.
     """
+    if policy not in ("disjoint", "last_wins"):
+        raise ConfigError(
+            f"policy must be 'disjoint'|'last_wins', got {policy!r}"
+        )
     parts = [(np.asarray(k), np.asarray(v)) for k, v in runs]
     for k, v in parts:
         if k.shape != v.shape:
@@ -93,12 +105,34 @@ def concat_sorted_runs(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=VALUE_DTYPE),
         )
-    for (ka, _), (kb, _) in zip(parts, parts[1:]):
-        if ka[-1] >= kb[0]:
-            raise ConfigError(
-                "runs must be disjoint and ascending: "
-                f"{int(ka[-1])} >= {int(kb[0])}"
-            )
+    if policy == "last_wins":
+        for k, _ in parts:
+            if k.size > 1 and not np.all(k[1:] > k[:-1]):
+                raise ConfigError(
+                    "last_wins runs must each be sorted with unique keys"
+                )
+        disjoint = all(
+            ka[-1] < kb[0] for (ka, _), (kb, _) in zip(parts, parts[1:])
+        )
+        if not disjoint:
+            keys = np.concatenate([k for k, _ in parts])
+            values = np.concatenate([v for _, v in parts])
+            # Stable sort keeps run order among equal keys, so "last
+            # occurrence" is exactly "latest run".
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            values = values[order]
+            keep = np.empty(keys.size, dtype=bool)
+            keep[:-1] = keys[1:] != keys[:-1]
+            keep[-1] = True
+            return keys[keep], values[keep]
+    else:
+        for (ka, _), (kb, _) in zip(parts, parts[1:]):
+            if ka[-1] >= kb[0]:
+                raise ConfigError(
+                    "runs must be disjoint and ascending: "
+                    f"{int(ka[-1])} >= {int(kb[0])}"
+                )
     if len(parts) == 1:
         return parts[0]
     return (

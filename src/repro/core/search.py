@@ -209,6 +209,29 @@ def locate_leaves_bounds(
     return np.searchsorted(bounds, t, side="right") - 1
 
 
+def contains_batch(
+    layout: HarmoniaLayout, keys: Sequence[int]
+) -> np.ndarray:
+    """Vectorized membership test: ``out[i]`` is whether ``keys[i]`` is
+    stored in the layout.
+
+    Distinct from ``search_batch(...) != NOT_FOUND`` because stored
+    *values* are unconstrained int64 — a value equal to the ``NOT_FOUND``
+    sentinel must still read as present.  The concurrent epoch path
+    resolves batches against existence bits (an op's success depends only
+    on whether its key is visible), so this is its base-layer probe; one
+    routed row probe per key via the cached leaf bounds.
+    """
+    t = ensure_key_array(np.asarray(keys), "keys")
+    if t.size == 0:
+        return np.empty(0, dtype=bool)
+    leaves = locate_leaves_bounds(layout, t)
+    rows = layout.key_region[layout.leaf_start + leaves]
+    pos = _rowwise_left(rows, t)
+    pos_c = np.minimum(pos, layout.slots - 1)
+    return rows[np.arange(t.size), pos_c] == t
+
+
 def range_search_batch(
     layout: HarmoniaLayout, los: Sequence[int], his: Sequence[int]
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
@@ -258,6 +281,7 @@ __all__ = [
     "search_scalar",
     "traverse_batch",
     "search_batch",
+    "contains_batch",
     "range_search",
     "range_search_batch",
     "locate_leaves_batch",

@@ -378,6 +378,7 @@ class StreamExecutor:
             for _ in range(self.depth)
         ]
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._overlay = None  # per-run delta overlay hook (see run())
         self.last_stats: Optional[StreamStats] = None
 
     def _sort_pool(self) -> ThreadPoolExecutor:
@@ -429,13 +430,24 @@ class StreamExecutor:
 
     # --------------------------------------------------------------- running
 
-    def run(self, queries, out: Optional[np.ndarray] = None) -> np.ndarray:
+    def run(
+        self,
+        queries,
+        out: Optional[np.ndarray] = None,
+        overlay=None,
+    ) -> np.ndarray:
         """Stream ``queries`` through the pipeline; returns values aligned
         with the input order (absent keys map to ``NOT_FOUND``).
 
         ``out`` optionally supplies the full result buffer (shape
         ``(len(queries),)``, value dtype); it is written in full.
+        ``overlay`` is an optional ``fn(keys, values)`` post-pass run on
+        each batch's issued slice before delivery (the snapshot-epoch
+        delta overlay — elementwise by key, so applying it in issue order
+        before the scatter equals applying it after the restore); the
+        stream never buffers the whole result, so the overlay streams too.
         """
+        self._overlay = overlay
         q = ensure_key_array(np.asarray(queries), "queries")
         n = q.size
         if out is None:
@@ -521,7 +533,7 @@ class StreamExecutor:
         issued = self._issued[bi % self.depth][:bn]
         values = self._values[bi % self.depth][:bn]
         tr_s = _clock()
-        self.engine.execute(issued, out=values)
+        self.engine.execute(issued, out=values, overlay=self._overlay)
         tr_e = _clock()
         view = out[s:e]
         if order is None:

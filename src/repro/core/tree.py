@@ -36,7 +36,6 @@ from repro.core.ntg import (
 )
 from repro.core.psa import PSABatch, identity_batch, prepare_batch
 from repro.core.search import (
-    range_search as _range_search,
     range_search_batch as _range_search_batch,
     search_batch as _search_batch,
     search_scalar,
@@ -121,6 +120,12 @@ class HarmoniaTree:
     _empty_fanout: int = DEFAULT_FANOUT
     #: Cached frontier-compaction engine (rebound on snapshot replacement).
     _engine: Optional[BatchQueryEngine] = None
+    #: Optional pinned :class:`~repro.core.delta.DeltaView` overlay.  Set
+    #: by :meth:`~repro.core.epoch.EpochManager._snapshot` in concurrent
+    #: mode: every read path consults snapshot-then-delta (last wins,
+    #: tombstones mask to NOT_FOUND).  A tree carrying a delta is a
+    #: read-only view — :meth:`apply_batch` refuses it.
+    delta = None
     # NTG selections live in the module-level
     # :data:`repro.core.ntg.selection_cache` LRU (weakref-validated, keyed
     # by layout identity), so they are shared across tree facades over the
@@ -143,7 +148,8 @@ class HarmoniaTree:
         return self._layout.height if self._layout is not None else 0
 
     def __len__(self) -> int:
-        return self._layout.n_keys if self._layout is not None else 0
+        base = self._layout.n_keys if self._layout is not None else 0
+        return base + (self.delta.net if self.delta is not None else 0)
 
     def __contains__(self, key: int) -> bool:
         return self.search(key) is not None
@@ -152,9 +158,15 @@ class HarmoniaTree:
 
     def search(self, key: int) -> Optional[int]:
         """Single-key lookup (CPU scalar path)."""
+        key = ensure_scalar_key(key)
+        if self.delta is not None:
+            hit = self.delta.lookup(key)
+            if hit is not None:
+                tombstoned, value = hit
+                return None if tombstoned else value
         if self._layout is None:
             return None
-        return search_scalar(self._layout, ensure_scalar_key(key))
+        return search_scalar(self._layout, key)
 
     def prepare_queries(
         self, queries: Sequence[int], config: Optional[SearchConfig] = None
@@ -232,11 +244,17 @@ class HarmoniaTree:
         cfg = config or self.search_config
         q = ensure_key_array(np.asarray(queries), "queries")
         if self._layout is None:
-            return np.full(q.size, NOT_FOUND, dtype=np.int64)
+            out = np.full(q.size, NOT_FOUND, dtype=np.int64)
+            if self.delta is not None:
+                self.delta.overlay_values(q, out)
+            return out
         with obs.scoped(cfg.trace):
             prepared = self.prepare_queries(q, cfg)
             results = _search_batch(self._layout, prepared.queries)
-            return results[prepared.psa.restore]
+            out = results[prepared.psa.restore]
+            if self.delta is not None:
+                self.delta.overlay_values(q, out)
+            return out
 
     def engine(self, config: Optional[SearchConfig] = None) -> BatchQueryEngine:
         """The frontier-compaction engine bound to the current snapshot.
@@ -277,14 +295,25 @@ class HarmoniaTree:
         """
         cfg = config or self.search_config
         q = ensure_key_array(np.asarray(queries), "queries")
+        overlay = (
+            self.delta.overlay_values if self.delta is not None else None
+        )
         if self._layout is None:
-            return np.full(q.size, NOT_FOUND, dtype=np.int64)
+            out = np.full(q.size, NOT_FOUND, dtype=np.int64)
+            if overlay is not None:
+                overlay(q, out)
+            return out
         with obs.scoped(cfg.trace):
             prepared = self.prepare_queries(q, cfg)
             if cfg.engine == "compacted":
-                return self.engine(cfg).execute_prepared(prepared)
+                return self.engine(cfg).execute_prepared(
+                    prepared, overlay=overlay
+                )
             results = _search_batch(self._layout, prepared.queries)
-            return prepared.psa.scatter_restore(results)
+            out = prepared.psa.scatter_restore(results)
+            if overlay is not None:
+                overlay(q, out)
+            return out
 
     @property
     def last_engine_stats(self) -> Optional[EngineStats]:
@@ -313,13 +342,19 @@ class HarmoniaTree:
 
         cfg = config or self.search_config
         q = ensure_key_array(np.asarray(queries), "queries")
+        overlay = (
+            self.delta.overlay_values if self.delta is not None else None
+        )
         if self._layout is None:
-            return np.full(q.size, NOT_FOUND, dtype=np.int64)
+            out = np.full(q.size, NOT_FOUND, dtype=np.int64)
+            if overlay is not None:
+                overlay(q, out)
+            return out
         executor = StreamExecutor.from_config(
             self._layout, cfg, share_from=self.engine(cfg)
         )
         with obs.scoped(cfg.trace):
-            out = executor.run(q)
+            out = executor.run(q, overlay=overlay)
         self._last_stream_stats = executor.last_stats
         return out
 
@@ -333,24 +368,34 @@ class HarmoniaTree:
 
     def range_search(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
         """All pairs with ``lo <= key <= hi`` (keys ascending)."""
-        if self._layout is None:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        return _range_search(self._layout, lo, hi)
+        out = self.range_search_batch([lo], [hi])
+        return out[0]
 
     def range_search_batch(
         self, los: Sequence[int], his: Sequence[int]
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Batch of range scans: one vectorized leaf-location pass for all
         bounds, then per-query contiguous block slices (list of
-        ``(keys, values)`` pairs aligned with the inputs)."""
+        ``(keys, values)`` pairs aligned with the inputs).  With a pinned
+        delta overlay each window is merged with the delta's slice of the
+        same bounds (last wins, tombstones dropped)."""
+        lo_arr = ensure_key_array(np.asarray(los), "los")
+        hi_arr = ensure_key_array(np.asarray(his), "his")
+        if lo_arr.shape != hi_arr.shape:
+            raise ValueError("los and his must align")
         if self._layout is None:
-            lo_arr = ensure_key_array(np.asarray(los), "los")
-            hi_arr = ensure_key_array(np.asarray(his), "his")
-            if lo_arr.shape != hi_arr.shape:
-                raise ValueError("los and his must align")
-            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-            return [empty] * lo_arr.size
-        return _range_search_batch(self._layout, los, his)
+            empty_k = np.empty(0, dtype=np.int64)
+            empty_v = np.empty(0, dtype=np.int64)
+            base = [(empty_k, empty_v)] * lo_arr.size
+        else:
+            base = _range_search_batch(self._layout, lo_arr, hi_arr)
+        if self.delta is None:
+            return base
+        return [
+            self.delta.merge_range(int(lo_arr[i]), int(hi_arr[i]), bk, bv)
+            if lo_arr[i] <= hi_arr[i] else (bk, bv)
+            for i, (bk, bv) in enumerate(base)
+        ]
 
     def items(self, start: Optional[int] = None):
         """Lazy cursor over ``(key, value)`` pairs in key order.
@@ -359,7 +404,17 @@ class HarmoniaTree:
         Iterates leaf row by leaf row over the contiguous leaf block, so a
         partial scan touches only the rows it crosses.  The snapshot is
         pinned at call time (later batches do not affect a live cursor).
+        With a pinned delta overlay the merged visible contents are
+        materialized up front (correctness over laziness on that path).
         """
+        if self.delta is not None:
+            keys, values = self._merged_items()
+            if start is not None:
+                first = int(np.searchsorted(keys, start, side="left"))
+                keys, values = keys[first:], values[first:]
+            for k, v in zip(keys.tolist(), values.tolist()):
+                yield k, v
+            return
         layout = self._layout
         if layout is None:
             return
@@ -389,6 +444,23 @@ class HarmoniaTree:
         for key, _ in self.items(start):
             yield key
 
+    def _merged_items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Visible sorted ``(keys, values)`` arrays: base leaf items
+        overlaid with the pinned delta (last wins, tombstones dropped)."""
+        if self._layout is None:
+            base_k = np.empty(0, dtype=np.int64)
+            base_v = np.empty(0, dtype=np.int64)
+        else:
+            pairs = self._layout.iter_leaf_items()
+            if pairs.size:
+                base_k, base_v = pairs[:, 0], pairs[:, 1]
+            else:
+                base_k = np.empty(0, dtype=np.int64)
+                base_v = np.empty(0, dtype=np.int64)
+        if self.delta is None:
+            return base_k, base_v
+        return self.delta.merge_items(base_k, base_v)
+
     # --------------------------------------------------------------- updates
 
     def apply_batch(
@@ -412,6 +484,13 @@ class HarmoniaTree:
         :class:`~repro.core.config.UpdateConfig`).
         """
         cfg = config or UpdateConfig()
+        if self.delta is not None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "this tree is a pinned snapshot+delta read view; apply "
+                "updates through its EpochManager, not the view"
+            )
         if self._layout is None:
             return self._bootstrap_batch(ops)
 

@@ -99,6 +99,19 @@ def render_report(snapshot: Dict[str, Any]) -> str:
         derived.append(f"  movement reuse:                 "
                        f"{moved / (moved + rebuilt):.1%} of leaf rows moved "
                        f"verbatim ({moved:,} kept / {rebuilt:,} rebuilt)")
+    flushes = counters.get("epoch.flushes")
+    if flushes:
+        drains = counters.get("epoch.drains", 0)
+        derived.append(f"  epoch flush amortization:       {_fmt(flushes)} "
+                       f"flushes folded by {_fmt(drains)} drains "
+                       f"({flushes / max(drains, 1):.1f} flushes/rebuild)")
+    dsize = gauges.get("delta.size")
+    if dsize is not None:
+        druns = gauges.get("delta.runs", 0)
+        age = gauges.get("epoch.snapshot_age", 0)
+        derived.append(f"  delta residue:                  {_fmt(dsize)} "
+                       f"entries in {_fmt(druns)} runs; base snapshot "
+                       f"{_fmt(age)} epochs behind")
     if derived:
         lines.append("")
         lines.append("-- derived (paper figures) --")

@@ -210,6 +210,29 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("layout.compaction_pending", "gauge", "ratio",
                "fraction of leaves in the gapped compaction set "
                "(underflowed or packed full) after the last batch"),
+    # ------------------------------------------------------- epoch / delta
+    MetricSpec("epoch.flushes", "counter", "flushes",
+               "concurrent-mode flushes: batches resolved and published as "
+               "delta runs (no rebuild on the writer's path)"),
+    MetricSpec("epoch.drains", "counter", "drains",
+               "background drains: delta runs folded into a fresh base "
+               "snapshot"),
+    MetricSpec("epoch.drained_ops", "counter", "entries",
+               "net delta entries folded into the base across all drains"),
+    MetricSpec("delta.collapses", "counter", "collapses",
+               "delta run-collapse events (runs folded last-wins once the "
+               "undrained suffix exceeds max_runs)"),
+    MetricSpec("delta.overlay_keys", "counter", "keys",
+               "point-lookup keys passed through the snapshot-then-delta "
+               "overlay"),
+    MetricSpec("delta.size", "gauge", "entries",
+               "entries currently held by the delta index (after the last "
+               "flush/drain)"),
+    MetricSpec("delta.runs", "gauge", "runs",
+               "published sorted runs currently in the delta index"),
+    MetricSpec("epoch.snapshot_age", "gauge", "epochs",
+               "published epochs the base snapshot trails the visible state "
+               "(0 = fully drained)"),
     # ------------------------------------------------------------- shard
     MetricSpec("shard.batches", "counter", "batches",
                "query/update batches routed by the ShardedTree front-end"),
@@ -256,6 +279,12 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("update.movement", "span", "-",
                "update movement stage: leaf plan + block rebuild of the "
                "regions"),
+    MetricSpec("delta.overlay", "span", "-",
+               "snapshot-then-delta overlay pass of one lookup batch"),
+    MetricSpec("epoch.publish", "span", "-",
+               "concurrent flush: batch resolution + delta-run publication"),
+    MetricSpec("epoch.drain", "span", "-",
+               "one background drain: shadow rebuild + base swap"),
     MetricSpec("shard.scatter", "span", "-",
                "routing pass of one sharded batch (searchsorted + stable "
                "grouping)"),

@@ -120,10 +120,16 @@ class ShardedTree:
         search_config: Optional[SearchConfig] = None,
         update_config: Optional[UpdateConfig] = None,
         capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        concurrent: bool = False,
     ) -> None:
         self.partitioner = partitioner
         self.fanout = fanout
         self.fill = fill
+        #: Workers run their epoch managers in concurrent (snapshot+delta)
+        #: mode: an apply publishes a delta run instead of rebuilding on
+        #: the request path; background drains fold the delta between
+        #: batches.  Results are identical either way (docs/epochs.md).
+        self.concurrent = bool(concurrent)
         # Workers run their own recording (or none): the trace knob is a
         # per-process registry reference that cannot cross the boundary.
         cfg = search_config or SearchConfig()
@@ -152,6 +158,7 @@ class ShardedTree:
         search_config: Optional[SearchConfig] = None,
         update_config: Optional[UpdateConfig] = None,
         capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        concurrent: bool = False,
     ) -> "ShardedTree":
         """Bulk-build: quantile-partition sorted ``keys`` and load one
         contiguous slice per worker."""
@@ -166,6 +173,7 @@ class ShardedTree:
         tree = cls(
             part, fanout=fanout, fill=fill, search_config=search_config,
             update_config=update_config, capacity_bytes=capacity_bytes,
+            concurrent=concurrent,
         )
         bounds = np.searchsorted(
             part.boundaries, karr, side="left"
@@ -187,7 +195,7 @@ class ShardedTree:
         proc = mp.Process(
             target=worker_main,
             args=(worker_side, self.fanout, self.fill,
-                  self.search_config, self.update_config),
+                  self.search_config, self.update_config, self.concurrent),
             daemon=True,
             name=f"harmonia-shard-{index}",
         )

@@ -68,11 +68,13 @@ class _WorkerState:
         fill: float,
         search_config: Optional[SearchConfig],
         update_config: Optional[UpdateConfig],
+        concurrent: bool = False,
     ) -> None:
         self.fanout = fanout
         self.fill = fill
         self.search_config = search_config or SearchConfig()
         self.update_config = update_config or UpdateConfig()
+        self.concurrent = concurrent
         self.manager = self._manager_for(None, None)
 
     def _manager_for(self, keys, values) -> EpochManager:
@@ -87,9 +89,13 @@ class _WorkerState:
                 search_config=self.search_config,
             )
         # One epoch per router batch: the router flushes explicitly, so
-        # the capacity only needs to stay above any single batch.
+        # the capacity only needs to stay above any single batch.  In
+        # concurrent mode the flush publishes a delta run instead of
+        # rebuilding; the manager's background drain folds runs into the
+        # base between router batches.
         return EpochManager(
-            tree, batch_capacity=1 << 62, update_config=self.update_config
+            tree, batch_capacity=1 << 62, update_config=self.update_config,
+            concurrent=self.concurrent,
         )
 
     def load(self, keys: np.ndarray, values: np.ndarray) -> None:
@@ -102,9 +108,10 @@ def worker_main(
     fill: float,
     search_config: Optional[SearchConfig] = None,
     update_config: Optional[UpdateConfig] = None,
+    concurrent: bool = False,
 ) -> None:
     """Process entry point: serve requests until ``stop`` (or EOF)."""
-    state = _WorkerState(fanout, fill, search_config, update_config)
+    state = _WorkerState(fanout, fill, search_config, update_config, concurrent)
     conn = channel
 
     while True:
@@ -163,13 +170,9 @@ def worker_main(
 
         elif cmd == "dump":
             mgr = state.manager
-            tree = mgr._snapshot()
-            if tree._layout is None:
-                keys = np.empty(0, dtype=np.int64)
-                values = np.empty(0, dtype=VALUE_DTYPE)
-            else:
-                items = tree.layout.iter_leaf_items()
-                keys, values = items[:, 0], items[:, 1]
+            # Merged visible contents: base snapshot plus any undrained
+            # delta (identical to iter_leaf_items in synchronous mode).
+            keys, values = mgr.dump_items()
             conn.send("dumped", mgr.epoch)
             conn.send_array(np.ascontiguousarray(keys))
             conn.send_array(np.ascontiguousarray(values))

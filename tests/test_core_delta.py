@@ -1,0 +1,316 @@
+"""The mergeable delta index and its last-wins merge primitive.
+
+Three layers of contract, each hypothesis-pinned against a dict model:
+
+* :func:`repro.core.merge.concat_sorted_runs` with ``policy="last_wins"``
+  — newest run wins per key, with duplicates across runs, empty runs,
+  and the disjoint fast path all covered (the ``"disjoint"`` default
+  keeps its reject-on-overlap behavior, pinned in ``test_shard.py``);
+* :class:`repro.core.delta.DeltaView` overlays (point, existence, merge,
+  range) — last-wins over runs, tombstones mask base entries;
+* :func:`repro.core.delta.resolve_batch` — per-op outcomes and counts
+  identical to the scalar replay reference, with the published run equal
+  to the batch's net effect.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NOT_FOUND, VALUE_DTYPE
+from repro.core.delta import (
+    DeltaIndex,
+    DeltaRun,
+    DeltaView,
+    resolve_batch,
+)
+from repro.core.merge import concat_sorted_runs
+from repro.core.update import Operation
+from repro.errors import ConfigError
+
+
+def make_run(entries):
+    """``{key: (value, tombstoned)}`` → DeltaRun (net computed as 0)."""
+    keys = np.asarray(sorted(entries), dtype=np.int64)
+    values = np.asarray([entries[k][0] for k in keys.tolist()],
+                        dtype=VALUE_DTYPE)
+    tombs = np.asarray([entries[k][1] for k in keys.tolist()], dtype=bool)
+    return DeltaRun(keys=keys, values=values, tombstones=tombs, net=0)
+
+
+# --------------------------------------------------------------------------
+# concat_sorted_runs: last-wins policy (satellite 1)
+# --------------------------------------------------------------------------
+
+run_strategy = st.lists(
+    st.tuples(st.integers(0, 60), st.integers(-5, 5)), max_size=12,
+).map(lambda pairs: dict(pairs))
+
+
+class TestConcatLastWins:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            concat_sorted_runs([], policy="newest")
+
+    def test_rejects_unsorted_run(self):
+        run = (np.asarray([3, 1], dtype=np.int64),
+               np.asarray([0, 0], dtype=VALUE_DTYPE))
+        with pytest.raises(ConfigError):
+            concat_sorted_runs([run], policy="last_wins")
+
+    def test_rejects_duplicate_within_run(self):
+        run = (np.asarray([1, 1], dtype=np.int64),
+               np.asarray([0, 1], dtype=VALUE_DTYPE))
+        with pytest.raises(ConfigError):
+            concat_sorted_runs([run], policy="last_wins")
+
+    def test_overlap_keeps_newest(self):
+        a = (np.asarray([1, 2, 3], dtype=np.int64),
+             np.asarray([10, 20, 30], dtype=VALUE_DTYPE))
+        b = (np.asarray([2, 4], dtype=np.int64),
+             np.asarray([99, 40], dtype=VALUE_DTYPE))
+        keys, values = concat_sorted_runs([a, b], policy="last_wins")
+        assert keys.tolist() == [1, 2, 3, 4]
+        assert values.tolist() == [10, 99, 30, 40]
+
+    def test_disjoint_default_still_rejects_overlap(self):
+        a = (np.asarray([1, 5], dtype=np.int64),
+             np.asarray([0, 0], dtype=VALUE_DTYPE))
+        b = (np.asarray([5, 9], dtype=np.int64),
+             np.asarray([0, 0], dtype=VALUE_DTYPE))
+        with pytest.raises(ConfigError):
+            concat_sorted_runs([a, b])
+        keys, _ = concat_sorted_runs([a, b], policy="last_wins")
+        assert keys.tolist() == [1, 5, 9]
+
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(runs=st.lists(run_strategy, max_size=6))
+    def test_matches_dict_model(self, runs):
+        """Later runs overwrite earlier ones, exactly like dict.update —
+        with empty runs, full overlaps, and disjoint runs all mixed in."""
+        parts = []
+        for entries in runs:
+            keys = np.asarray(sorted(entries), dtype=np.int64)
+            vals = np.asarray([entries[k] for k in keys.tolist()],
+                              dtype=VALUE_DTYPE)
+            parts.append((keys, vals))
+        model = {}
+        for entries in runs:
+            model.update(entries)
+        keys, values = concat_sorted_runs(parts, policy="last_wins")
+        assert keys.tolist() == sorted(model)
+        assert values.tolist() == [model[k] for k in sorted(model)]
+        assert keys.dtype == np.int64 and values.dtype == VALUE_DTYPE
+
+
+# --------------------------------------------------------------------------
+# DeltaView overlays
+# --------------------------------------------------------------------------
+
+entries_strategy = st.dictionaries(
+    st.integers(0, 50),
+    st.tuples(st.integers(-100, 100), st.booleans()),
+    max_size=10,
+)
+
+
+def model_of(base, runs):
+    """Visible state as a dict: base overlaid by runs oldest→newest."""
+    model = dict(base)
+    for entries in runs:
+        for k, (v, tomb) in entries.items():
+            if tomb:
+                model.pop(k, None)
+            else:
+                model[k] = v
+    return model
+
+
+class TestDeltaView:
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        base=st.dictionaries(st.integers(0, 50), st.integers(-100, 100),
+                             max_size=20),
+        runs=st.lists(entries_strategy, min_size=1, max_size=5),
+        probes=st.lists(st.integers(0, 60), max_size=20),
+    )
+    def test_overlays_match_model(self, base, runs, probes):
+        view = DeltaView(tuple(make_run(r) for r in runs), net=0)
+        model = model_of(base, runs)
+        q = np.asarray(probes, dtype=np.int64)
+
+        # overlay_values: start from base lookups; the newest run touching
+        # a key decides it, keys no run touched keep their base answer.
+        out = np.asarray(
+            [base.get(k, NOT_FOUND) for k in probes], dtype=VALUE_DTYPE
+        )
+        view.overlay_values(q, out)
+        assert out.tolist() == [model.get(k, NOT_FOUND) for k in probes]
+
+        exists = np.asarray([k in base for k in probes], dtype=bool)
+        view.overlay_exists(q, exists)
+        assert exists.tolist() == [k in model for k in probes]
+
+        for k in probes:
+            hit = view.lookup(k)
+            touched = any(k in r for r in runs)
+            if not touched:
+                assert hit is None
+            else:
+                tomb, value = hit
+                # Newest run touching k decides: tombstoned keys are
+                # absent from the merged state regardless of base.
+                assert tomb == (k not in model_of({k: 123}, runs))
+                if not tomb:
+                    assert value == model[k]
+
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        base=st.dictionaries(st.integers(0, 50), st.integers(-100, 100),
+                             max_size=20),
+        runs=st.lists(entries_strategy, min_size=1, max_size=5),
+        lo=st.integers(0, 55),
+        span=st.integers(0, 30),
+    )
+    def test_merge_items_and_range(self, base, runs, lo, span):
+        view = DeltaView(tuple(make_run(r) for r in runs), net=0)
+        model = model_of(base, runs)
+        bk = np.asarray(sorted(base), dtype=np.int64)
+        bv = np.asarray([base[k] for k in sorted(base)], dtype=VALUE_DTYPE)
+
+        keys, values = view.merge_items(bk, bv)
+        assert keys.tolist() == sorted(model)
+        assert values.tolist() == [model[k] for k in sorted(model)]
+
+        hi = lo + span
+        in_r = [k for k in sorted(model) if lo <= k <= hi]
+        rbk_mask = (bk >= lo) & (bk <= hi)
+        rkeys, rvalues = view.merge_range(lo, hi, bk[rbk_mask], bv[rbk_mask])
+        assert rkeys.tolist() == in_r
+        assert rvalues.tolist() == [model[k] for k in in_r]
+
+    def test_tombstone_value_equal_to_sentinel_reads_absent(self):
+        # A *stored* value equal to NOT_FOUND must read back as NOT_FOUND
+        # via overlay (indistinguishable in the array API), but existence
+        # must still say present — the reason contains_batch exists.
+        run = DeltaRun(
+            keys=np.asarray([7], dtype=np.int64),
+            values=np.asarray([NOT_FOUND], dtype=VALUE_DTYPE),
+            tombstones=np.asarray([False]),
+            net=1,
+        )
+        view = DeltaView((run,), net=1)
+        exists = np.asarray([False])
+        view.overlay_exists(np.asarray([7], dtype=np.int64), exists)
+        assert exists[0]
+
+
+class TestDeltaIndex:
+    def test_collapse_respects_floor(self):
+        idx = DeltaIndex(max_runs=2)
+        for i in range(6):
+            idx.append_run(make_run({i: (i, False)}), collapse_floor=3)
+        # Runs 0-2 are pinned by the floor (an in-flight drain); only the
+        # suffix collapses.
+        assert idx.n_runs == 3 + 1
+        assert idx.collapses >= 1
+        keys, values, tombs = idx.view().entries()
+        assert keys.tolist() == list(range(6))
+
+    def test_drop_prefix(self):
+        idx = DeltaIndex(max_runs=100)
+        for i in range(4):
+            idx.append_run(DeltaRun(
+                keys=np.asarray([i], dtype=np.int64),
+                values=np.asarray([i], dtype=VALUE_DTYPE),
+                tombstones=np.asarray([False]),
+                net=1,
+            ))
+        assert idx.size == 4 and idx.net == 4
+        idx.drop_prefix(3, drained_net=3)
+        assert idx.n_runs == 1 and idx.net == 1
+        assert idx.view().entries()[0].tolist() == [3]
+
+    def test_empty_view_is_none(self):
+        idx = DeltaIndex()
+        assert idx.view() is None
+        idx.append_run(make_run({}))  # empty run is dropped
+        assert idx.view() is None and idx.n_runs == 0
+
+
+# --------------------------------------------------------------------------
+# resolve_batch vs the scalar replay model
+# --------------------------------------------------------------------------
+
+op_strategy = st.tuples(
+    st.sampled_from(["insert", "update", "delete"]),
+    st.integers(0, 40),
+    st.integers(-50, 50),
+)
+
+
+class TestResolveBatch:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        visible=st.dictionaries(st.integers(0, 40), st.integers(-50, 50),
+                                max_size=15),
+        raw_ops=st.lists(op_strategy, max_size=60),
+    )
+    def test_matches_scalar_replay(self, visible, raw_ops):
+        ops = [Operation(kind, key, val) for kind, key, val in raw_ops]
+
+        def exists_fn(ukeys):
+            return np.asarray([k in visible for k in ukeys.tolist()])
+
+        run, result = resolve_batch(ops, exists_fn)
+
+        # Scalar reference: replay against a dict of the visible state.
+        state = dict(visible)
+        ins = upd = dele = fail = 0
+        for op in ops:
+            if op.kind == "insert":
+                if op.key in state:
+                    fail += 1
+                else:
+                    state[op.key] = op.value
+                    ins += 1
+            elif op.kind == "update":
+                if op.key in state:
+                    state[op.key] = op.value
+                    upd += 1
+                else:
+                    fail += 1
+            else:
+                if op.key in state:
+                    del state[op.key]
+                    dele += 1
+                else:
+                    fail += 1
+        assert (result.inserted, result.updated,
+                result.deleted, result.failed) == (ins, upd, dele, fail)
+        # Structural counters defer to the drain.
+        assert result.split_leaves == 0 and result.underflow_leaves == 0
+
+        # The run is the batch's net effect on its touched keys.
+        assert np.all(run.keys[1:] > run.keys[:-1]) if run.n > 1 else True
+        for k, v, tomb in zip(run.keys.tolist(), run.values.tolist(),
+                              run.tombstones.tolist()):
+            if tomb:
+                assert k in visible and k not in state
+            else:
+                assert state[k] == v
+        # Untouched-by-the-run keys are unchanged vs visible.
+        touched = set(run.keys.tolist())
+        for k in set(visible) | set(state):
+            if k not in touched:
+                assert visible.get(k) == state.get(k)
+        assert run.net == len(state) - len(visible)
+
+    def test_empty_batch(self):
+        run, result = resolve_batch([], lambda u: np.zeros(u.size, bool))
+        assert run.n == 0 and result.n_effective == 0

@@ -6,10 +6,34 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.btree.bulk import bulk_load
-from repro.core.fastbuild import build_layout_fast
+from repro.btree.bulk import _chunk_sizes, bulk_load
+from repro.core.fastbuild import _chunk_sizes_fast, build_layout_fast
 from repro.core.layout import HarmoniaLayout
 from repro.errors import ConfigError, EmptyTreeError
+
+
+class TestChunkSizesFast:
+    @settings(max_examples=300, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n=st.integers(0, 100_000),
+        fanout=st.integers(3, 128),
+        fill=st.floats(0.01, 1.0),
+    )
+    def test_matches_loop(self, n, fanout, fill):
+        """The closed form reproduces the greedy loop exactly — over the
+        same (target, minimum, maximum) space build_layout_fast uses for
+        leaves and internal levels."""
+        slots = fanout - 1
+        for minimum, maximum in (
+            ((slots + 1) // 2, slots),          # leaf chunking
+            ((fanout + 1) // 2, fanout),        # internal chunking
+        ):
+            target = max(minimum, min(maximum, round(fill * maximum)))
+            assert (
+                _chunk_sizes_fast(n, target, minimum, maximum).tolist()
+                == _chunk_sizes(n, target, minimum, maximum)
+            )
 
 
 def via_objects(keys, values, fanout, fill):

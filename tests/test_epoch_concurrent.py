@@ -1,0 +1,345 @@
+"""Concurrent epochs: snapshot + delta reads ≡ synchronous flushes.
+
+The contract the concurrent mode ships under (docs/epochs.md): for any
+sequence of update batches, every read path — point (``search`` /
+``search_batch`` / ``search_many`` / ``search_stream``), range
+(``range_search_batch``), full iteration (``dump_items``), ``len`` —
+through a concurrent :class:`EpochManager` is byte-identical to the same
+reads through a synchronously-flushed one, with identical per-op
+accounting, *at every point* of the interleaving: before any drain,
+after partial drains, and with the background drain racing the writers.
+Hypothesis pins the contract; directed tests cover snapshot immutability
+under gapped compaction (a drain must never mutate a layout a reader
+still pins) and the sharded service running the same protocol.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import UpdateConfig
+from repro.core.epoch import EpochManager
+from repro.core.tree import HarmoniaTree
+from repro.core.update import Operation
+from repro.errors import ConfigError
+
+
+def make_pair(n_keys, fanout, fill, mode, **kw):
+    """Identical trees under a sync and a concurrent manager."""
+    keys = np.arange(0, n_keys * 2, 2, dtype=np.int64)
+
+    def build():
+        if n_keys == 0:
+            return HarmoniaTree.empty(fanout=fanout, fill=fill)
+        return HarmoniaTree.from_sorted(keys, keys * 3, fanout=fanout,
+                                        fill=fill)
+
+    cfg = UpdateConfig(mode=mode)
+    sync = EpochManager(build(), update_config=cfg)
+    conc = EpochManager(build(), update_config=cfg, concurrent=True,
+                        drain_threshold=kw.pop("drain_threshold", 10 ** 9),
+                        **kw)
+    return sync, conc
+
+
+def assert_same_reads(sync, conc, probes, lo, hi):
+    assert np.array_equal(sync.search_batch(probes),
+                          conc.search_batch(probes))
+    assert np.array_equal(sync.search_many(probes),
+                          conc.search_many(probes))
+    assert np.array_equal(sync.search_stream(probes),
+                          conc.search_stream(probes))
+    (ka, va), (kb, vb) = sync.range_search(lo, hi), conc.range_search(lo, hi)
+    assert np.array_equal(ka, kb) and np.array_equal(va, vb)
+    ka, va = sync.dump_items()
+    kb, vb = conc.dump_items()
+    assert np.array_equal(ka, kb) and np.array_equal(va, vb)
+    assert len(sync) == len(conc)
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["insert", "update", "delete"]),
+    st.integers(0, 400),
+)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n_keys=st.integers(0, 150),
+        fanout=st.sampled_from([4, 8, 16]),
+        mode=st.sampled_from(["vectorized", "gapped"]),
+        max_runs=st.sampled_from([1, 2, 8]),
+        batches=st.lists(
+            st.tuples(st.lists(op_strategy, max_size=40), st.booleans()),
+            max_size=6,
+        ),
+    )
+    def test_interleaved_batches_and_drains(self, n_keys, fanout, mode,
+                                            max_runs, batches):
+        """Random batches with drains injected at random boundaries; every
+        read path must agree with the synchronous reference throughout
+        (tombstones over the base, inserts over tombstones, collapsed
+        runs — the whole lifecycle)."""
+        sync, conc = make_pair(n_keys, fanout, 0.8, mode,
+                               max_delta_runs=max_runs)
+        probes = np.arange(0, 420, 3, dtype=np.int64)
+        for raw_ops, drain_after in batches:
+            ops = [Operation(kind, key, key * 10 + 1)
+                   for kind, key in raw_ops]
+            sync.submit_many(ops)
+            rs = sync.flush()
+            conc.submit_many(ops)
+            rc = conc.flush()
+            if rs is None or rc is None:
+                assert rs is None and rc is None
+            else:
+                for field in ("inserted", "updated", "deleted", "failed"):
+                    assert getattr(rs, field) == getattr(rc, field), field
+            if drain_after:
+                conc.drain(wait=True)
+                assert conc.delta_size == 0
+            assert_same_reads(sync, conc, probes, 10, 390)
+        conc.sync()
+        assert_same_reads(sync, conc, probes, 10, 390)
+        assert conc.snapshot_age == 0
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 2 ** 31 - 1),
+        mode=st.sampled_from(["vectorized", "gapped", "scalar"]),
+    )
+    def test_background_drain_races_writers(self, seed, mode):
+        """Tiny drain threshold: the background thread keeps folding runs
+        while flushes land; visible state never diverges."""
+        rng = np.random.default_rng(seed)
+        sync, conc = make_pair(100, 8, 0.8, mode, drain_threshold=16,
+                               max_delta_runs=2)
+        for r in range(6):
+            raw = rng.integers(0, 400, size=30)
+            kinds = rng.choice(["insert", "update", "delete"], size=30)
+            ops = [Operation(str(k), int(key), int(key) + r)
+                   for k, key in zip(kinds, raw)]
+            sync.submit_many(ops)
+            sync.flush()
+            conc.submit_many(ops)
+            conc.flush()
+            probes = rng.integers(0, 450, size=200).astype(np.int64)
+            assert np.array_equal(sync.search_batch(probes),
+                                  conc.search_batch(probes))
+        conc.sync()
+        probes = np.arange(0, 450, dtype=np.int64)
+        assert_same_reads(sync, conc, probes, 0, 449)
+
+
+class TestConcurrentBasics:
+    def test_flush_publishes_immediately_drain_later(self):
+        _, conc = make_pair(50, 8, 1.0, "vectorized")
+        base_version = conc.snapshot_version
+        conc.submit(Operation("insert", 1, 11))
+        conc.flush()
+        # Visible at once, but the base snapshot has not been rebuilt.
+        assert conc.search(1) == 11
+        assert conc.snapshot_version == base_version
+        assert conc.delta_size == 1 and conc.snapshot_age == 1
+        conc.drain(wait=True)
+        assert conc.snapshot_version == base_version + 1
+        assert conc.delta_size == 0 and conc.snapshot_age == 0
+        assert conc.search(1) == 11
+
+    def test_bootstrap_from_empty(self):
+        conc = EpochManager(HarmoniaTree.empty(fanout=8), concurrent=True)
+        conc.submit_many([Operation("insert", k, k) for k in range(50)])
+        conc.flush()
+        assert len(conc) == 50 and conc.search(25) == 25
+        conc.drain(wait=True)
+        assert len(conc) == 50 and conc.search(25) == 25
+        conc._tree.check_invariants()
+
+    def test_pinned_view_survives_flush_and_drain(self):
+        _, conc = make_pair(100, 8, 1.0, "vectorized")
+        snap = conc._snapshot()
+        conc.submit(Operation("delete", 20))
+        conc.flush()
+        assert conc.search(20) is None
+        assert snap.search(20) == 60  # pinned: value = key * 3
+        conc.drain(wait=True)
+        assert conc.search(20) is None
+        assert snap.search(20) == 60
+
+    def test_pinned_snapshot_rejects_writes(self):
+        _, conc = make_pair(50, 8, 1.0, "vectorized")
+        conc.submit(Operation("insert", 1, 1))
+        conc.flush()
+        snap = conc._snapshot()
+        assert snap.delta is not None
+        with pytest.raises(ConfigError):
+            snap.apply_batch([Operation("insert", 3, 3)])
+
+    def test_run_collapse_under_cap(self):
+        _, conc = make_pair(50, 8, 1.0, "vectorized", max_delta_runs=2)
+        for i in range(8):
+            conc.submit(Operation("insert", 1001 + 2 * i, i))
+            conc.flush()
+        assert conc.delta_runs <= 3  # cap + the in-flight append
+        assert conc._delta.collapses >= 1
+        assert len(conc) == 58
+
+    def test_drain_error_surfaces_on_flush(self):
+        _, conc = make_pair(50, 8, 1.0, "vectorized")
+        conc._drain_error = RuntimeError("boom")
+        conc.submit(Operation("insert", 1, 1))
+        with pytest.raises(RuntimeError):
+            conc.flush()
+        # One-shot: the error is consumed, the manager keeps working.
+        conc.flush()
+        assert conc.search(1) == 1
+
+    def test_sync_mode_unaffected(self):
+        em, _ = make_pair(100, 8, 1.0, "vectorized")
+        em.submit(Operation("insert", 1, 1))
+        em.flush()
+        assert em.delta_size == 0 and em.delta_runs == 0
+        assert em.snapshot_version == em.epoch
+        em.drain(wait=True)  # no-op
+        em.sync()
+
+
+class TestGappedCompactionIsolation:
+    """Satellite: occupancy / compaction_pending vs the snapshot swap.
+
+    Gapped-mode compaction must never touch a layout a reader still
+    holds: the drain rebuilds into a shadow and publishes by swap, so a
+    pinned snapshot's arrays are bit-frozen even when the drain's batch
+    triggers a full compaction epoch.
+    """
+
+    @staticmethod
+    def gapped_manager():
+        keys = np.arange(0, 400, 2, dtype=np.int64)
+        tree = HarmoniaTree.from_sorted(keys, keys * 3, fanout=8, fill=0.6)
+        cfg = UpdateConfig(mode="gapped", occupancy_low=0.5,
+                           gap_watermark=0.2)
+        return EpochManager(tree, update_config=cfg, concurrent=True,
+                            drain_threshold=10 ** 9), keys
+
+    def test_pinned_layout_frozen_across_compacting_drain(self):
+        conc, keys = self.gapped_manager()
+        snap = conc._snapshot()
+        frozen_keys = snap._layout.key_region.copy()
+        frozen_vals = snap._layout.leaf_values.copy()
+        # Delete enough to sink occupancy below the watermark, then some
+        # churn so the drain's gapped batch runs a compaction epoch.
+        conc.submit_many([Operation("delete", int(k)) for k in keys[::2]])
+        conc.flush()
+        conc.submit_many(
+            [Operation("insert", int(k) + 1, 7) for k in keys[:40]]
+        )
+        conc.flush()
+        occ_before = conc.occupancy()
+        conc.drain(wait=True)
+        # The base swap changed what occupancy()/compaction_pending()
+        # observe...
+        assert conc.occupancy() != occ_before or conc.compaction_pending() == 0.0
+        assert 0.0 <= conc.compaction_pending() <= 1.0
+        # ...but the pinned snapshot's arrays never moved.
+        assert np.array_equal(snap._layout.key_region, frozen_keys)
+        assert np.array_equal(snap._layout.leaf_values, frozen_vals)
+        # And the pinned view still answers from its epoch.
+        assert snap.search(int(keys[0])) == int(keys[0]) * 3
+
+    def test_occupancy_reads_published_base(self):
+        conc, keys = self.gapped_manager()
+        occ0 = conc.occupancy()
+        conc.submit_many([Operation("delete", int(k)) for k in keys[:100]])
+        conc.flush()
+        # Deletes live in the delta: the base layout — and therefore the
+        # occupancy observable — is untouched until the drain.
+        assert conc.occupancy() == occ0
+        base_before = conc._tree._layout
+        conc.drain(wait=True)
+        # The swap changed which layout the observables read (the drain's
+        # gapped batch may have compacted back to the same fill, so the
+        # *value* is not required to move — the *object* is).
+        assert conc._tree._layout is not base_before
+        assert conc.occupancy() == conc._tree._layout.occupancy()
+        assert 0.0 <= conc.compaction_pending() <= 1.0
+        assert len(conc) == 100
+
+    def test_concurrent_readers_during_background_drains(self):
+        conc, keys = self.gapped_manager()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            probes = keys[:128]
+            want = probes * 3
+            while not stop.is_set():
+                out = conc.search_batch(probes)
+                live = out != np.iinfo(np.int64).min
+                if not np.array_equal(out[live], want[live]):
+                    errors.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            victims = keys[128:]
+            for start in range(0, victims.size, 20):
+                conc.submit_many([
+                    Operation("delete", int(k))
+                    for k in victims[start:start + 20]
+                ])
+                conc.flush()
+                conc.drain(wait=False)
+            conc.sync()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not errors
+        assert len(conc) == 128
+        conc._tree.check_invariants()
+
+
+class TestShardedConcurrent:
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2 ** 31 - 1))
+    def test_sharded_tree_matches_reference(self, seed):
+        """ShardedTree(concurrent=True): worker flushes publish delta
+        runs, checkpoint dumps merge them — results identical to one
+        local tree."""
+        from repro.shard.router import ShardedTree
+
+        rng = np.random.default_rng(seed)
+        keys = np.sort(
+            rng.choice(20000, size=800, replace=False)
+        ).astype(np.int64)
+        ref = HarmoniaTree.from_sorted(keys, keys * 2, fanout=16)
+        with ShardedTree.from_sorted(keys, keys * 2, n_shards=2, fanout=16,
+                                     concurrent=True) as st_tree:
+            for r in range(3):
+                raw = rng.choice(25000, size=120, replace=False)
+                kinds = rng.choice(["insert", "update", "delete"], size=120)
+                ops = [Operation(str(k), int(key), int(key) + r)
+                       for k, key in zip(kinds, raw)]
+                a = ref.apply_batch(ops)
+                b = st_tree.apply_batch(ops)
+                assert (a.inserted, a.updated, a.deleted, a.failed) == \
+                    (b.inserted, b.updated, b.deleted, b.failed)
+                q = rng.choice(30000, size=400).astype(np.int64)
+                assert np.array_equal(ref.search_many(q),
+                                      st_tree.search_many(q))
+                ka, va = ref.range_search(10, 15000)
+                kb, vb = st_tree.range_search(10, 15000)
+                assert np.array_equal(ka, kb) and np.array_equal(va, vb)
+            assert len(st_tree) == len(ref)
+            st_tree.checkpoint()  # merged dump over the wire
+            q = rng.choice(30000, size=400).astype(np.int64)
+            assert np.array_equal(ref.search_many(q), st_tree.search_many(q))
