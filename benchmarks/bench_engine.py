@@ -153,6 +153,82 @@ def _capture_metrics(acceptance: dict, seed: int = 1234) -> dict:
     return snapshot
 
 
+def _overhead_check(acceptance: dict, previous_path: pathlib.Path,
+                    limit: float = 1.03, retries: int = 4) -> dict:
+    """Gate the always-on observability state against the prior record.
+
+    The flight recorder is live from import and tracing guards sit on
+    every request path, so the *default* state (flight-on, tracing-off)
+    must not tax the acceptance point: ``compacted_s`` has to stay
+    within ``limit`` of the committed ``BENCH_engine.json``'s — in
+    absolute seconds, or after normalizing by ``naive_s``.  The naive
+    executor carries no obs instrumentation, so it is a same-run proxy
+    for host speed: a genuinely slower/faster machine moves both
+    numbers and the normalized ratio cancels it, while a tax added only
+    to the instrumented engine path moves ``compacted_s`` alone and
+    fails both forms.  A breach is re-measured up to ``retries`` times
+    (best-of accumulates toward the quiet-machine floor) before it
+    raises, so a regression cannot ship silently inside a regenerated
+    record.
+    """
+    criterion = (
+        f"default-state compacted_s within {limit:.2f}x of the previous "
+        "record, in absolute seconds or normalized by the uninstrumented "
+        "naive control"
+    )
+    try:
+        previous = json.loads(previous_path.read_text())
+        prev_row = next(
+            r for r in previous["rows"]
+            if r["tree_log2"] == acceptance["tree_log2"]
+            and r["batch_log2"] == acceptance["batch_log2"]
+        )
+        prev_comp = float(prev_row["compacted_s"])
+        prev_naive = float(prev_row["naive_s"])
+    except (OSError, json.JSONDecodeError, KeyError, StopIteration):
+        return {
+            "criterion": criterion,
+            "ok": True,
+            "note": "no previous record to gate against",
+        }
+    best_comp = float(acceptance["compacted_s"])
+    best_naive = float(acceptance["naive_s"])
+
+    def ok():
+        abs_ok = best_comp <= prev_comp * limit
+        norm_ok = (best_comp / best_naive) <= \
+            (prev_comp / prev_naive) * limit
+        return abs_ok or norm_ok
+
+    attempts = 0
+    while not ok() and attempts < retries:
+        attempts += 1
+        remeasured = measure(
+            acceptance["tree_log2"], acceptance["batch_log2"]
+        )
+        best_comp = min(best_comp, float(remeasured["compacted_s"]))
+        best_naive = min(best_naive, float(remeasured["naive_s"]))
+    check = {
+        "criterion": criterion,
+        "previous_compacted_s": prev_comp,
+        "new_compacted_s": best_comp,
+        "ratio": round(best_comp / prev_comp, 4),
+        "normalized_ratio": round(
+            (best_comp / best_naive) / (prev_comp / prev_naive), 4
+        ),
+        "remeasured": attempts,
+        "ok": ok(),
+    }
+    if not check["ok"]:
+        raise AssertionError(
+            "observability default-state overhead gate failed: "
+            f"compacted_s {best_comp:.6f}s vs previous {prev_comp:.6f}s "
+            f"(abs {check['ratio']:.2%}, normalized "
+            f"{check['normalized_ratio']:.2%}, limit {limit:.0%})"
+        )
+    return check
+
+
 def main(out_path: str = None) -> dict:
     rows = []
     for tree_log2 in (18, 20):
@@ -160,6 +236,9 @@ def main(out_path: str = None) -> dict:
             rows.append(measure(tree_log2, batch_log2))
     acceptance = next(
         r for r in rows if r["tree_log2"] == 20 and r["batch_log2"] == 16
+    )
+    path = pathlib.Path(
+        out_path or pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
     )
     record = {
         "bench": "engine",
@@ -169,15 +248,14 @@ def main(out_path: str = None) -> dict:
             "speedup": acceptance["speedup_compacted"],
             "ok": acceptance["speedup_compacted"] >= 3.0,
         },
+        "overhead_check": _overhead_check(acceptance, path),
         "rows": rows,
         "metrics": _capture_metrics(acceptance),
     }
-    path = pathlib.Path(
-        out_path or pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
-    )
     path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {path}")
     print(json.dumps(record["acceptance"], indent=2))
+    print(json.dumps(record["overhead_check"], indent=2))
     return record
 
 

@@ -161,7 +161,16 @@ def _routing_overhead(tree_log2: int, batch_log2: int, n_shards: int,
         end - start for name, _, start, end, *_ in spans
         if name in ("shard.scatter", "shard.gather")
     )
-    return {"route_s": round(route_s, 6), "snapshot": snapshot}
+    # Recording also turns tracing on, so the snapshot carries the merged
+    # ``shard[i].*`` worker metrics and one process lane per worker.
+    counters = snapshot.get("counters", {})
+    tracing = {
+        "process_lanes": 1 + len(rec.remote_processes()),
+        "requests": int(counters.get("trace.requests", 0)),
+        "spans_merged": int(counters.get("trace.spans_merged", 0)),
+    }
+    return {"route_s": round(route_s, 6), "snapshot": snapshot,
+            "tracing": tracing}
 
 
 def main(out_path: str = None, smoke: bool = False) -> dict:
@@ -223,6 +232,7 @@ def main(out_path: str = None, smoke: bool = False) -> dict:
             ),
             "projection_applies": cpu_count < 4,
         },
+        "tracing": overhead["tracing"],
         "metrics": overhead["snapshot"],
     }
     path = pathlib.Path(

@@ -8,9 +8,12 @@ shell.
     harmonia-tool stats  index.npz
     harmonia-tool simulate index.npz --queries 65536 --device k80
     harmonia-tool obs record --out obs/       # recorded run + trace + report
+    harmonia-tool obs record --shards 2       # + traced sharded requests
     harmonia-tool obs report obs/snapshot.json
     harmonia-tool obs diff A.json B.json      # counter/gauge deltas
     harmonia-tool obs validate obs/snapshot.json
+    harmonia-tool obs flight                  # list flight-recorder dumps
+    harmonia-tool obs flight DUMP.json        # render one dump
 
 (The figure-regeneration CLI is separate: ``harmonia-experiments``.)
 """
@@ -140,6 +143,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     """Demo run of the sharded service tier: build, serve a mixed
     search/update workload across worker processes, report per-shard
     stats (and per-batch skew/rebalance when asked)."""
+    import os
     import time
 
     from repro.shard import ShardedTree
@@ -152,8 +156,19 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     print(f"sharding {keys.size} keys across {args.shards} workers "
           f"(batch {args.batch} queries + {n_ops} ops, "
           f"{args.batches} rounds)")
-    with ShardedTree.from_sorted(keys, n_shards=args.shards,
-                                 fanout=args.fanout) as st:
+    import contextlib
+
+    import repro.obs as obs
+    from repro.obs.export import write_chrome_trace, write_snapshot
+    from repro.obs.schema import validate_snapshot
+
+    # --trace-out wraps the whole run in a recording: the router mints
+    # trace ids, worker registries merge back, and the merged snapshot +
+    # multi-process Chrome trace land in the given directory.
+    recording = obs.recording() if args.trace_out else contextlib.nullcontext()
+    with recording as rec, \
+            ShardedTree.from_sorted(keys, n_shards=args.shards,
+                                    fanout=args.fanout) as st:
         t0 = time.perf_counter()
         for _ in range(args.batches):
             st.search_many(uniform_queries(keys, args.batch, rng=rng))
@@ -174,6 +189,21 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             print(f"  shard {row['shard']}: {row['n_keys']} keys, "
                   f"epoch {row['epoch']}, restarts {row['restarts']}, "
                   f"range ({lo}, {hi}]")
+        if args.trace_out:
+            snapshot = rec.snapshot()
+            os.makedirs(args.trace_out, exist_ok=True)
+            snap_path = write_snapshot(
+                snapshot, os.path.join(args.trace_out, "snapshot.json")
+            )
+            trace_path = write_chrome_trace(
+                rec, os.path.join(args.trace_out, "trace.json")
+            )
+            print(f"snapshot: {snap_path}")
+            print(f"chrome trace: {trace_path} "
+                  f"({len(rec.remote_processes()) + 1} process lanes)")
+            for p in validate_snapshot(snapshot):
+                print(f"harmonia-tool: obs: {p}", file=sys.stderr)
+                return 1
     return 0
 
 
@@ -212,6 +242,16 @@ def _cmd_obs_record(args: argparse.Namespace) -> int:
         simulate_harmonia_search(
             tree.layout, prep.queries, prep.group_size, device=device
         )
+        if args.shards:
+            # One traced sharded batch: the recording makes the router
+            # mint trace ids, so worker spans merge back and the Chrome
+            # trace grows one process lane per worker.
+            from repro.shard import ShardedTree
+
+            with ShardedTree.from_sorted(
+                keys, n_shards=args.shards, fanout=args.fanout
+            ) as st:
+                st.search_many(queries[: 1 << 12])
 
     snapshot = rec.snapshot()
     problems = validate_snapshot(snapshot)
@@ -243,6 +283,67 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
 
     print(render_diff(load_metrics(args.a), load_metrics(args.b),
                       label_a=args.a, label_b=args.b), end="")
+    return 0
+
+
+def _cmd_obs_flight(args: argparse.Namespace) -> int:
+    """Inspect the always-on flight recorder.
+
+    With a dump file: render it (identity, latency percentiles, the most
+    recent events).  Without: list the dumps in the flight directory
+    (``$HARMONIA_FLIGHT_DIR``, default: the system temp dir) — that is
+    where crashed shard workers leave their rings.
+    """
+    import glob
+    import json
+    import os
+
+    from repro.obs.flight import flight_dir
+
+    if args.dump is None:
+        d = flight_dir()
+        if d is None:
+            print("flight dumps disabled (HARMONIA_FLIGHT_DIR is empty)")
+            return 0
+        found = sorted(glob.glob(os.path.join(d, "harmonia-flight-*.json")))
+        if not found:
+            print(f"no flight dumps in {d}")
+            return 0
+        for path in found:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"{path}: unreadable ({exc})")
+                continue
+            print(f"{path}: pid {data.get('pid')} "
+                  f"reason={data.get('reason')!r} "
+                  f"events={data.get('events_recorded')} "
+                  f"dropped={data.get('dropped')}")
+        return 0
+
+    with open(args.dump, encoding="utf-8") as fh:
+        data = json.load(fh)
+    print(f"== flight dump: {args.dump} ==")
+    print(f"pid {data.get('pid')}  reason={data.get('reason')!r}  "
+          f"capacity {data.get('capacity')}  "
+          f"recorded {data.get('events_recorded')}  "
+          f"dropped {data.get('dropped')}")
+    latency = data.get("latency", {})
+    if latency:
+        print("-- latency (s) --")
+        for op, row in latency.items():
+            print(f"  {op:<20} n={row.get('count'):<8} "
+                  f"p50={row.get('p50_s'):.6g} "
+                  f"p95={row.get('p95_s'):.6g} "
+                  f"p99={row.get('p99_s'):.6g}")
+    events = data.get("events", [])
+    tail = events[-args.tail:] if args.tail else events
+    if tail:
+        print(f"-- last {len(tail)} events --")
+        for e in tail:
+            print(f"  #{e.get('seq'):<8} {e.get('kind'):<12} "
+                  f"{e.get('detail')}")
     return 0
 
 
@@ -313,6 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
     sh.add_argument("--fanout", type=int, default=64)
     sh.add_argument("--rebalance-threshold", type=float, default=1.5)
     sh.add_argument("--seed", type=int, default=0)
+    sh.add_argument("--trace-out", default=None,
+                    help="record the run with cross-process tracing and "
+                         "write snapshot.json + trace.json here")
     sh.set_defaults(func=_cmd_shard)
 
     o = sub.add_parser(
@@ -331,6 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
     orec.add_argument("--queries", type=int, default=1 << 16)
     orec.add_argument("--fanout", type=int, default=32)
     orec.add_argument("--seed", type=int, default=0)
+    orec.add_argument("--shards", type=int, default=0,
+                      help="also run one traced batch through an N-shard "
+                           "service (adds per-worker process lanes)")
     orec.set_defaults(func=_cmd_obs_record)
 
     orep = osub.add_parser("report", help="render a snapshot as text")
@@ -349,6 +456,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     oval.add_argument("snapshot")
     oval.set_defaults(func=_cmd_obs_validate)
+
+    ofl = osub.add_parser(
+        "flight",
+        help="list flight-recorder dumps, or render one dump file",
+    )
+    ofl.add_argument("dump", nargs="?", default=None,
+                     help="a dump file to render (default: list the "
+                          "flight directory)")
+    ofl.add_argument("--tail", type=int, default=20,
+                     help="events to show from the end (default: 20)")
+    ofl.set_defaults(func=_cmd_obs_flight)
     return parser
 
 

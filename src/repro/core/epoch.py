@@ -324,7 +324,9 @@ class EpochManager:
         run, result = resolve_batch(
             ops, self._visible_exists_fn(layout, view)
         )
+        w0 = time.perf_counter()
         with self._publish_lock:
+            publish_wait = time.perf_counter() - w0
             self._delta.append_run(run, collapse_floor=self._drain_mark)
             self._epoch += 1
             if not self._delta.n_runs:
@@ -340,6 +342,7 @@ class EpochManager:
             rec.gauge("delta.size", size)
             rec.gauge("delta.runs", n_runs)
             rec.gauge("epoch.snapshot_age", self.snapshot_age)
+            rec.histogram("epoch.publish_wait_s", publish_wait)
             rec.span_at("epoch.publish", t0, t1, cat="epoch",
                         ops=len(ops), delta=size)
         if size >= self.drain_threshold:
@@ -385,6 +388,7 @@ class EpochManager:
                 layout = self._tree._layout
                 fill = self._tree._fill
             t0 = time.perf_counter()
+            publish_wait = 0.0
             try:
                 view = DeltaView(runs, 0)
                 dk, dv, dt = view.entries()
@@ -449,7 +453,9 @@ class EpochManager:
                         )
                     else:
                         new_layout = None
+                w0 = time.perf_counter()
                 with self._publish_lock:
+                    publish_wait = time.perf_counter() - w0
                     old_n = layout.n_keys if layout is not None else 0
                     new_n = (
                         new_layout.n_keys if new_layout is not None else 0
@@ -476,6 +482,7 @@ class EpochManager:
             rec.gauge("delta.size", self.delta_size)
             rec.gauge("delta.runs", self.delta_runs)
             rec.gauge("epoch.snapshot_age", self.snapshot_age)
+            rec.histogram("epoch.publish_wait_s", publish_wait)
             rec.span_at("epoch.drain", t0, t1, cat="epoch",
                         entries=int(dk.size), runs=mark)
         return True

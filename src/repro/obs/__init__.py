@@ -41,12 +41,14 @@ from repro.obs.registry import (
     NullRecorder,
     Span,
     TraceConfig,
+    bucket_quantile,
 )
 from repro.obs.schema import (
     CATALOGUE,
     SCHEMA_VERSION,
     MetricSpec,
     lookup,
+    strip_namespace,
     validate_snapshot,
 )
 
@@ -106,6 +108,10 @@ def scoped(trace: Optional[TraceConfig]) -> Iterator[None]:
         active = previous
 
 
+# Imported after ``active`` exists: both modules read it at call time.
+from repro.obs.flight import FLIGHT, FlightRecorder  # noqa: E402
+from repro.obs.trace import TraceContext  # noqa: E402
+
 __all__ = [
     "active",
     "recording",
@@ -116,9 +122,14 @@ __all__ = [
     "NULL_RECORDER",
     "Span",
     "TraceConfig",
+    "TraceContext",
+    "FLIGHT",
+    "FlightRecorder",
     "MetricSpec",
     "CATALOGUE",
     "SCHEMA_VERSION",
+    "bucket_quantile",
     "lookup",
+    "strip_namespace",
     "validate_snapshot",
 ]

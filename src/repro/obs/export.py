@@ -7,6 +7,15 @@ registry's ``t0_s``.  Thread tracks come from the registry's per-thread
 track ids — the overlapped stream executor's sort spans land on worker
 tracks while traverse/scatter stay on track 0, so §4.1.3's overlap is
 directly visible as vertically stacked, horizontally overlapping bars.
+
+Registries that merged remote payloads
+(:meth:`~repro.obs.registry.MetricsRegistry.merge_remote`) additionally
+render one process lane per worker pid: the local process keeps
+``pid 1`` (its lane layout is unchanged), each shard worker appears
+under its real OS pid with its own thread tracks, and every lane shares
+the router's clock (``perf_counter`` is system-wide on Linux) — so a
+routed request reads left-to-right as scatter → per-shard execution →
+gather across process lanes.
 """
 
 from __future__ import annotations
@@ -45,6 +54,11 @@ def chrome_trace(registry: MetricsRegistry) -> Dict[str, Any]:
         "ph": "M",
         "pid": 1,
         "args": {"name": "harmonia-repro"},
+    }, {
+        "name": "process_sort_index",
+        "ph": "M",
+        "pid": 1,
+        "args": {"sort_index": 0},
     }]
     for track in sorted(tracks):
         metadata.append({
@@ -61,6 +75,54 @@ def chrome_trace(registry: MetricsRegistry) -> Dict[str, Any]:
             "tid": track,
             "args": {"sort_index": track},
         })
+    # Remote process lanes (merged shard-worker registries).
+    for order, (pid, entry) in enumerate(
+        sorted(registry.remote_processes().items()), start=1
+    ):
+        label = entry["label"] or entry["prefix"].rstrip(".") or f"pid-{pid}"
+        remote_tracks = {0}
+        for name, cat, start_s, end_s, track, depth, args in entry["spans"]:
+            remote_tracks.add(track)
+            event = {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": (start_s - t0) * 1e6,
+                "dur": max(end_s - start_s, 0.0) * 1e6,
+                "pid": pid,
+                "tid": track,
+            }
+            if args:
+                event["args"] = {k: _jsonable(v) for k, v in args.items()}
+            events.append(event)
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": f"{label} (pid {pid})"},
+        })
+        metadata.append({
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "args": {"sort_index": order},
+        })
+        for track in sorted(remote_tracks):
+            metadata.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": track,
+                "args": {"name": "main" if track == 0
+                         else f"worker-{track}"},
+            })
+            metadata.append({
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": track,
+                "args": {"sort_index": track},
+            })
     return {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",

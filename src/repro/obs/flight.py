@@ -1,0 +1,194 @@
+"""Always-on flight recorder: a lock-light ring of recent events.
+
+The metrics registry answers *what happened during a recording*; the
+flight recorder answers *what just happened* — it is on from import,
+costs one list store per event, holds a bounded ring of the most recent
+events plus per-operation latency bucket counts, and dumps on demand
+(``harmonia-tool obs flight``) or on worker crash.
+
+**Lock-light by construction.**  The write path takes no lock: the ring
+slot store and the monotonic index bump are each atomic under the GIL,
+and the per-op latency counters are plain ``list[int]`` increments.  A
+racing pair of writers can lose one latency count or interleave ring
+slots out of order — acceptable for a diagnostic buffer, and the price
+of keeping the always-on path at tens of nanoseconds.  Reads
+(:meth:`events`, :meth:`dump`) copy the ring and re-order by the event
+sequence number, so a dump taken mid-flight is still coherent.
+
+**Crash dumps.**  ``dump_on_crash`` writes
+``harmonia-flight-<pid>.json`` into ``$HARMONIA_FLIGHT_DIR`` (default:
+the system temp dir; set it to the empty string to disable).  The shard
+worker calls it from its crash path, the router from restart handling —
+so a post-mortem of a dead worker starts with its last ~few thousand
+operations already on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.registry import bucket_quantile
+from repro.obs.schema import TIME_EDGES_S
+
+#: Environment variable naming the crash-dump directory ("" disables).
+FLIGHT_DIR_ENV = "HARMONIA_FLIGHT_DIR"
+
+#: One ring slot: (seq, wall_s, perf_s, kind, detail).
+FlightEvent = Tuple[int, float, float, str, Optional[Dict[str, Any]]]
+
+
+class FlightRecorder:
+    """Bounded ring buffer + per-op latency buckets, always on."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be > 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: List[Optional[FlightEvent]] = [None] * self.capacity
+        self._next = 0  # monotonic sequence number, never wraps
+        self._latency: Dict[str, List[int]] = {}
+        self._lat_edges = TIME_EDGES_S
+        self.started_wall_s = time.time()
+
+    # --------------------------------------------------------- write path
+
+    def note(self, kind: str, detail: Optional[Dict[str, Any]] = None,
+             ) -> None:
+        """Record one event (lock-free; see the module docstring)."""
+        seq = self._next
+        self._next = seq + 1
+        self._ring[seq % self.capacity] = (
+            seq, time.time(), time.perf_counter(), kind, detail,
+        )
+
+    def latency(self, op: str, seconds: float) -> None:
+        """Bump ``op``'s latency bucket (shared ``TIME_EDGES_S`` ladder)."""
+        counts = self._latency.get(op)
+        if counts is None:
+            # Racing first-observers may both build a list; setdefault
+            # makes exactly one of them stick (atomic under the GIL).
+            counts = self._latency.setdefault(
+                op, [0] * (len(self._lat_edges) + 1)
+            )
+        counts[bisect_right(self._lat_edges, seconds)] += 1
+
+    # ---------------------------------------------------------- read path
+
+    @property
+    def events_recorded(self) -> int:
+        """Total events ever noted (≥ the ring's current content)."""
+        return self._next
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by ring wrap-around since startup."""
+        return max(0, self._next - self.capacity)
+
+    def events(self) -> List[FlightEvent]:
+        """The buffered events, oldest first (coherent copy)."""
+        live = [e for e in list(self._ring) if e is not None]
+        live.sort(key=lambda e: e[0])
+        return live
+
+    def latency_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-op count/p50/p95/p99 derived from the bucket counters."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for op in sorted(self._latency):
+            counts = list(self._latency[op])
+            total = sum(counts)
+            out[op] = {
+                "count": total,
+                "p50_s": bucket_quantile(self._lat_edges, counts, 0.50),
+                "p95_s": bucket_quantile(self._lat_edges, counts, 0.95),
+                "p99_s": bucket_quantile(self._lat_edges, counts, 0.99),
+            }
+        return out
+
+    def dump(self, reason: str = "on-demand") -> Dict[str, Any]:
+        """JSON-ready dump: identity, ring stats, latencies, events."""
+        events = self.events()
+        return {
+            "flight": 1,
+            "pid": os.getpid(),
+            "reason": reason,
+            "wall_s": time.time(),
+            "started_wall_s": self.started_wall_s,
+            "capacity": self.capacity,
+            "events_recorded": self.events_recorded,
+            "dropped": self.dropped,
+            "latency": self.latency_summary(),
+            "events": [
+                {"seq": seq, "wall_s": wall, "perf_s": perf, "kind": kind,
+                 "detail": detail}
+                for seq, wall, perf, kind, detail in events
+            ],
+        }
+
+    def dump_to(self, path: str, reason: str = "on-demand") -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.dump(reason), fh, indent=1, default=str)
+            fh.write("\n")
+
+    def publish(self, rec) -> None:
+        """Mirror ring occupancy into a recording registry's gauges
+        (``flight.events`` / ``flight.dropped``)."""
+        if rec.enabled:
+            rec.gauge("flight.events",
+                      min(self.events_recorded, self.capacity))
+            rec.gauge("flight.dropped", self.dropped)
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self._latency = {}
+        self.started_wall_s = time.time()
+
+
+#: The process-wide recorder — importing this module turns it on.
+FLIGHT = FlightRecorder()
+
+
+def flight_dir() -> Optional[str]:
+    """The crash-dump directory, or ``None`` when dumps are disabled."""
+    d = os.environ.get(FLIGHT_DIR_ENV)
+    if d is None:
+        return tempfile.gettempdir()
+    return d or None
+
+
+def crash_dump_path(pid: Optional[int] = None) -> Optional[str]:
+    """Where this (or the given) pid's crash dump lands, if enabled."""
+    d = flight_dir()
+    if d is None:
+        return None
+    return os.path.join(d, f"harmonia-flight-{pid or os.getpid()}.json")
+
+
+def dump_on_crash(reason: str) -> Optional[str]:
+    """Best-effort crash dump of :data:`FLIGHT`; returns the path or
+    ``None`` (disabled or unwritable — a crash path must not raise)."""
+    path = crash_dump_path()
+    if path is None:
+        return None
+    try:
+        FLIGHT.dump_to(path, reason=reason)
+    except OSError:
+        return None
+    return path
+
+
+__all__ = [
+    "FLIGHT",
+    "FLIGHT_DIR_ENV",
+    "FlightRecorder",
+    "FlightEvent",
+    "crash_dump_path",
+    "dump_on_crash",
+    "flight_dir",
+]

@@ -30,11 +30,12 @@ silent).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.schema import SCHEMA_VERSION, default_edges_for
@@ -43,6 +44,59 @@ INT64_MAX = (1 << 63) - 1
 INT64_MIN = -(1 << 63)
 
 _clock = time.perf_counter
+
+
+def _saturate(value: int) -> int:
+    if value > INT64_MAX:
+        return INT64_MAX
+    if value < INT64_MIN:
+        return INT64_MIN
+    return value
+
+
+def bucket_quantile(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> Optional[float]:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    Linear interpolation inside the bucket holding the target rank; the
+    open underflow/overflow buckets clamp to ``lo`` / ``hi`` (the
+    histogram's observed min/max) when known, else to the nearest edge.
+    Returns ``None`` for an empty histogram.  This is the estimator
+    behind the p50/p95/p99 columns of ``obs report`` — exact to within
+    one bucket of the 1-2-5 ladders the catalogue declares.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    target = q * total
+    cum = 0
+    for i, c in enumerate(counts):
+        if cum + c >= target and c > 0:
+            left = edges[i - 1] if i > 0 else (
+                lo if lo is not None else edges[0]
+            )
+            right = edges[i] if i < len(edges) else (
+                hi if hi is not None else edges[-1]
+            )
+            # The observed extrema bound every bucket, not just the open
+            # ones — with them, a single-valued histogram is exact.
+            if lo is not None and left < lo:
+                left = lo
+            if hi is not None and right > hi:
+                right = hi
+            if right < left:
+                right = left
+            frac = (target - cum) / c
+            return left + (right - left) * frac
+        cum += c
+    return hi if hi is not None else float(edges[-1])
 
 
 class NullSpan:
@@ -134,6 +188,40 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated ``q``-quantile (see :func:`bucket_quantile`)."""
+        lo = self.min if self.count else None
+        hi = self.max if self.count else None
+        return bucket_quantile(self.edges, self.counts, q, lo, hi)
+
+    def merge_dict(self, payload: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`to_dict` payload into this one.
+
+        Bucketwise count addition — requires identical edges (both sides
+        come from the same schema catalogue, so a mismatch means the
+        processes disagree on the schema and merging would corrupt both).
+        """
+        edges = tuple(float(e) for e in payload["edges"])
+        if edges != self.edges:
+            raise ConfigError(
+                f"cannot merge histograms with different edges: "
+                f"{edges} vs {self.edges}"
+            )
+        counts = payload["counts"]
+        if len(counts) != len(self.counts):
+            raise ConfigError(
+                f"histogram payload has {len(counts)} buckets, "
+                f"expected {len(self.counts)}"
+            )
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.count += int(payload["count"])
+        self.total += float(payload["sum"])
+        if payload.get("min") is not None and payload["min"] < self.min:
+            self.min = float(payload["min"])
+        if payload.get("max") is not None and payload["max"] > self.max:
+            self.max = float(payload["max"])
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "edges": list(self.edges),
@@ -215,18 +303,18 @@ class MetricsRegistry:
         self._locals = threading.local()
         self._tracks: Dict[int, int] = {}
         self._main_ident = threading.main_thread().ident
+        #: pid → {"label", "prefix", "spans"} for registries merged in
+        #: from other processes (:meth:`merge_remote`).
+        self._remote: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------- metrics
 
     def counter(self, name: str, value: int = 1) -> None:
         """Add ``value`` (saturating at int64 bounds, never wrapping)."""
         with self._lock:
-            cur = self._counters.get(name, 0) + int(value)
-            if cur > INT64_MAX:
-                cur = INT64_MAX
-            elif cur < INT64_MIN:
-                cur = INT64_MIN
-            self._counters[name] = cur
+            self._counters[name] = _saturate(
+                self._counters.get(name, 0) + int(value)
+            )
 
     def gauge(self, name: str, value: float) -> None:
         """Set a last-write-wins float value."""
@@ -283,8 +371,17 @@ class MetricsRegistry:
                   tid: Optional[int], depth: int,
                   args: Dict[str, Any]) -> None:
         with self._lock:
-            if not self.record_spans or len(self._spans) >= self.max_spans:
+            if not self.record_spans:
+                # Deliberate opt-out (record_spans=False): counted on the
+                # attribute but not surfaced as metric loss.
                 self.dropped_spans += 1
+                return
+            if len(self._spans) >= self.max_spans:
+                # Capacity overflow is *loss* — make it snapshot-visible.
+                self.dropped_spans += 1
+                self._counters["obs.dropped_spans"] = _saturate(
+                    self._counters.get("obs.dropped_spans", 0) + 1
+                )
                 return
             self._spans.append(
                 (name, cat, start_s, end_s, self._track(tid), depth, args)
@@ -307,6 +404,24 @@ class MetricsRegistry:
             span_names: Dict[str, int] = {}
             for rec in self._spans:
                 span_names[rec[0]] = span_names.get(rec[0], 0) + 1
+            remote_count = 0
+            for entry in self._remote.values():
+                prefix = entry["prefix"]
+                remote_count += len(entry["spans"])
+                for rec in entry["spans"]:
+                    key = prefix + rec[0]
+                    span_names[key] = span_names.get(key, 0) + 1
+            spans_block: Dict[str, Any] = {
+                "count": len(self._spans) + remote_count,
+                "dropped": self.dropped_spans,
+                "names": dict(sorted(span_names.items())),
+            }
+            if self._remote:
+                spans_block["processes"] = {
+                    str(pid): {"label": entry["label"],
+                               "spans": len(entry["spans"])}
+                    for pid, entry in sorted(self._remote.items())
+                }
             return {
                 "schema_version": SCHEMA_VERSION,
                 "counters": dict(sorted(self._counters.items())),
@@ -315,11 +430,116 @@ class MetricsRegistry:
                     name: hist.to_dict()
                     for name, hist in sorted(self._histograms.items())
                 },
-                "spans": {
-                    "count": len(self._spans),
-                    "dropped": self.dropped_spans,
-                    "names": dict(sorted(span_names.items())),
+                "spans": spans_block,
+            }
+
+    # ----------------------------------------------------- cross-process
+
+    def export_remote(self, label: str = "",
+                      clear: bool = True) -> Dict[str, Any]:
+        """Package everything recorded for shipping to another process.
+
+        The payload is plain JSON/pickle-safe data: counters, gauges,
+        histogram dicts, span records (absolute ``perf_counter`` times —
+        ``CLOCK_MONOTONIC`` is system-wide on Linux, so a receiver on the
+        same host can lay them on its own timeline), the drop count, and
+        this process's pid.  With ``clear=True`` (the default) the
+        registry is reset atomically under the same lock, so a worker
+        exporting per-request never double-ships a span.
+        """
+        with self._lock:
+            payload = {
+                "pid": os.getpid(),
+                "label": label,
+                "t0_s": self.t0_s,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: hist.to_dict()
+                    for name, hist in self._histograms.items()
                 },
+                "spans": [
+                    [rec[0], rec[1], rec[2], rec[3], rec[4], rec[5],
+                     dict(rec[6])]
+                    for rec in self._spans
+                ],
+                "dropped_spans": self.dropped_spans,
+            }
+            if clear:
+                # Inline reset: the lock is not reentrant, so clear()
+                # cannot be called from here.
+                self._counters.clear()
+                self._gauges.clear()
+                self._histograms.clear()
+                self._spans.clear()
+                self.dropped_spans = 0
+        return payload
+
+    def merge_remote(self, payload: Dict[str, Any],
+                     prefix: str = "") -> int:
+        """Fold an :meth:`export_remote` payload into this registry.
+
+        Counters, gauges and histograms land under ``prefix`` (e.g.
+        ``shard[0].engine.batches``) — :func:`repro.obs.schema.lookup`
+        strips the namespace, so they validate against the same
+        catalogue rows as local metrics.  Spans are kept per-pid for the
+        Chrome exporter to render as separate process lanes; they do not
+        count against this registry's ``max_spans`` (the sender already
+        bounded them).  Returns the number of spans merged.
+        """
+        pid = int(payload["pid"])
+        with self._lock:
+            for name, value in payload.get("counters", {}).items():
+                key = prefix + name
+                self._counters[key] = _saturate(
+                    self._counters.get(key, 0) + int(value)
+                )
+            for name, value in payload.get("gauges", {}).items():
+                self._gauges[prefix + name] = float(value)
+            for name, hdict in payload.get("histograms", {}).items():
+                key = prefix + name
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = Histogram(hdict["edges"])
+                    self._histograms[key] = hist
+                hist.merge_dict(hdict)
+            dropped = int(payload.get("dropped_spans", 0))
+            if dropped:
+                self.dropped_spans += dropped
+                self._counters["obs.dropped_spans"] = _saturate(
+                    self._counters.get("obs.dropped_spans", 0) + dropped
+                )
+            spans = [
+                (rec[0], rec[1], float(rec[2]), float(rec[3]), int(rec[4]),
+                 int(rec[5]), dict(rec[6]))
+                for rec in payload.get("spans", [])
+            ]
+            entry = self._remote.get(pid)
+            if entry is None:
+                entry = {"label": payload.get("label", ""),
+                         "prefix": prefix, "spans": []}
+                self._remote[pid] = entry
+            else:
+                if payload.get("label"):
+                    entry["label"] = payload["label"]
+                if prefix:
+                    entry["prefix"] = prefix
+            entry["spans"].extend(spans)
+            if spans:
+                self._counters["trace.spans_merged"] = _saturate(
+                    self._counters.get("trace.spans_merged", 0) + len(spans)
+                )
+        return len(spans)
+
+    def remote_processes(self) -> Dict[int, Dict[str, Any]]:
+        """Copy of the merged remote registries, keyed by pid
+        (``{"label", "prefix", "spans"}`` — consumed by the Chrome
+        exporter's per-process lanes)."""
+        with self._lock:
+            return {
+                pid: {"label": entry["label"], "prefix": entry["prefix"],
+                      "spans": list(entry["spans"])}
+                for pid, entry in self._remote.items()
             }
 
     # ------------------------------------------------------------- helpers
@@ -338,6 +558,7 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
             self._spans.clear()
+            self._remote.clear()
             self.dropped_spans = 0
             self.t0_s = _clock()
 
@@ -374,6 +595,7 @@ __all__ = [
     "INT64_MAX",
     "INT64_MIN",
     "Histogram",
+    "bucket_quantile",
     "MetricsRegistry",
     "NullRecorder",
     "NULL_RECORDER",

@@ -10,12 +10,32 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.registry import bucket_quantile
 from repro.obs.schema import SCHEMA_VERSION, lookup
 
 
 def _unit(name: str) -> str:
     spec = lookup(name)
     return spec.unit if spec is not None else "?"
+
+
+def _hist_quantile(hist: Dict[str, Any], q: float) -> Optional[float]:
+    """``q``-quantile of a snapshot histogram dict (None when empty or
+    malformed — rendering must not fail on a foreign snapshot)."""
+    edges = hist.get("edges")
+    counts = hist.get("counts")
+    if not edges or not counts or len(counts) != len(edges) + 1:
+        return None
+    return bucket_quantile(edges, counts, q,
+                           lo=hist.get("min"), hi=hist.get("max"))
+
+
+def _percentile_cells(hist: Dict[str, Any]) -> str:
+    cells = []
+    for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        v = _hist_quantile(hist, q)
+        cells.append(f"{label}={_fmt(v) if v is not None else '-'}")
+    return " ".join(cells)
 
 
 def _fmt(value: Any) -> str:
@@ -105,6 +125,12 @@ def render_report(snapshot: Dict[str, Any]) -> str:
         derived.append(f"  epoch flush amortization:       {_fmt(flushes)} "
                        f"flushes folded by {_fmt(drains)} drains "
                        f"({flushes / max(drains, 1):.1f} flushes/rebuild)")
+    req = histograms.get("shard.request_s")
+    if req and req.get("count"):
+        derived.append(
+            f"  request latency (router):       n={_fmt(req['count'])}  "
+            f"{_percentile_cells(req)} s"
+        )
     dsize = gauges.get("delta.size")
     if dsize is not None:
         druns = gauges.get("delta.runs", 0)
@@ -149,6 +175,7 @@ def render_report(snapshot: Dict[str, Any]) -> str:
             lines.append(
                 f"  {name} [{_unit(name)}]: n={_fmt(hist.get('count', 0))} "
                 f"mean={_fmt(hist.get('mean', 0.0))} "
+                f"{_percentile_cells(hist)} "
                 f"min={_fmt(hist.get('min'))} max={_fmt(hist.get('max'))}"
             )
     if spans:
@@ -158,6 +185,14 @@ def render_report(snapshot: Dict[str, Any]) -> str:
                      f"dropped={_fmt(spans.get('dropped', 0))}")
         for name, count in spans.get("names", {}).items():
             lines.append(f"  {name:<34} {_fmt(count):>16}")
+        processes = spans.get("processes", {})
+        if processes:
+            lines.append("")
+            lines.append("-- merged processes --")
+            for pid, entry in processes.items():
+                label = entry.get("label") or "?"
+                lines.append(f"  pid {pid:<8} {label:<24} "
+                             f"{_fmt(entry.get('spans', 0)):>10} spans")
     return "\n".join(lines) + "\n"
 
 
@@ -208,6 +243,11 @@ def render_diff(a: Dict[str, Any], b: Dict[str, Any],
         rows.append(f"  {name:<34} n: {_diff_number(ca, cb)}")
         if ma != mb:
             rows.append(f"  {'':<34} mean: {_diff_number(ma, mb)}")
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            pa = _hist_quantile(xa, q) if xa else None
+            pb = _hist_quantile(xb, q) if xb else None
+            if pa != pb:
+                rows.append(f"  {'':<34} {label}: {_diff_number(pa, pb)}")
     if rows:
         lines.append("")
         lines.append("-- histograms --")

@@ -18,10 +18,19 @@ Names are dotted, ``subsystem.metric``; per-level families use an ``l``
 prefix on the level index (``engine.unique_nodes.l0`` … ``l{h-1}``) and
 are declared once with a trailing ``*`` wildcard.  The catalogue is the
 single source of truth for docs/observability.md's table.
+
+**Namespaces.**  Metrics merged from another process's registry
+(:meth:`~repro.obs.registry.MetricsRegistry.merge_remote`) carry an
+instance prefix such as ``shard[0].`` — ``shard[0].engine.batches`` is
+the worker-0 copy of ``engine.batches``.  :func:`lookup` and
+:func:`validate_snapshot` strip any chain of ``name[index].`` prefixes
+before consulting the catalogue, so namespaced metrics validate against
+the same declarations as local ones (:func:`strip_namespace`).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -253,6 +262,30 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("shard.skew", "gauge", "ratio",
                "shard size skew (max shard / ideal share) at the last "
                "rebalance check"),
+    MetricSpec("shard.request_s", "histogram", "s",
+               "end-to-end router request latency (scatter through gather), "
+               "one observation per routed batch — obs report derives "
+               "p50/p95/p99 from it", edges=TIME_EDGES_S),
+    # --------------------------------------------------------- obs / trace
+    MetricSpec("obs.dropped_spans", "counter", "spans",
+               "spans discarded because the registry hit max_spans (the "
+               "snapshot-visible mirror of the drop count; never silent)"),
+    MetricSpec("trace.requests", "counter", "requests",
+               "router requests that carried a trace context into the "
+               "shard workers"),
+    MetricSpec("trace.spans_merged", "counter", "spans",
+               "worker-side spans merged back into the router registry"),
+    MetricSpec("flight.events", "gauge", "events",
+               "events currently buffered by the always-on flight recorder "
+               "(bounded by its ring capacity)"),
+    MetricSpec("flight.dropped", "gauge", "events",
+               "flight-recorder events overwritten by ring wrap-around "
+               "since startup"),
+    # ------------------------------------------------------- epoch waits
+    MetricSpec("epoch.publish_wait_s", "histogram", "s",
+               "time spent waiting for the publish lock on the "
+               "flush/drain publication path — overlay-vs-drain "
+               "contention made visible", edges=TIME_EDGES_S),
     # ------------------------------------------------------------- bench
     MetricSpec("bench.*", "gauge", "s|x",
                "benchmark emitter timing blocks (BENCH_*.json metrics "
@@ -292,21 +325,55 @@ CATALOGUE: List[MetricSpec] = [
                "concurrent worker round-trip of one sharded batch"),
     MetricSpec("shard.gather", "span", "-",
                "reassembly of worker results into caller order"),
+    MetricSpec("shard.request", "span", "-",
+               "one whole routed request at the ShardedTree front-end "
+               "(scatter through gather); carries the minted trace_id"),
+    MetricSpec("worker.deserialize", "span", "-",
+               "worker-side receive of a request's arrays off the shared "
+               "block"),
+    MetricSpec("worker.execute", "span", "-",
+               "worker-side search/apply/range execution (engine and "
+               "epoch spans nest inside)"),
+    MetricSpec("worker.reply", "span", "-",
+               "worker-side reply serialization back through the shared "
+               "block"),
 ]
 
 _EXACT: Dict[str, MetricSpec] = {s.name: s for s in CATALOGUE
                                  if not s.name.endswith("*")}
 _WILDCARDS: List[MetricSpec] = [s for s in CATALOGUE if s.name.endswith("*")]
 
+#: One ``instance[index].`` namespace segment (e.g. ``shard[3].``).
+_NAMESPACE_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*\[\d+\]\.")
+
+
+def strip_namespace(name: str) -> str:
+    """Strip every leading ``instance[index].`` segment from ``name``.
+
+    ``shard[0].engine.batches`` → ``engine.batches``; plain names pass
+    through unchanged.  This is how merged remote metrics resolve against
+    the same catalogue entries as their local counterparts.
+    """
+    while True:
+        m = _NAMESPACE_RE.match(name)
+        if m is None:
+            return name
+        name = name[m.end():]
+
 
 def lookup(name: str) -> Optional[MetricSpec]:
-    """Resolve a concrete metric name against the catalogue."""
+    """Resolve a concrete metric name against the catalogue
+    (namespace-aware: ``shard[0].engine.batches`` resolves like
+    ``engine.batches``)."""
     spec = _EXACT.get(name)
     if spec is not None:
         return spec
     for wild in _WILDCARDS:
         if wild.matches(name):
             return wild
+    bare = strip_namespace(name)
+    if bare != name:
+        return lookup(bare)
     return None
 
 
@@ -391,6 +458,7 @@ __all__ = [
     "DEPTH_EDGES",
     "DEFAULT_EDGES",
     "lookup",
+    "strip_namespace",
     "default_edges_for",
     "validate_snapshot",
 ]

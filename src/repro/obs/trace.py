@@ -1,0 +1,123 @@
+"""Cross-process request tracing for the sharded serving tier.
+
+The router (:class:`repro.shard.router.ShardedTree`) mints a trace id
+per routed request and ships a small :class:`TraceContext` dict inside
+the existing ``ShardChannel`` command tuples.  Each worker records its
+own spans (``worker.deserialize`` / ``worker.execute`` /
+``worker.reply``, plus whatever the engine and epoch paths nest inside)
+into a per-process registry, exports it with
+:meth:`~repro.obs.registry.MetricsRegistry.export_remote` right after
+the reply, and the router folds the payload back with
+:meth:`~repro.obs.registry.MetricsRegistry.merge_remote` under a
+``shard[i].`` namespace — one registry, one Chrome trace, per-process
+lanes.
+
+**Activation.**  Tracing rides the ambient recorder: it is on exactly
+when the router runs inside an ``obs.recording()`` block (or with a
+``TraceConfig`` registry).  The default state — no recording — keeps
+the wire protocol identical to the untraced one; the per-request cost
+of the disabled path is one ``rec.enabled`` check.
+
+**Clocks.**  ``time.perf_counter`` is ``CLOCK_MONOTONIC`` on Linux —
+system-wide, not per-process — so worker span timestamps are directly
+comparable to the router's and need no offset arithmetic when merged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import repro.obs as obs
+from repro.obs.registry import MetricsRegistry
+
+
+def new_trace_id() -> str:
+    """Mint a 16-hex-char id, unique across processes (urandom)."""
+    return os.urandom(8).hex()
+
+
+def shard_prefix(index: int) -> str:
+    """The merge namespace for shard ``index`` (``shard[3].``)."""
+    return f"shard[{index}]."
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The per-request context that crosses the process boundary.
+
+    ``trace_id`` ties every span of one routed request together;
+    ``shard`` is filled in per fan-out leg so a worker can label its
+    spans without knowing its own router-side index.
+    """
+
+    trace_id: str
+    shard: int = -1
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        return cls(trace_id=new_trace_id())
+
+    def for_shard(self, shard: int) -> Dict[str, Any]:
+        """The wire dict appended to a shard's command tuple."""
+        return {"trace_id": self.trace_id, "shard": int(shard)}
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> Optional["TraceContext"]:
+        """Parse a wire dict; ``None`` for anything that is not one
+        (untraced requests carry no context at all)."""
+        if not isinstance(payload, dict) or "trace_id" not in payload:
+            return None
+        return cls(trace_id=str(payload["trace_id"]),
+                   shard=int(payload.get("shard", -1)))
+
+
+# --------------------------------------------------------------- worker side
+
+#: Per-worker-process registry, created on the first traced request.
+_worker_registry: Optional[MetricsRegistry] = None
+
+
+def worker_registry() -> MetricsRegistry:
+    """The worker process's trace registry (created on first use).
+
+    Installing it as the ambient recorder *permanently* — not scoped to
+    the request — is deliberate: the PR 7 background drain thread runs
+    between requests, and its ``epoch.drain`` / ``epoch.publish`` spans
+    must land somewhere.  They ship with the next traced request's
+    export, which is exactly the flight-recorder semantics we want for
+    a long-lived worker.
+    """
+    global _worker_registry
+    if _worker_registry is None:
+        _worker_registry = MetricsRegistry(max_spans=50_000)
+        obs.active = _worker_registry
+    return _worker_registry
+
+
+def export_worker_trace(label: str) -> Optional[Dict[str, Any]]:
+    """Export-and-clear the worker registry for the reply's trace
+    message; ``None`` when no traced request ever reached this worker."""
+    if _worker_registry is None:
+        return None
+    return _worker_registry.export_remote(label=label, clear=True)
+
+
+def reset_worker_registry() -> None:
+    """Drop the worker registry (tests; fork-safety after re-exec)."""
+    global _worker_registry
+    if _worker_registry is not None:
+        if obs.active is _worker_registry:
+            obs.active = obs.NULL_RECORDER
+        _worker_registry = None
+
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "shard_prefix",
+    "worker_registry",
+    "export_worker_trace",
+    "reset_worker_registry",
+]

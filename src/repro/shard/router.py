@@ -32,6 +32,16 @@ splitting swollen ones) when the size skew exceeds a threshold.
 Everything is observable through the ``shard.*`` metric family
 (docs/observability.md): scatter/dispatch/gather spans, per-shard batch
 sizes, restart and rebalance counters, the live skew gauge.
+
+**Distributed tracing.**  When the router runs inside a recording
+(``obs.active.enabled``), every routed request mints a
+:class:`~repro.obs.trace.TraceContext` and ships it with each shard's
+command; workers reply with their own span registries, which merge back
+here under ``shard[i].`` namespaces — one registry, one Chrome trace
+with per-process lanes (docs/observability.md).  Outside a recording
+the wire protocol is exactly the pre-tracing one.  Independently, the
+always-on :data:`~repro.obs.flight.FLIGHT` ring notes every request and
+restart with its latency, recording-on or off.
 """
 
 from __future__ import annotations
@@ -46,6 +56,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 import numpy as np
 
 import repro.obs as obs
+from repro.obs.flight import FLIGHT
+from repro.obs.trace import TraceContext, shard_prefix
 from repro.constants import DEFAULT_FANOUT, NOT_FOUND, VALUE_DTYPE
 from repro.core.config import SearchConfig, UpdateConfig
 from repro.core.merge import concat_sorted_runs
@@ -195,7 +207,8 @@ class ShardedTree:
         proc = mp.Process(
             target=worker_main,
             args=(worker_side, self.fanout, self.fill,
-                  self.search_config, self.update_config, self.concurrent),
+                  self.search_config, self.update_config, self.concurrent,
+                  index),
             daemon=True,
             name=f"harmonia-shard-{index}",
         )
@@ -257,9 +270,24 @@ class ShardedTree:
                 raise ConfigError(
                     f"shard {s} rebuild replay failed: {reply!r}"
                 )
+        FLIGHT.note("restart", {"shard": s, "oplog": len(shard.oplog)})
         rec = obs.active
         if rec.enabled:
             rec.counter("shard.restarts")
+
+    def _recv_trace(self, s: int, ch: ShardChannel,
+                    ctx: Optional[TraceContext]) -> None:
+        """Absorb the worker's trailing trace tuple into the ambient
+        registry under this shard's namespace (traced requests only)."""
+        if ctx is None:
+            return
+        reply = ch.recv()
+        if not reply or reply[0] != "trace":  # pragma: no cover
+            raise EOFError(f"shard {s} trace got {reply!r}")
+        payload = reply[1]
+        rec = obs.active
+        if rec.enabled and payload is not None:
+            rec.merge_remote(payload, prefix=shard_prefix(s))
 
     def _call(self, s: int, fn: Callable[[ShardChannel], T]) -> T:
         """Run one request against shard ``s``, restarting and retrying
@@ -375,6 +403,7 @@ class ShardedTree:
         out = np.empty(q.size, dtype=VALUE_DTYPE)
         if q.size == 0:
             return out
+        ctx = TraceContext.mint() if rec.enabled else None
         t0 = _clock()
         ids, order, bounds = self.partitioner.scatter(q)
         routed = q[order]
@@ -384,12 +413,17 @@ class ShardedTree:
             chunk = routed[lo:hi]
 
             def call(ch: ShardChannel) -> np.ndarray:
-                ch.send("search")
+                if ctx is not None:
+                    ch.send("search", ctx.for_shard(s))
+                else:
+                    ch.send("search")
                 ch.send_array(chunk)
                 reply = ch.recv()
                 if not reply or reply[0] != "found":
                     raise EOFError(f"shard {s} search got {reply!r}")
-                return ch.recv_array()
+                res = ch.recv_array()
+                self._recv_trace(s, ch, ctx)
+                return res
 
             return self._call(s, call)
 
@@ -398,13 +432,22 @@ class ShardedTree:
         for s, lo, hi, res in parts:
             out[order[lo:hi]] = res
         t3 = _clock()
+        FLIGHT.note("search", {"n": int(q.size), "shards": len(parts)})
+        FLIGHT.latency("router.search", t3 - t0)
         if rec.enabled:
             rec.counter("shard.batches")
             rec.counter("shard.queries", q.size)
-            rec.span_at("shard.scatter", t0, t1, cat="shard", nq=q.size)
+            rec.counter("trace.requests")
+            rec.histogram("shard.request_s", t3 - t0)
+            rec.span_at("shard.request", t0, t3, cat="shard",
+                        trace_id=ctx.trace_id, nq=q.size)
+            rec.span_at("shard.scatter", t0, t1, cat="shard", nq=q.size,
+                        trace_id=ctx.trace_id)
             rec.span_at("shard.dispatch", t1, t2, cat="shard",
-                        shards=len(parts))
-            rec.span_at("shard.gather", t2, t3, cat="shard")
+                        shards=len(parts), trace_id=ctx.trace_id)
+            rec.span_at("shard.gather", t2, t3, cat="shard",
+                        trace_id=ctx.trace_id)
+            FLIGHT.publish(rec)
         return out
 
     def _dispatch(
@@ -451,6 +494,7 @@ class ShardedTree:
         n = len(ops)
         if n == 0:
             return result
+        ctx = TraceContext.mint() if rec.enabled else None
         t0 = _clock()
         kinds, keys, values = _encode_ops(ops)
         ids, order, bounds = self.partitioner.scatter(keys)
@@ -463,13 +507,17 @@ class ShardedTree:
             svals = np.ascontiguousarray(rvals[lo:hi])
 
             def call(ch: ShardChannel):
-                ch.send("apply")
+                if ctx is not None:
+                    ch.send("apply", ctx.for_shard(s))
+                else:
+                    ch.send("apply")
                 ch.send_array(sk)
                 ch.send_array(skeys)
                 ch.send_array(svals)
                 reply = ch.recv()
                 if not reply or reply[0] != "applied":
                     raise EOFError(f"shard {s} apply got {reply!r}")
+                self._recv_trace(s, ch, ctx)
                 return reply[1:]
 
             counts = self._call(s, call)
@@ -486,13 +534,22 @@ class ShardedTree:
             result.failed += fail
             result.split_leaves += split
         t3 = _clock()
+        FLIGHT.note("apply", {"n": n, "shards": len(parts)})
+        FLIGHT.latency("router.apply", t3 - t0)
         if rec.enabled:
             rec.counter("shard.batches")
             rec.counter("shard.ops", n)
-            rec.span_at("shard.scatter", t0, t1, cat="shard", ops=n)
+            rec.counter("trace.requests")
+            rec.histogram("shard.request_s", t3 - t0)
+            rec.span_at("shard.request", t0, t3, cat="shard",
+                        trace_id=ctx.trace_id, ops=n)
+            rec.span_at("shard.scatter", t0, t1, cat="shard", ops=n,
+                        trace_id=ctx.trace_id)
             rec.span_at("shard.dispatch", t1, t2, cat="shard",
-                        shards=len(parts))
-            rec.span_at("shard.gather", t2, t3, cat="shard")
+                        shards=len(parts), trace_id=ctx.trace_id)
+            rec.span_at("shard.gather", t2, t3, cat="shard",
+                        trace_id=ctx.trace_id)
+            FLIGHT.publish(rec)
         return result
 
     def insert(self, key: int, value: int) -> bool:
@@ -535,6 +592,7 @@ class ShardedTree:
         if n == 0:
             return []
         rec = obs.active
+        ctx = TraceContext.mint() if rec.enabled else None
         t0 = _clock()
         firsts = self.partitioner.shard_of(lo_arr)
         lasts = self.partitioner.shard_of(hi_arr)
@@ -558,7 +616,10 @@ class ShardedTree:
 
         def do_range(s, qidx, clo, chi):
             def call(ch: ShardChannel):
-                ch.send("range")
+                if ctx is not None:
+                    ch.send("range", ctx.for_shard(s))
+                else:
+                    ch.send("range")
                 ch.send_array(clo)
                 ch.send_array(chi)
                 reply = ch.recv()
@@ -567,6 +628,7 @@ class ShardedTree:
                 counts = ch.recv_array()
                 keys = ch.recv_array()
                 vals = ch.recv_array()
+                self._recv_trace(s, ch, ctx)
                 return counts, keys, vals
 
             return self._call(s, call)
@@ -598,12 +660,21 @@ class ShardedTree:
             else:
                 out.append(concat_sorted_runs(parts))
         t3 = _clock()
+        FLIGHT.note("range", {"n": n, "shards": len(jobs)})
+        FLIGHT.latency("router.range", t3 - t0)
         if rec.enabled:
             rec.counter("shard.range_queries", int(np.count_nonzero(valid)))
-            rec.span_at("shard.scatter", t0, t1, cat="shard", ranges=n)
+            rec.counter("trace.requests")
+            rec.histogram("shard.request_s", t3 - t0)
+            rec.span_at("shard.request", t0, t3, cat="shard",
+                        trace_id=ctx.trace_id, ranges=n)
+            rec.span_at("shard.scatter", t0, t1, cat="shard", ranges=n,
+                        trace_id=ctx.trace_id)
             rec.span_at("shard.dispatch", t1, t2, cat="shard",
-                        shards=len(jobs))
-            rec.span_at("shard.gather", t2, t3, cat="shard")
+                        shards=len(jobs), trace_id=ctx.trace_id)
+            rec.span_at("shard.gather", t2, t3, cat="shard",
+                        trace_id=ctx.trace_id)
+            FLIGHT.publish(rec)
         return out
 
     # ---------------------------------------------------- rebalance / ckpt

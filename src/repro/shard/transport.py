@@ -20,6 +20,18 @@ Copy-out is required only for the *assembled* result (the receiver
 concatenates windows); single-window payloads still pay one copy so the
 block can be reused immediately — that copy is a vectorized
 ``ndarray.copy`` of the window, never element pickling.
+
+**Trace piggyback.**  Distributed tracing (docs/observability.md) rides
+the same control pipe without a protocol fork: a traced command tuple
+carries a :class:`~repro.obs.trace.TraceContext` wire dict as its last
+element (``("search", {"trace_id": ..., "shard": s})``), and the worker
+appends one ``("trace", payload)`` tuple after its normal reply, where
+``payload`` is its registry's
+:meth:`~repro.obs.registry.MetricsRegistry.export_remote` dict.  The
+lock-step discipline makes this safe: the router sent the context, so
+it — and only it — knows to read the one extra tuple.  Untraced
+commands (including restart op-log replay) stay wire-identical to the
+pre-tracing protocol.
 """
 
 from __future__ import annotations

@@ -22,6 +22,23 @@ deterministic function of its base slice plus the op batches the router
 has routed to it, so the router can rebuild a crashed worker from its
 snapshot log (see :class:`~repro.shard.router.ShardedTree`).
 
+**Tracing.**  A ``search`` / ``apply`` / ``range`` command may carry a
+:class:`~repro.obs.trace.TraceContext` wire dict as its last element.
+The worker then installs its persistent per-process registry
+(:func:`~repro.obs.trace.worker_registry`), times its own stages
+(``worker.deserialize`` / ``worker.execute`` / ``worker.reply`` — the
+engine and epoch spans of the execution record into the same registry
+ambiently), and, after the normal reply, ships the registry back as one
+extra ``("trace", payload)`` tuple for the router to merge.  Untraced
+commands are wire-identical to the pre-tracing protocol, which is what
+keeps op-log replay (plain ``"apply"`` sends) and the disabled path
+untouched.
+
+**Flight recorder.**  Every command — traced or not — notes an event in
+the always-on :data:`~repro.obs.flight.FLIGHT` ring with its latency;
+the deliberate ``crash`` hook and any unexpected worker exception dump
+the ring to ``$HARMONIA_FLIGHT_DIR`` before the process dies.
+
 The module-level :func:`worker_main` is the process target (top-level so
 it is importable under the ``spawn`` start method too; under the default
 ``fork`` the channel's raw block is inherited directly).
@@ -30,6 +47,7 @@ it is importable under the ``spawn`` start method too; under the default
 from __future__ import annotations
 
 import os
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -40,7 +58,15 @@ from repro.core.epoch import EpochManager
 from repro.core.tree import HarmoniaTree
 from repro.core.update import Operation
 from repro.core.update_plan import K_DELETE, K_INSERT
+from repro.obs.flight import FLIGHT, dump_on_crash
+from repro.obs.trace import (
+    TraceContext,
+    export_worker_trace,
+    worker_registry,
+)
 from repro.shard.transport import ShardChannel
+
+_clock = time.perf_counter
 
 #: Numeric op codes on the wire (shared with the router's encoder — the
 #: planner's codes from :mod:`repro.core.update_plan`).
@@ -102,6 +128,28 @@ class _WorkerState:
         self.manager = self._manager_for(keys, values)
 
 
+def _trace_ctx(msg) -> Optional[TraceContext]:
+    """The command's trace context, if its last element is a wire dict
+    (untraced commands — including op-log replay — carry none)."""
+    if len(msg) > 1:
+        return TraceContext.from_wire(msg[-1])
+    return None
+
+
+def _ship_trace(conn: ShardChannel, ctx: TraceContext,
+                stages, op: str, n: int) -> None:
+    """Record this request's worker-side stage spans and send the
+    registry export as the trailing ``("trace", payload)`` tuple."""
+    reg = worker_registry()
+    t0, t1, t2, t3 = stages
+    common = {"trace_id": ctx.trace_id, "shard": ctx.shard}
+    reg.span_at("worker.deserialize", t0, t1, cat="worker", **common)
+    reg.span_at("worker.execute", t1, t2, cat="worker", op=op, n=n,
+                **common)
+    reg.span_at("worker.reply", t2, t3, cat="worker", **common)
+    conn.send("trace", export_worker_trace(f"shard-{ctx.shard}"))
+
+
 def worker_main(
     channel: ShardChannel,
     fanout: int,
@@ -109,8 +157,31 @@ def worker_main(
     search_config: Optional[SearchConfig] = None,
     update_config: Optional[UpdateConfig] = None,
     concurrent: bool = False,
+    index: int = -1,
 ) -> None:
-    """Process entry point: serve requests until ``stop`` (or EOF)."""
+    """Process entry point: serve requests until ``stop`` (or EOF).
+
+    Unexpected exceptions dump the flight ring before propagating, so a
+    worker that dies of a bug leaves its last few thousand operations on
+    disk for the post-mortem.
+    """
+    try:
+        _serve(channel, fanout, fill, search_config, update_config,
+               concurrent, index)
+    except BaseException:
+        dump_on_crash("worker-exception")
+        raise
+
+
+def _serve(
+    channel: ShardChannel,
+    fanout: int,
+    fill: float,
+    search_config: Optional[SearchConfig],
+    update_config: Optional[UpdateConfig],
+    concurrent: bool,
+    index: int,
+) -> None:
     state = _WorkerState(fanout, fill, search_config, update_config, concurrent)
     conn = channel
 
@@ -131,21 +202,40 @@ def worker_main(
             keys = conn.recv_array()
             values = conn.recv_array()
             state.load(keys, values)
+            FLIGHT.note("load", {"shard": index, "n": int(keys.size)})
             conn.send("loaded", len(state.manager))
 
         elif cmd == "search":
+            ctx = _trace_ctx(msg)
+            if ctx is not None:
+                worker_registry()  # ambient before the engine runs
+            t0 = _clock()
             queries = conn.recv_array()
+            t1 = _clock()
             out = state.manager.search_many(queries)
+            t2 = _clock()
             conn.send("found")
             conn.send_array(np.ascontiguousarray(out, dtype=VALUE_DTYPE))
+            t3 = _clock()
+            FLIGHT.note("search", {"shard": index, "n": int(queries.size)})
+            FLIGHT.latency("worker.search", t2 - t1)
+            if ctx is not None:
+                _ship_trace(conn, ctx, (t0, t1, t2, t3), "search",
+                            int(queries.size))
 
         elif cmd == "apply":
+            ctx = _trace_ctx(msg)
+            if ctx is not None:
+                worker_registry()
+            t0 = _clock()
             kinds = conn.recv_array()
             keys = conn.recv_array()
             values = conn.recv_array()
+            t1 = _clock()
             ops = _decode_ops(kinds, keys, values)
             state.manager.submit_many(ops)
             res = state.manager.flush()
+            t2 = _clock()
             if res is None:
                 conn.send("applied", 0, 0, 0, 0, 0)
             else:
@@ -153,12 +243,24 @@ def worker_main(
                     "applied", res.inserted, res.updated, res.deleted,
                     res.failed, res.split_leaves,
                 )
+            t3 = _clock()
+            FLIGHT.note("apply", {"shard": index, "n": int(kinds.size)})
+            FLIGHT.latency("worker.apply", t2 - t1)
+            if ctx is not None:
+                _ship_trace(conn, ctx, (t0, t1, t2, t3), "apply",
+                            int(kinds.size))
 
         elif cmd == "range":
+            ctx = _trace_ctx(msg)
+            if ctx is not None:
+                worker_registry()
+            t0 = _clock()
             los = conn.recv_array()
             his = conn.recv_array()
+            t1 = _clock()
             pairs = state.manager.range_search_batch(los, his)
             counts = np.asarray([p[0].size for p in pairs], dtype=np.int64)
+            t2 = _clock()
             conn.send("ranged")
             conn.send_array(counts)
             if pairs:
@@ -167,17 +269,26 @@ def worker_main(
             else:
                 conn.send_array(np.empty(0, dtype=np.int64))
                 conn.send_array(np.empty(0, dtype=VALUE_DTYPE))
+            t3 = _clock()
+            FLIGHT.note("range", {"shard": index, "n": int(los.size)})
+            FLIGHT.latency("worker.range", t2 - t1)
+            if ctx is not None:
+                _ship_trace(conn, ctx, (t0, t1, t2, t3), "range",
+                            int(los.size))
 
         elif cmd == "dump":
             mgr = state.manager
             # Merged visible contents: base snapshot plus any undrained
             # delta (identical to iter_leaf_items in synchronous mode).
             keys, values = mgr.dump_items()
+            FLIGHT.note("dump", {"shard": index, "n": int(keys.size)})
             conn.send("dumped", mgr.epoch)
             conn.send_array(np.ascontiguousarray(keys))
             conn.send_array(np.ascontiguousarray(values))
 
         elif cmd == "crash":  # failure-injection hook (tests)
+            FLIGHT.note("crash", {"shard": index})
+            dump_on_crash("crash-command")
             os._exit(17)
 
         elif cmd == "stop":

@@ -1,0 +1,176 @@
+"""End-to-end distributed tracing through the sharded service tier.
+
+The PR 8 acceptance path: a recorded batch through a 2-worker
+:class:`~repro.shard.ShardedTree` must produce ONE merged registry —
+router scatter/gather spans plus per-worker execution spans from two
+real worker processes, tied together by shared trace ids — exporting as
+a single Chrome trace with one lane per process.  Also covers the
+untraced default (wire compatibility, empty merge state), flight-
+recorder integration on the serving path, and the ``--trace-out`` CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.cli import main as cli_main
+from repro.obs.export import chrome_trace
+from repro.obs.schema import validate_snapshot
+from repro.shard import ShardedTree
+
+KEYS = np.arange(0, 4000, 2)  # shard boundary near 2000 for 2 shards
+
+
+@pytest.fixture
+def sharded():
+    with ShardedTree.from_sorted(KEYS, n_shards=2, fanout=16) as st:
+        yield st
+
+
+def _traced_round(st):
+    """One query + update + range round spanning both shards."""
+    from repro.core.update import Operation
+
+    queries = KEYS[::4]  # both halves of the key space
+    res = st.search_many(queries)
+    stats = st.apply_batch([Operation("insert", 3001, 1),
+                            Operation("insert", 999, 9)])
+    ranges = st.range_search_batch([100, 3000], [200, 3100])
+    return res, stats, ranges
+
+
+class TestTracedRun:
+    def test_merged_trace_spans_all_processes(self, sharded):
+        with obs.recording() as rec:
+            res, stats, _ = _traced_round(sharded)
+        # results stay byte-correct under tracing
+        assert np.array_equal(res, KEYS[::4])
+        assert stats.inserted == 2  # both keys odd, so absent before
+        snap = rec.snapshot()
+        assert validate_snapshot(snap) == []
+
+        # one lane per worker process, both present
+        procs = rec.remote_processes()
+        assert len(procs) == 2
+        prefixes = {entry["prefix"] for entry in procs.values()}
+        assert prefixes == {"shard[0].", "shard[1]."}
+
+        # every routed request minted a trace id...
+        assert snap["counters"]["trace.requests"] == 3
+        assert snap["counters"]["trace.spans_merged"] > 0
+        spans = rec.spans()
+        request_ids = {s[6]["trace_id"] for s in spans
+                       if s[0] == "shard.request"}
+        assert len(request_ids) == 3
+        # ...and the worker-side execution spans carry the same ids
+        worker_ids = set()
+        for entry in procs.values():
+            for name, _cat, _s, _e, _t, _d, args in entry["spans"]:
+                if name == "worker.execute":
+                    worker_ids.add(args["trace_id"])
+        assert worker_ids and worker_ids <= request_ids
+
+    def test_single_chrome_trace_has_process_lanes(self, sharded):
+        with obs.recording() as rec:
+            _traced_round(sharded)
+        trace = chrome_trace(rec)
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in events}
+        assert 1 in pids and len(pids) == 3  # router + 2 workers
+        names_by_pid = {}
+        for e in events:
+            names_by_pid.setdefault(e["pid"], set()).add(e["name"])
+        assert {"shard.scatter", "shard.gather", "shard.request"} <= \
+            names_by_pid[1]
+        for pid in pids - {1}:
+            assert "worker.execute" in names_by_pid[pid]
+        json.dumps(trace)  # must serialize as one file
+
+    def test_request_latency_histogram(self, sharded):
+        with obs.recording() as rec:
+            _traced_round(sharded)
+        hist = rec.snapshot()["histograms"]["shard.request_s"]
+        assert hist["count"] == 3
+        assert hist["min"] > 0
+
+    def test_flight_gauges_published(self, sharded):
+        with obs.recording() as rec:
+            _traced_round(sharded)
+        gauges = rec.snapshot()["gauges"]
+        assert gauges["flight.events"] >= 3
+
+    def test_worker_metrics_merge_namespaced(self, sharded):
+        with obs.recording() as rec:
+            sharded.search_many(KEYS[::4])
+        counters = rec.snapshot()["counters"]
+        shard_keys = [k for k in counters if k.startswith("shard[")]
+        assert shard_keys  # e.g. shard[0].engine.batches
+        assert validate_snapshot(rec.snapshot()) == []
+
+    def test_consecutive_recordings_stay_separate(self, sharded):
+        with obs.recording() as rec1:
+            sharded.search_many(KEYS[:64])
+        with obs.recording() as rec2:
+            sharded.search_many(KEYS[:64])
+        assert rec1.snapshot()["counters"]["trace.requests"] == 1
+        assert rec2.snapshot()["counters"]["trace.requests"] == 1
+        # worker registries were export-cleared: no double-shipped spans
+        for rec in (rec1, rec2):
+            for entry in rec.remote_processes().values():
+                names = [s[0] for s in entry["spans"]]
+                assert names.count("worker.execute") == 1
+
+
+class TestUntracedDefault:
+    def test_no_recording_no_trace_state(self, sharded):
+        res = sharded.search_many(KEYS[::4])
+        assert np.array_equal(res, KEYS[::4])
+        # the ambient recorder stayed null: nothing merged anywhere
+        assert obs.active is obs.NULL_RECORDER
+
+    def test_flight_recorder_always_on(self, sharded):
+        before = obs.FLIGHT.events_recorded
+        sharded.search_many(KEYS[:32])
+        assert obs.FLIGHT.events_recorded > before
+        summary = obs.FLIGHT.latency_summary()
+        assert "router.search" in summary
+
+    def test_traced_then_untraced_round(self, sharded):
+        """Wire compat: a traced request must not leave the protocol in a
+        state that corrupts the next untraced one."""
+        with obs.recording():
+            sharded.search_many(KEYS[:32])
+        res = sharded.search_many(KEYS[::4])
+        assert np.array_equal(res, KEYS[::4])
+
+
+class TestTraceCLI:
+    def test_shard_trace_out(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        rc = cli_main([
+            "shard", "--keys", "4096", "--batch", "1024", "--batches", "1",
+            "--shards", "2", "--trace-out", str(out),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "3 process lanes" in captured
+        trace = json.loads((out / "trace.json").read_text())
+        pids = {e["pid"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+        assert len(pids) == 3
+        snap = json.loads((out / "snapshot.json").read_text())
+        assert snap["counters"]["trace.requests"] >= 1
+        assert validate_snapshot(snap) == []
+
+    def test_obs_flight_lists_and_renders(self, tmp_path, capsys,
+                                          monkeypatch):
+        from repro.obs.flight import FLIGHT_DIR_ENV, dump_on_crash
+
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(tmp_path))
+        path = dump_on_crash("test")
+        assert cli_main(["obs", "flight"]) == 0
+        assert "harmonia-flight" in capsys.readouterr().out
+        assert cli_main(["obs", "flight", path]) == 0
+        out = capsys.readouterr().out
+        assert "test" in out and "pid" in out
