@@ -37,6 +37,17 @@ KEY_BITS = 64
 #: Smallest fanout for which the B+tree invariants are well defined.
 MIN_FANOUT = 3
 
+#: Usable constant-memory budget for the prefix-sum child region, in bytes.
+#: Physical constant memory is 64 KB on every CUDA GPU (paper footnote 1),
+#: but kernel parameters and driver-reserved slots live there too, so the
+#: region the index may pin is smaller — the real Harmonia implementation
+#: reserves headroom the same way (``harmonia_max_constant_mem``).  This is
+#: the single source both :mod:`repro.core.stats` cache-fit helpers and the
+#: :class:`repro.gpusim.device.DeviceSpec` presets draw from;
+#: :meth:`repro.core.layout.HarmoniaLayout.caching_depth` converts it into
+#: the number of upper tree levels served from constant memory.
+CONST_MEMORY_BUDGET_BYTES = 48 * 1024
+
 __all__ = [
     "KEY_DTYPE",
     "VALUE_DTYPE",
@@ -46,4 +57,5 @@ __all__ = [
     "DEFAULT_FANOUT",
     "KEY_BITS",
     "MIN_FANOUT",
+    "CONST_MEMORY_BUDGET_BYTES",
 ]

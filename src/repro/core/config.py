@@ -59,6 +59,12 @@ class SearchConfig:
     profile_sample: int = 1000
     #: Levels considered by NTG profiling (None = all; paper: the last few).
     ntg_profile_levels: Optional[int] = 2
+    #: Use the per-level ``ntg_degrees`` vector (harmonia.cuh's
+    #: ``ntg_degree[depth]``) for the engine's chunk cohort and capped
+    #: scan windows.  ``False`` falls back to the single aggregate group
+    #: size everywhere — the ablation baseline the hypothesis suite pins
+    #: byte-identical results against.
+    ntg_per_level: bool = True
     seed: int = 0x5EED
     engine: str = "compacted"
     engine_workers: int = 1

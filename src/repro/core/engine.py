@@ -94,6 +94,9 @@ class EngineStats:
     broadcast_levels: int
     n_chunks: int
     issue_sorted: Optional[bool]  #: PSA metadata, None when unknown
+    #: Broadcast level executions that swept only the NTG scan window
+    #: (a multiple of that level's degree) instead of the full row.
+    capped_levels: int = 0
 
     @property
     def total_node_reads(self) -> int:
@@ -126,6 +129,7 @@ class EngineStats:
         rec.counter("engine.queries", self.n_queries)
         rec.counter("engine.levels.grouped", self.grouped_levels)
         rec.counter("engine.levels.broadcast", self.broadcast_levels)
+        rec.counter("engine.levels.capped", self.capped_levels)
         rec.counter("engine.node_reads", self.total_node_reads)
         rec.counter("engine.chunks", self.n_chunks)
         nq = self.n_queries
@@ -228,7 +232,7 @@ class BatchQueryEngine:
         """
         if self._packed_keys is None:
             layout = self.layout
-            leaf_keys = layout.key_region[layout.leaf_start :].ravel()
+            leaf_keys = layout.leaf_keys.ravel()
             mask = leaf_keys != KEY_MAX
             self._packed_keys = np.ascontiguousarray(leaf_keys[mask])
             self._packed_values = np.ascontiguousarray(
@@ -262,6 +266,7 @@ class BatchQueryEngine:
         out: Optional[np.ndarray] = None,
         chunk_quantum: int = 1,
         overlay=None,
+        scan_widths=None,
     ) -> np.ndarray:
         """Batch point lookup; values aligned with ``queries`` as given
         (no PSA restore — use :meth:`execute_prepared` for that).
@@ -272,20 +277,35 @@ class BatchQueryEngine:
         executor's per-slot scratch); it must match the batch size and is
         overwritten in full.  ``chunk_quantum`` aligns thread-shard
         boundaries to a multiple of the NTG cohort (§4.2): queries the
-        narrowed group would serve in one warp stay in one chunk, so the
-        split never severs a PSA run mid-cohort.  Results are identical
-        for any quantum.  ``overlay`` is an optional
-        ``fn(keys, values) -> values`` post-pass applied to the finished
-        batch in place — the snapshot-epoch read path passes
-        :meth:`repro.core.delta.DeltaView.overlay_values` here, and since
-        the overlay is elementwise by key it commutes with the PSA
-        permutation.
+        narrowed groups would serve in one warp stay in one chunk, so the
+        split never severs a PSA run mid-cohort.  With per-level degrees
+        the cohort is ``warp_size // min(ntg_degrees)`` — the quantum must
+        cover the *widest* cohort any level forms, i.e. the narrowest
+        degree.  Results are identical for any quantum.  ``scan_widths``
+        (per level, from :func:`repro.core.ntg.level_scan_widths`) caps the
+        broadcast fallback's row sweep at each internal level to that
+        level's NTG window — a multiple of the level's degree — with an
+        exact fix-up pass for queries that exhaust the window, so results
+        never change while the common case compares a fraction of the row.
+        ``overlay`` is an optional ``fn(keys, values) -> values`` post-pass
+        applied to the finished batch in place — the snapshot-epoch read
+        path passes :meth:`repro.core.delta.DeltaView.overlay_values` here,
+        and since the overlay is elementwise by key it commutes with the
+        PSA permutation.
         """
         rec = obs.active
         t_start = _clock() if rec.enabled else 0.0
         q = ensure_key_array(np.asarray(queries), "queries")
         nq = q.size
         h = self.layout.height
+        if scan_widths is not None:
+            scan_widths = tuple(int(w) for w in scan_widths)
+            if len(scan_widths) != h:
+                raise ConfigError(
+                    f"scan_widths length {len(scan_widths)} != height {h}"
+                )
+            if any(w < 1 for w in scan_widths):
+                raise ConfigError("scan_widths entries must be >= 1")
         if out is None:
             values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
         else:
@@ -310,7 +330,8 @@ class BatchQueryEngine:
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 futures = [
                     pool.submit(
-                        self._run_chunk, q[s:e], self._scratch[i], values[s:e]
+                        self._run_chunk, q[s:e], self._scratch[i],
+                        values[s:e], scan_widths,
                     )
                     for i, (s, e) in enumerate(chunks)
                 ]
@@ -318,16 +339,17 @@ class BatchQueryEngine:
             uniq = np.sum([p[0] for p in parts], axis=0).astype(np.int64)
             grouped = sum(p[1] for p in parts)
             broadcast = sum(p[2] for p in parts)
+            capped = sum(p[3] for p in parts)
             n_chunks = len(chunks)
         else:
-            uniq, grouped, broadcast = self._run_chunk(
-                q, self._scratch[0], values
+            uniq, grouped, broadcast, capped = self._run_chunk(
+                q, self._scratch[0], values, scan_widths
             )
             n_chunks = 1
         if overlay is not None:
             overlay(q, values)
         self.last_stats = EngineStats(
-            nq, h, uniq, grouped, broadcast, n_chunks, issue_sorted
+            nq, h, uniq, grouped, broadcast, n_chunks, issue_sorted, capped
         )
         if rec.enabled:
             self.last_stats.record_to(rec, t_start, _clock())
@@ -342,17 +364,25 @@ class BatchQueryEngine:
 
         Restore is a direct scatter through the PSA permutation — the
         inverse permutation is never materialized.  When ``chunk_quantum``
-        is not given, the batch's (possibly cached) NTG group size sets
-        it — the narrowed group is the adjacency unit the profiler chose,
-        so thread shards cut on cohort boundaries.
+        is not given, the batch's level-aware NTG cohort sets it
+        (:attr:`~repro.core.tree.PreparedBatch.chunk_quantum`:
+        ``warp_size // min(ntg_degrees)``) — the warp cohort of the
+        *narrowest* level is the adjacency unit, so thread shards cut on
+        cohort boundaries at every level, not just the aggregate width.
+        The batch's per-level ``scan_widths`` flow into the broadcast
+        fallback's capped row sweep.
         """
         if chunk_quantum is None:
-            chunk_quantum = max(1, int(prepared.group_size))
+            chunk_quantum = getattr(prepared, "chunk_quantum", None)
+            if chunk_quantum is None:  # legacy prepared batches
+                chunk_quantum = max(1, int(prepared.group_size))
+        widths = getattr(prepared, "scan_widths", ()) or None
         issue = self.execute(
             prepared.psa.queries,
             issue_sorted=prepared.psa.issue_sorted,
             chunk_quantum=chunk_quantum,
             overlay=overlay,
+            scan_widths=widths,
         )
         return prepared.psa.scatter_restore(issue)
 
@@ -369,14 +399,17 @@ class BatchQueryEngine:
         q: np.ndarray,
         scratch: EngineScratch,
         out: np.ndarray,
-    ) -> Tuple[np.ndarray, int, int]:
+        scan_widths=None,
+    ) -> Tuple[np.ndarray, int, int, int]:
         """Traverse one contiguous query chunk, writing values into ``out``
         (a view of the shared result array).  Returns
-        ``(runs_per_level, grouped_levels, broadcast_levels)``."""
+        ``(runs_per_level, grouped_levels, broadcast_levels,
+        capped_levels)``."""
         layout = self.layout
         kr = layout.key_region
         ps = layout.prefix_sum
         h = layout.height
+        slots = layout.slots
         nq = q.size
 
         node = scratch.array("node", nq)
@@ -384,7 +417,7 @@ class BatchQueryEngine:
         slot = scratch.array("slot", nq)
         node[:] = 0
         uniq = np.zeros(h, dtype=np.int64)
-        grouped = broadcast = 0
+        grouped = broadcast = capped = 0
 
         for lvl in range(h - 1):
             starts = self._run_starts(node, scratch)
@@ -403,12 +436,30 @@ class BatchQueryEngine:
             else:
                 broadcast += 1
                 # Runs too short to pay for per-run dispatch: per-query
-                # broadcast compare, identical to the naive path.
-                rows = scratch.array("rows", (nq, layout.slots))
-                mask = scratch.array("mask", (nq, layout.slots), np.bool_)
-                np.take(kr, node, axis=0, out=rows)
+                # broadcast compare.  With a per-level NTG scan width the
+                # sweep covers only the level's window — the degree-aligned
+                # column count the narrowed group would touch — and a
+                # second exact pass fixes up the rare queries whose slot
+                # saturates the window.  Rows are sorted with KEY_MAX pads,
+                # so entries past the window can be <= q only when every
+                # windowed entry is, which is exactly the saturation case.
+                w = slots
+                if scan_widths is not None:
+                    w = min(int(scan_widths[lvl]), slots)
+                if w < slots:
+                    capped += 1
+                rows = scratch.array(f"rows:{w}", (nq, w))
+                mask = scratch.array(f"mask:{w}", (nq, w), np.bool_)
+                np.take(kr[:, :w], node, axis=0, out=rows)
                 np.less_equal(rows, q[:, None], out=mask)
                 np.sum(mask, axis=1, out=slot)
+                if w < slots:
+                    sat = np.flatnonzero(slot == w)
+                    if sat.size:
+                        rest = kr[node[sat], w:]
+                        slot[sat] += np.sum(
+                            rest <= q[sat, None], axis=1
+                        )
             np.take(ps, node, out=tmp)
             np.add(tmp, slot, out=node)  # Equation 1, vectorized
 
@@ -422,7 +473,7 @@ class BatchQueryEngine:
         found = scratch.array("found", nq, np.bool_)
         np.equal(pk[pos], q, out=found)
         out[found] = pv[pos[found]]  # misses keep the NOT_FOUND prefill
-        return uniq, grouped, broadcast
+        return uniq, grouped, broadcast, capped
 
     @staticmethod
     def _run_starts(node: np.ndarray, scratch: EngineScratch) -> np.ndarray:

@@ -12,10 +12,22 @@ A B+tree is flattened into:
 
 Because all leaves of a B+tree sit at the same depth, BFS places them in one
 contiguous block at the end of the key region; ``leaf_start`` marks its
-beginning and ``leaf_values`` aligns with it.  The prefix-sum array is tiny
-(8 bytes/node ≈ key region / (fanout-1)), which is what lets the real system
-keep it in constant memory + read-only cache; :meth:`child_region_bytes`
-exposes the footprint so the GPU model can decide what fits where.
+beginning and ``leaf_values`` aligns with it.  Following the real CUDA
+Harmonia (``harmonia.cuh``), the key storage is exposed as two regions split
+at an explicit boundary: :attr:`internal_keys` (the separator rows of levels
+``0 .. height-2``) and :attr:`leaf_keys` (the leaf rows), with
+:attr:`key_count_prefix_sum` the flat key-slot index at which the leaf
+region begins — the device handle carries exactly this split so the leaf
+array can get its own pointer, layout and caching treatment.  Both are
+zero-copy views of one backing array, faithful to the CUDA original where
+``leaf_keys`` is a pointer *into* the keys allocation.
+
+The prefix-sum array is tiny (8 bytes/node ≈ key region / (fanout-1)),
+which is what lets the real system keep it in constant memory + read-only
+cache; :meth:`child_region_bytes` exposes the footprint and
+:meth:`caching_depth` reports how many *upper levels* of it fit in the
+usable constant-memory budget — the levels below pay read-only-cache /
+global-memory cost (the simulator consumes this).
 
 **Gapped leaves.**  Leaf rows may carry pre-allocated slack: a leaf with
 ``c`` real keys stores them sorted in slots ``[0, c)`` and pads the tail
@@ -42,6 +54,7 @@ from repro.btree.iterators import bfs_nodes
 from repro.btree.node import InternalNode, LeafNode
 from repro.btree.regular import RegularBPlusTree
 from repro.constants import (
+    CONST_MEMORY_BUDGET_BYTES,
     DEFAULT_FANOUT,
     INDEX_DTYPE,
     KEY_DTYPE,
@@ -168,6 +181,47 @@ class HarmoniaLayout:
         """Key slots per node (= fanout - 1)."""
         return self.fanout - 1
 
+    @property
+    def internal_keys(self) -> np.ndarray:
+        """Separator rows of the internal levels — a zero-copy view of the
+        key region above the leaf split (``(leaf_start, slots)``)."""
+        return self.key_region[: self.leaf_start]
+
+    @property
+    def leaf_keys(self) -> np.ndarray:
+        """The leaf rows as their own region (``(n_leaves, slots)``) — the
+        ``harmonia.cuh`` ``leaf_keys`` pointer, here a zero-copy view of
+        the key region starting at :attr:`key_count_prefix_sum`."""
+        return self.key_region[self.leaf_start :]
+
+    @property
+    def key_count_prefix_sum(self) -> int:
+        """Flat key-slot index where the leaf region begins: the number of
+        key slots held by all internal nodes (the split point the real
+        implementation stores on its device handle)."""
+        return self.leaf_start * self.slots
+
+    def caching_depth(self, budget_bytes: Optional[int] = None) -> int:
+        """Number of complete upper levels whose prefix-sum entries fit in
+        ``budget_bytes`` of constant memory (default: the named
+        :data:`~repro.constants.CONST_MEMORY_BUDGET_BYTES`).
+
+        Child lookups at levels ``< caching_depth`` read prefix-sum entries
+        of nodes in those levels — all below ``level_starts[caching_depth]``
+        — so they are served from constant memory; lookups at deeper levels
+        spill to the read-only cache and pay global-memory transactions.
+        The boundary is level-aligned (a level is pinned whole or not at
+        all), matching the per-level traversal specialization.
+        """
+        if budget_bytes is None:
+            budget_bytes = CONST_MEMORY_BUDGET_BYTES
+        entries = max(int(budget_bytes), 0) // 8
+        depth = 0
+        while (depth < self.height
+               and int(self.level_starts[depth + 1]) <= entries):
+            depth += 1
+        return depth
+
     def node_keys(self, node: int) -> np.ndarray:
         """View of one node's key row (padded)."""
         return self.key_region[node]
@@ -188,9 +242,7 @@ class HarmoniaLayout:
         read-only use.
         """
         if self.leaf_counts is None:
-            self.leaf_counts = np.sum(
-                self.key_region[self.leaf_start :] != KEY_MAX, axis=1
-            )
+            self.leaf_counts = np.sum(self.leaf_keys != KEY_MAX, axis=1)
         return self.leaf_counts.copy() if copy else self.leaf_counts
 
     def occupancy(self) -> float:
@@ -300,14 +352,14 @@ class HarmoniaLayout:
     def iter_leaf_items(self) -> "np.ndarray":
         """All (key, value) pairs in key order as a structured traversal of
         the contiguous leaf block — the fast path range scans build on."""
-        leaf_keys = self.key_region[self.leaf_start :].ravel()
+        leaf_keys = self.leaf_keys.ravel()
         vals = self.leaf_values.ravel()
         mask = leaf_keys != KEY_MAX
         return np.stack([leaf_keys[mask], vals[mask]], axis=1)
 
     def all_keys(self) -> np.ndarray:
         """Stored keys in ascending order."""
-        leaf_keys = self.key_region[self.leaf_start :].ravel()
+        leaf_keys = self.leaf_keys.ravel()
         return leaf_keys[leaf_keys != KEY_MAX]
 
     def max_key(self) -> int:
@@ -373,6 +425,19 @@ class HarmoniaLayout:
             raise InvariantViolation("level_starts must span [0, n_nodes]")
         if self.leaf_values.shape != (self.n_leaves, self.slots):
             raise InvariantViolation("leaf_values shape mismatch")
+
+        # Leaf-region split: the two views partition the key region at the
+        # key_count_prefix_sum boundary without copying.
+        if self.leaf_keys.shape != (self.n_leaves, self.slots):
+            raise InvariantViolation("leaf_keys view shape mismatch")
+        if self.internal_keys.shape != (self.leaf_start, self.slots):
+            raise InvariantViolation("internal_keys view shape mismatch")
+        if self.key_count_prefix_sum != self.leaf_start * self.slots:
+            raise InvariantViolation("key_count_prefix_sum boundary mismatch")
+        if self.n_leaves and not np.shares_memory(
+            self.leaf_keys, self.key_region
+        ):
+            raise InvariantViolation("leaf_keys must view the key region")
 
         # Rows sorted with sentinel padding at the tail only.
         kr = self.key_region

@@ -15,6 +15,23 @@ The model (Equations 3-4):
 the index on the CPU, compute each query's per-level sequential comparison
 count, group queries into warps exactly as the kernel would, and take the
 warp-max step count.  Halve ``GS`` while the predicted ratio exceeds 1.
+
+**Per-level degrees.**  The real CUDA Harmonia (``harmonia.cuh``) does not
+stop at one global width: it tunes an ``ntg_degree[depth]`` array, one
+group width per tree level, because each level has its own fanout /
+occupancy / comparison profile (the root rarely needs 32 lanes; a gapped
+leaf level rarely needs more than a handful).  The kernel can only *split*
+groups as the frontier descends — once lanes have diverged to different
+children they cannot re-merge — so the degree vector is non-increasing
+with depth.  :func:`choose_level_degrees` picks the optimal such vector by
+dynamic programming over the per-level profiled step costs (the same
+Equation 3/4 cost model, minimized exactly under the monotone constraint
+instead of greedily), and :func:`choose_group_size` attaches it to the
+returned :class:`NTGSelection` next to the aggregate single-width choice.
+:func:`level_scan_widths` derives from the same trace the per-level
+comparison-window widths the host engine's broadcast fallback uses to
+avoid sweeping whole rows (a narrowed degree means most queries resolve
+within a few chunks).
 """
 
 from __future__ import annotations
@@ -107,6 +124,16 @@ class NTGSelection:
     #: Equation-4 ratios observed at each halving step, aligned with
     #: ``profiles[1:]`` (ratio of profile i over profile i-1).
     ratios: List[float] = field(default_factory=list)
+    #: Per-level group widths, ``harmonia.cuh``'s ``ntg_degree[depth]``:
+    #: one entry per tree level, root first, non-increasing with depth
+    #: (groups can split as the frontier descends but never re-merge).
+    #: Empty for legacy selections built before per-level profiling.
+    ntg_degrees: tuple = ()
+    #: Per-level key-window widths for the host engine's broadcast
+    #: fallback: the smallest multiple of that level's degree covering
+    #: the 95th-percentile comparison count.  Aligned with
+    #: ``ntg_degrees``; empty when per-level profiling was skipped.
+    scan_widths: tuple = ()
 
 
 def profile_group_size(
@@ -134,6 +161,120 @@ def profile_group_size(
     )
 
 
+def choose_level_degrees(
+    full_scan: np.ndarray,
+    early_exit: np.ndarray,
+    warp_size: int = 32,
+    min_gs: int = 1,
+    fanout_gs: Optional[int] = None,
+) -> tuple:
+    """Pick the optimal non-increasing per-level degree vector.
+
+    Candidates at every level are the halving chain ``fanout_gs,
+    fanout_gs/2, …, min_gs``.  A level's cost under degree ``g`` is the
+    total warp-step-slot count ``warp_max_steps(c_l, g).sum()`` — the exact
+    quantity Equation 3's ``S`` aggregates — using the full-scan comparison
+    row at the fanout width (the traditional kernel sweeps whole nodes) and
+    the early-exit row below it.  The kernel can only *split* groups as the
+    frontier descends, so the vector must be non-increasing with depth;
+    that constraint makes the problem a longest-chain DP rather than h
+    independent argmins.  Ties break toward the wider degree (fewer splits,
+    better locality).
+
+    ``full_scan`` / ``early_exit`` are ``(height, n_queries)`` comparison
+    matrices in issue order.  Returns a tuple of length ``height``.
+    """
+    warp_size = ensure_power_of_two("warp_size", warp_size)
+    min_gs = ensure_power_of_two("min_gs", min_gs)
+    if fanout_gs is None:
+        fanout_gs = warp_size
+    fanout_gs = ensure_power_of_two("fanout_gs", fanout_gs)
+    if min_gs > fanout_gs:
+        raise ConfigError(
+            f"min_gs {min_gs} exceeds the fanout group size {fanout_gs}"
+        )
+    h = early_exit.shape[0]
+    if h == 0:
+        return ()
+    candidates: List[int] = []
+    g = fanout_gs
+    while True:
+        candidates.append(g)
+        if g <= min_gs:
+            break
+        g //= 2
+    ncand = len(candidates)
+    cost = np.empty((h, ncand), dtype=np.float64)
+    for lvl in range(h):
+        for i, gs in enumerate(candidates):
+            row = full_scan[lvl] if gs == fanout_gs else early_exit[lvl]
+            cost[lvl, i] = float(
+                warp_max_steps(row[None, :], gs, warp_size).sum()
+            )
+    # DP: candidates are ordered widest-first, and "non-increasing degree
+    # with depth" means the candidate *index* is non-decreasing with depth.
+    # best[i] = cheapest cost of levels 0..lvl with level lvl at candidate
+    # i; the parent may sit at any index <= i, so a strict-improvement
+    # prefix-min (ties keep the earlier = wider index) gives both the
+    # transition and the wide tie-break.
+    best = cost[0].copy()
+    parent = np.zeros((h, ncand), dtype=np.int64)
+    for lvl in range(1, h):
+        running = np.inf
+        arg = 0
+        pref = np.empty(ncand, dtype=np.float64)
+        for i in range(ncand):
+            if best[i] < running:
+                running = best[i]
+                arg = i
+            pref[i] = running
+            parent[lvl, i] = arg
+        best = cost[lvl] + pref
+    i = int(np.argmin(best))  # first minimum → widest on ties
+    degrees = [0] * h
+    for lvl in range(h - 1, 0, -1):
+        degrees[lvl] = candidates[i]
+        i = int(parent[lvl, i])
+    degrees[0] = candidates[i]
+    return tuple(degrees)
+
+
+def level_scan_widths(
+    early_exit: np.ndarray,
+    degrees: Sequence[int],
+    slots: int,
+    quantile: float = 0.95,
+) -> tuple:
+    """Per-level comparison-window widths for the broadcast fallback.
+
+    For each level, the smallest multiple of that level's degree covering
+    the ``quantile``-th percentile of the profiled early-exit comparison
+    counts, capped at ``slots``.  The engine compares only the first
+    ``width`` columns of each node row and runs an exact fix-up pass for
+    the rare queries that exhaust the window, so results are unchanged
+    while the common case touches a fraction of the row.
+    """
+    slots = ensure_positive("slots", slots)
+    if not 0.0 < quantile <= 1.0:
+        raise ConfigError(f"quantile must be in (0, 1], got {quantile}")
+    h = early_exit.shape[0]
+    if h != len(degrees):
+        raise ConfigError(
+            f"degrees length {len(degrees)} != trace height {h}"
+        )
+    widths: List[int] = []
+    for lvl, gs in enumerate(degrees):
+        row = np.asarray(early_exit[lvl])
+        if row.size == 0:
+            widths.append(slots)
+            continue
+        k = min(row.size - 1, int(quantile * row.size))
+        q = int(np.partition(row, k)[k])
+        w = -(-max(q, 1) // int(gs)) * int(gs)
+        widths.append(min(max(w, 1), slots))
+    return tuple(widths)
+
+
 def choose_group_size(
     layout: HarmoniaLayout,
     sample_queries: Sequence[int],
@@ -146,6 +287,11 @@ def choose_group_size(
 
     ``sample_queries`` should be in *issue order* (i.e. already PSA-permuted
     when PSA is enabled) because warp composition depends on it.
+
+    Besides the aggregate single width the selection carries the per-level
+    ``ntg_degrees`` vector (:func:`choose_level_degrees`) and matching
+    ``scan_widths`` (:func:`level_scan_widths`), both derived from the same
+    traversal trace.
     """
     warp_size = ensure_power_of_two("warp_size", warp_size)
     min_gs = ensure_power_of_two("min_gs", min_gs)
@@ -174,7 +320,17 @@ def choose_group_size(
         if ratio <= 1.0:
             break
         current = candidate
-    return NTGSelection(group_size=current.gs, profiles=profiles, ratios=ratios)
+    ntg_degrees = choose_level_degrees(
+        full_scan, early_exit, warp_size, min_gs, fanout_gs=gs
+    )
+    scan_widths = level_scan_widths(early_exit, ntg_degrees, layout.slots)
+    return NTGSelection(
+        group_size=current.gs,
+        profiles=profiles,
+        ratios=ratios,
+        ntg_degrees=ntg_degrees,
+        scan_widths=scan_widths,
+    )
 
 
 class SelectionCache:
@@ -258,6 +414,8 @@ __all__ = [
     "NTGProfile",
     "NTGSelection",
     "profile_group_size",
+    "choose_level_degrees",
+    "level_scan_widths",
     "choose_group_size",
     "SelectionCache",
     "selection_cache",

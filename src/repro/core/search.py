@@ -89,10 +89,13 @@ def search_scalar(layout: HarmoniaLayout, key: int) -> Optional[int]:
             node = prefix[node] + bisect_right(row, key)  # Equation 1
     # Leaf rows are not cached (there are fanout x more of them); bisect
     # directly on the NumPy row still avoids the searchsorted dispatch.
-    row = layout.key_region[node]
+    # Leaves live in the split-off leaf_keys region past the
+    # key_count_prefix_sum boundary.
+    li = node - layout.leaf_start
+    row = layout.leaf_keys[li]
     pos = bisect_left(row, key)
     if pos < row.size and row[pos] == key:
-        return int(layout.leaf_values[node - layout.leaf_start, pos])
+        return int(layout.leaf_values[li, pos])
     return None
 
 
@@ -121,7 +124,8 @@ def traverse_batch(
         comparisons[lvl] = np.minimum(slot + 1, nkeys)
         node = layout.prefix_sum[node] + slot  # Equation 1, vectorized
 
-    rows = layout.key_region[node]
+    li = node - layout.leaf_start
+    rows = layout.leaf_keys[li]
     pos = _rowwise_left(rows, q)
     node_idx[h - 1] = node
     child_slot[h - 1] = pos
@@ -131,7 +135,6 @@ def traverse_batch(
     pos_c = np.minimum(pos, layout.slots - 1)
     found = rows[np.arange(nq), pos_c] == q
     values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
-    li = node - layout.leaf_start
     values[found] = layout.leaf_values[li[found], pos_c[found]]
     return TraversalTrace(node_idx, child_slot, comparisons, found, values)
 
@@ -146,12 +149,12 @@ def search_batch(layout: HarmoniaLayout, queries: Sequence[int]) -> np.ndarray:
         rows = layout.key_region[node]
         slot = _rowwise_right(rows, q)
         node = layout.prefix_sum[node] + slot
-    rows = layout.key_region[node]
+    li = node - layout.leaf_start
+    rows = layout.leaf_keys[li]
     pos = _rowwise_left(rows, q)
     pos_c = np.minimum(pos, layout.slots - 1)
     found = rows[np.arange(nq), pos_c] == q
     values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
-    li = node - layout.leaf_start
     values[found] = layout.leaf_values[li[found], pos_c[found]]
     return values
 
@@ -226,7 +229,7 @@ def contains_batch(
     if t.size == 0:
         return np.empty(0, dtype=bool)
     leaves = locate_leaves_bounds(layout, t)
-    rows = layout.key_region[layout.leaf_start + leaves]
+    rows = layout.leaf_keys[leaves]
     pos = _rowwise_left(rows, t)
     pos_c = np.minimum(pos, layout.slots - 1)
     return rows[np.arange(t.size), pos_c] == t
@@ -262,14 +265,13 @@ def range_search_batch(
         np.empty(0, dtype=VALUE_DTYPE),
     )
     out: List[Tuple[np.ndarray, np.ndarray]] = []
-    ls = layout.leaf_start
     for i in range(n):
         lo, hi = int(lo_arr[i]), int(hi_arr[i])
         if lo > hi:
             out.append(empty)
             continue
         a, b = int(start_leaf[i]), int(end_leaf[i]) + 1
-        window_k = layout.key_region[ls + a : ls + b].ravel()
+        window_k = layout.leaf_keys[a:b].ravel()
         window_v = layout.leaf_values[a:b].ravel()
         mask = (window_k >= lo) & (window_k <= hi)
         out.append((window_k[mask], window_v[mask]))

@@ -13,7 +13,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.constants import KEY_MAX
+from repro.constants import CONST_MEMORY_BUDGET_BYTES, KEY_MAX
 from repro.core.layout import HarmoniaLayout
 from repro.gpusim.coalesce import align_up
 
@@ -28,6 +28,9 @@ class LevelStats:
     mean_occupancy: float  #: mean fraction of key slots in use
     min_keys: int
     max_keys: int
+    #: Whether this level's child lookups are served from constant memory
+    #: under the default budget (level < the layout's caching depth).
+    const_resident: bool = True
 
 
 @dataclass(frozen=True)
@@ -45,14 +48,28 @@ class LayoutStats:
     mean_leaf_occupancy: float
     mean_internal_occupancy: float
     levels: List[LevelStats]
+    #: Levels served from constant memory under the default budget —
+    #: :meth:`repro.core.layout.HarmoniaLayout.caching_depth`.
+    caching_depth: int = 0
 
-    def fits_constant_memory(self, const_bytes: int = 64 * 1024) -> bool:
-        """Does the whole prefix-sum child region fit in constant memory?
-        (Footnote 1: usually it does not; the top levels do.)"""
+    def fits_constant_memory(
+        self, const_bytes: int = CONST_MEMORY_BUDGET_BYTES
+    ) -> bool:
+        """Does the whole prefix-sum child region fit in the constant-memory
+        *budget* (the usable slice of the physical 64 KB — one shared
+        constant with the device presets)?  Footnote 1: usually it does
+        not; the top levels do."""
         return self.child_region_bytes <= const_bytes
 
-    def const_resident_levels(self, const_bytes: int = 64 * 1024) -> int:
-        """How many top levels of the child region fit in constant memory."""
+    def const_resident_levels(
+        self, const_bytes: int = CONST_MEMORY_BUDGET_BYTES
+    ) -> int:
+        """How many top levels of the child region fit in the budget.
+
+        Same cumulative-prefix rule as
+        :meth:`repro.core.layout.HarmoniaLayout.caching_depth`, computed
+        from the level summaries.
+        """
         budget = const_bytes // 8
         total = 0
         for lvl in self.levels:
@@ -72,12 +89,17 @@ class LayoutStats:
             "child_region_kb": round(self.child_region_bytes / 1e3, 3),
             "mean_leaf_occupancy": round(self.mean_leaf_occupancy, 4),
             "mean_internal_occupancy": round(self.mean_internal_occupancy, 4),
+            "caching_depth": self.caching_depth,
+            "const_resident_levels": [
+                lvl.level for lvl in self.levels if lvl.const_resident
+            ],
         }
 
 
 def layout_stats(layout: HarmoniaLayout) -> LayoutStats:
     """Compute :class:`LayoutStats` in O(n_nodes) vectorized passes."""
     key_counts = np.sum(layout.key_region != KEY_MAX, axis=1)
+    caching_depth = layout.caching_depth()
     levels: List[LevelStats] = []
     for lvl in range(layout.height):
         a = int(layout.level_starts[lvl])
@@ -91,6 +113,7 @@ def layout_stats(layout: HarmoniaLayout) -> LayoutStats:
                 mean_occupancy=float(counts.mean() / layout.slots),
                 min_keys=int(counts.min()),
                 max_keys=int(counts.max()),
+                const_resident=lvl < caching_depth,
             )
         )
     leaf_counts = key_counts[layout.leaf_start :]
@@ -111,6 +134,7 @@ def layout_stats(layout: HarmoniaLayout) -> LayoutStats:
             else 1.0
         ),
         levels=levels,
+        caching_depth=caching_depth,
     )
 
 

@@ -18,6 +18,7 @@ snapshot, queries always run against the latest snapshot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -46,22 +47,72 @@ from repro.errors import EmptyTreeError
 from repro.utils.validation import ensure_key_array, ensure_scalar_key
 
 
+def _profile_sample(
+    queries: np.ndarray, target: int, warp_size: int
+) -> np.ndarray:
+    """Representative §4.2 profiling sample: contiguous warp-sized blocks
+    spread evenly across the issue stream.
+
+    A sorted-*prefix* sample (the obvious ``queries[:target]``) sees only
+    the leftmost subtree of a PSA-sorted batch, so upper-level comparison
+    profiles collapse toward slot 0 and both the degree DP and the scan
+    widths mis-estimate badly.  Evenly spaced blocks cover the whole key
+    range while keeping each block's local warp composition intact, and —
+    because the blocks are taken in stream order and never overlap — a
+    sorted input stays sorted.
+    """
+    n = queries.size
+    if n <= target:
+        return queries
+    block = 4 * warp_size
+    nblocks = max(1, target // block)
+    if nblocks == 1:
+        return queries[:target]
+    starts = np.linspace(0, n - block, nblocks).astype(np.int64)
+    idx = (
+        starts[:, None] + np.arange(block, dtype=np.int64)[None, :]
+    ).ravel()
+    return queries[idx]
+
+
 @dataclass(frozen=True)
 class PreparedBatch:
     """A query batch after the §4 preprocessing, ready for the kernel.
 
     Carries everything the simulator / benches need to execute it exactly
-    as configured: the issue-order queries, the PSA bookkeeping and the
-    chosen thread-group size.
+    as configured: the issue-order queries, the PSA bookkeeping, the
+    aggregate thread-group size and — when per-level NTG is on — the
+    ``ntg_degrees[depth]`` vector plus the matching engine scan windows.
     """
 
     psa: PSABatch
     group_size: int
     ntg_selection: Optional[NTGSelection]
+    #: Per-level group widths (root first, non-increasing); empty when
+    #: per-level NTG is disabled.
+    ntg_degrees: Tuple[int, ...] = ()
+    #: Per-level broadcast scan windows aligned with ``ntg_degrees``;
+    #: empty when unprofiled (explicit/fanout widths) or disabled.
+    scan_widths: Tuple[int, ...] = ()
+    warp_size: int = 32
 
     @property
     def queries(self) -> np.ndarray:
         return self.psa.queries
+
+    @property
+    def chunk_quantum(self) -> int:
+        """Thread-shard alignment unit for the host engine.
+
+        With per-level degrees a warp serves ``warp_size // gs_l`` queries
+        at level ``l``; the chunk split must keep the *largest* cohort any
+        level forms intact, i.e. the one at the narrowest degree.  Without
+        degrees this falls back to the legacy aggregate group size (which
+        over-chunks skewed trees — the level-aware path fixes that).
+        """
+        if self.ntg_degrees:
+            return max(1, self.warp_size // min(self.ntg_degrees))
+        return max(1, int(self.group_size))
 
 
 class HarmoniaTree:
@@ -196,6 +247,7 @@ class HarmoniaTree:
             psa = identity_batch(q)
 
         selection: Optional[NTGSelection] = None
+        profile_s: Optional[float] = None
         if isinstance(cfg.ntg, int):
             gs = cfg.ntg
         elif cfg.ntg == "fanout":
@@ -212,22 +264,52 @@ class HarmoniaTree:
                 selection = cached
                 gs = selection.group_size
             else:
-                sample = psa.queries[: min(cfg.profile_sample, psa.n)]
+                sample = _profile_sample(
+                    psa.queries, min(cfg.profile_sample, psa.n),
+                    cfg.warp_size,
+                )
                 if sample.size == 0:
                     gs = fanout_group_size(layout.fanout, cfg.warp_size)
                 else:
+                    t0 = time.perf_counter()
                     selection = choose_group_size(
                         layout,
                         sample,
                         warp_size=cfg.warp_size,
                         levels=cfg.ntg_profile_levels,
                     )
+                    profile_s = time.perf_counter() - t0
                     gs = selection.group_size
                     selection_cache.put(
                         layout, cfg.warp_size, cfg.ntg_profile_levels,
                         selection,
                     )
-        return PreparedBatch(psa=psa, group_size=gs, ntg_selection=selection)
+
+        degrees: Tuple[int, ...] = ()
+        widths: Tuple[int, ...] = ()
+        if cfg.ntg_per_level:
+            if selection is not None and selection.ntg_degrees:
+                degrees = tuple(selection.ntg_degrees)
+                widths = tuple(selection.scan_widths)
+            else:
+                # Forced widths (explicit int / "fanout" / empty sample)
+                # still get a level vector — uniform at the chosen width —
+                # so the engine's cohort math has one code path.
+                degrees = (int(gs),) * layout.height
+        rec = obs.active
+        if rec.enabled:
+            for lvl, d in enumerate(degrees):
+                rec.gauge(f"ntg.level_degree.l{lvl}", float(d))
+            if profile_s is not None:
+                rec.gauge("ntg.profile_s", profile_s)
+        return PreparedBatch(
+            psa=psa,
+            group_size=gs,
+            ntg_selection=selection,
+            ntg_degrees=degrees,
+            scan_widths=widths,
+            warp_size=cfg.warp_size,
+        )
 
     def search_batch(
         self,

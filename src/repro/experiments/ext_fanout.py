@@ -25,7 +25,11 @@ FANOUTS = (8, 16, 32, 64, 128)
 def run(scale="default", seed: int = 0) -> ExperimentResult:
     sc = resolve_scale(scale)
     device = scaled_device(sc)
-    n_keys = scaled_tree_sizes(sc)[0]
+    # The fanout trade is a memory-hierarchy effect: on a cache-resident
+    # toy tree every fanout streams from L2 and the sweep degenerates to
+    # pure issue-slot counting (which always favors the narrowest groups).
+    # Keep the tree large enough that leaf levels genuinely miss.
+    n_keys = max(scaled_tree_sizes(sc)[0], 131_072)
     rng = np.random.default_rng(seed)
     keys = make_key_set(n_keys, rng=rng)
     queries = uniform_queries(keys, sc.n_queries, rng=rng)

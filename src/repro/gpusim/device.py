@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.constants import CONST_MEMORY_BUDGET_BYTES
 from repro.errors import ConfigError
 from repro.utils.validation import ensure_positive, ensure_power_of_two
 
@@ -31,6 +32,12 @@ class DeviceSpec:
     clock_ghz: float = 1.455
     #: Constant memory (64 KB on all CUDA GPUs — paper footnote 1).
     const_mem_bytes: int = 64 * 1024
+    #: Constant memory the index may actually pin — physical size minus
+    #: kernel-parameter/driver headroom.  Single source:
+    #: :data:`repro.constants.CONST_MEMORY_BUDGET_BYTES`.  The simulator's
+    #: caching-depth split (which upper levels of the prefix-sum region are
+    #: const-served) is computed against this, never the physical size.
+    const_budget_bytes: int = CONST_MEMORY_BUDGET_BYTES
     #: Per-SM read-only / texture cache.
     readonly_cache_bytes: int = 64 * 1024
     #: Device L2 cache.
@@ -67,6 +74,12 @@ class DeviceSpec:
                      "cycles_per_step"):
             if getattr(self, attr) <= 0:
                 raise ConfigError(f"{attr} must be positive")
+        ensure_positive("const_budget_bytes", self.const_budget_bytes)
+        if self.const_budget_bytes > self.const_mem_bytes:
+            raise ConfigError(
+                f"const_budget_bytes {self.const_budget_bytes} exceeds "
+                f"physical const_mem_bytes {self.const_mem_bytes}"
+            )
 
     @property
     def keys_per_cacheline(self) -> int:

@@ -22,7 +22,9 @@ Execution model per warp and tree level:
 1. every active group issues one load per *chunk step* (``GS`` keys of its
    node row, 8 bytes per lane); the warp's loads in one step form one
    memory request, coalesced into as many transactions as distinct cache
-   lines are touched;
+   lines are touched — counting only lines *not already fetched* by the
+   same warp earlier in the level's sweep (intra-level L1 reuse: a narrow
+   group re-crossing a 128-byte line over several steps pays once);
 2. a group stops after ``ceil(c / GS)`` steps, where ``c`` is its query's
    comparison need at this level (early exit) or the node's full key count
    (fanout-based); the warp serializes until its slowest group finishes
@@ -57,6 +59,15 @@ class SimConfig:
 
     structure: str = "harmonia"  # "harmonia" | "regular_pointer"
     group_size: int = 32
+    #: Per-level group widths (``harmonia.cuh``'s ``ntg_degree[depth]``,
+    #: root first).  Empty = uniform ``group_size`` at every level (the
+    #: legacy single-width kernel; a uniform vector equal to ``group_size``
+    #: simulates identically).  With distinct widths a warp owns the
+    #: ``warp_size // min(ntg_degrees)`` queries of the *narrowest* level
+    #: and serves each level in sub-rounds of ``warp_size // degree``
+    #: queries, so narrowing a level amortizes its memory requests over
+    #: more queries per round.
+    ntg_degrees: tuple = ()
     #: Early exit once the group locates the target child (NTG semantics).
     early_exit: bool = True
     #: Serve the prefix-sum child region from constant/read-only cache
@@ -79,6 +90,15 @@ class SimConfig:
                 f"group_size {self.group_size} exceeds warp size "
                 f"{self.device.warp_size}"
             )
+        degrees = tuple(int(d) for d in self.ntg_degrees)
+        object.__setattr__(self, "ntg_degrees", degrees)
+        for d in degrees:
+            ensure_power_of_two("ntg_degrees entry", d)
+            if d > self.device.warp_size:
+                raise ConfigError(
+                    f"ntg_degrees entry {d} exceeds warp size "
+                    f"{self.device.warp_size}"
+                )
 
 
 @dataclass(frozen=True)
@@ -144,13 +164,29 @@ def simulate_search(
     """
     q = ensure_key_array(np.asarray(queries), "queries")
     device = cfg.device
-    gs = cfg.group_size
-    qpw = device.warp_size // gs
-    nq = q.size
-    n_warps = -(-nq // qpw) if nq else 0
     h = layout.height
+    nq = q.size
+    # Per-level degrees: a warp owns the query cohort of the *narrowest*
+    # level and serves wider levels in sub-rounds.  Each sub-round is a
+    # full warp (warp_size // degree groups x degree lanes), so reshaping
+    # queries into (n_warps * rounds, qpw_level) sub-warps per level is an
+    # exact execution model; a uniform vector reduces to the single-width
+    # kernel bit for bit.
+    if cfg.ntg_degrees:
+        if len(cfg.ntg_degrees) != h:
+            raise ConfigError(
+                f"ntg_degrees length {len(cfg.ntg_degrees)} != tree "
+                f"height {h}"
+            )
+        level_gs = [int(d) for d in cfg.ntg_degrees]
+    else:
+        level_gs = [cfg.group_size] * h
+    min_gs = min(level_gs)
+    qpw_max = device.warp_size // min_gs
+    n_warps = -(-nq // qpw_max) if nq else 0
     metrics = KernelMetrics(
-        n_queries=nq, n_warps=n_warps, group_size=gs, height=h
+        n_queries=nq, n_warps=n_warps, group_size=cfg.group_size, height=h,
+        ntg_degrees=tuple(level_gs),
     )
     if nq == 0:
         rec = obs.active
@@ -164,15 +200,27 @@ def simulate_search(
     slots = layout.slots
     line = device.cache_line_bytes
     nkeys_per_node = np.sum(layout.key_region != KEY_MAX, axis=1).astype(np.int64)
+    # Constant-memory boundary, level-aligned: the child lookup at level l
+    # reads prefix-sum entries of that level's nodes, so the whole level is
+    # const-served iff it fits under the *budget* (not the physical 64 KB —
+    # kernel params and driver slots eat the difference).  Everything past
+    # the caching depth pays the read-only/global path.
+    caching_depth = layout.caching_depth(device.const_budget_bytes)
+    if cfg.structure == "harmonia" and cfg.cached_children:
+        metrics.caching_depth = caching_depth
 
-    lane_in_group = np.arange(gs, dtype=np.int64)
-    valid = _warp_matrix(np.ones(nq, dtype=bool), n_warps, qpw, False)
+    ones = np.ones(nq, dtype=bool)
     line_i64 = np.int64(line)
     #: Per-level line ranges each query touches, for the locality model.
     key_spans: list = []
-    extra_spans: list = []  # child pointers / uncached prefix reads
+    extra_spans: list = []  # child pointers / uncached or spilled prefix reads
 
     for lvl in range(h):
+        gs = level_gs[lvl]
+        qpw = device.warp_size // gs
+        n_sub = n_warps * (qpw_max // qpw)
+        lane_in_group = np.arange(gs, dtype=np.int64)
+        valid = _warp_matrix(ones, n_sub, qpw, False)
         node = trace.node_idx[lvl]
         if cfg.early_exit:
             needed = trace.comparisons[lvl]
@@ -181,7 +229,7 @@ def simulate_search(
         needed = np.maximum(needed, 1)
         steps_q = -(-needed // gs)
 
-        steps_w = _warp_matrix(steps_q, n_warps, qpw, 0)
+        steps_w = _warp_matrix(steps_q, n_sub, qpw, 0)
         steps_w = np.where(valid, steps_w, 0)
         steps_max = steps_w.max(axis=1)
         # Coherent steps: while even the fastest ACTIVE group is working.
@@ -194,24 +242,43 @@ def simulate_search(
 
         # --- key-region chunk loads -----------------------------------
         base = addr.key_byte(node)
-        base_w = _warp_matrix(base, n_warps, qpw, 0)
+        base_w = _warp_matrix(base, n_sub, qpw, 0)
         max_level_steps = int(steps_max.max()) if steps_max.size else 0
         key_tx = 0
         n_requests = 0
+        # Intra-level temporal reuse: a group's chunk sweep walks its node
+        # row forward, so with narrow degrees several consecutive steps land
+        # in the same cache line.  Only the first touch pays a transaction;
+        # later steps hit in L1.  Each group's sweep is monotone in line
+        # number (rows are contiguous), so a high-water mark per group is
+        # an exact record of its already-paid lines.
+        paid_line = np.full((n_sub, qpw), -1, dtype=np.int64)
         for s in range(max_level_steps):
             group_active = (steps_w > s) & valid
             if not group_active.any():
                 break
-            # Per-lane byte addresses: (n_warps, qpw, gs).
+            # Per-lane byte addresses: (n_sub, qpw, gs).
             key_idx = s * gs + lane_in_group  # (gs,)
             lane_ok = key_idx < slots
             bytes_ = base_w[:, :, None] + key_idx[None, None, :] * 8
             lane_active = group_active[:, :, None] & lane_ok[None, None, :]
-            lines = np.where(lane_active, bytes_ // line, INACTIVE)
-            lines = lines.reshape(n_warps, qpw * gs)
+            lineno = bytes_ // line
+            fresh = lane_active & (lineno > paid_line[:, :, None])
+            lines = np.where(fresh, lineno, INACTIVE)
+            lines = lines.reshape(n_sub, qpw * gs)
             tx = transactions_per_warp(lines)
             key_tx += int(tx.sum())
+            # A global request is issued only when the step misses L1
+            # somewhere; fully re-covered steps are on-chip issue slots.
             n_requests += int((tx > 0).sum())
+            metrics.l1_requests += int(
+                (group_active.any(axis=1) & (tx == 0)).sum()
+            )
+            np.maximum(
+                paid_line,
+                np.where(lane_active, lineno, np.int64(-1)).max(axis=2),
+                out=paid_line,
+            )
         metrics.key_transactions[lvl] = key_tx
         metrics.requests[lvl] += n_requests
 
@@ -226,22 +293,28 @@ def simulate_search(
         # --- child lookup (internal levels) ---------------------------
         if lvl < h - 1:
             if cfg.structure == "harmonia":
-                if cfg.cached_children:
-                    # Prefix-sum served on-chip: no global traffic.  The
-                    # top of the array sits in 64 KB constant memory; the
-                    # spill is served by the per-SM read-only cache
-                    # (§3.1 + footnote 1).
-                    const_capacity = device.const_mem_bytes // 8
-                    node_w = _warp_matrix(node, n_warps, qpw, np.int64(0))
-                    in_const = valid & (node_w < const_capacity)
-                    metrics.const_requests += int(in_const.any(axis=1).sum())
-                    metrics.readonly_requests += int(
-                        (valid & ~in_const).any(axis=1).sum()
-                    )
+                if cfg.cached_children and lvl < caching_depth:
+                    # Level fits under the constant budget: served on-chip,
+                    # zero global traffic (§3.1 + footnote 1).
+                    metrics.const_requests += int(valid.any(axis=1).sum())
                     extra_spans.append(None)
+                elif cfg.cached_children:
+                    # Spilled past the constant budget: the read-only path
+                    # still moves the lines through L2/DRAM, so the
+                    # transactions are real — the old model charged nothing
+                    # here, which was only honest for trees that fit.
+                    pbytes = addr.prefix_byte(node)
+                    pb_w = _warp_matrix(pbytes, n_sub, qpw, np.int64(-1))
+                    lines = np.where(valid, pb_w // line, INACTIVE)
+                    tx = transactions_per_warp(lines)
+                    metrics.readonly_requests += int((tx > 0).sum())
+                    metrics.child_transactions[lvl] = int(tx.sum())
+                    metrics.requests[lvl] += int((tx > 0).sum())
+                    pl = pbytes // line_i64
+                    extra_spans.append(LevelSpans(start=pl, end=pl))
                 else:
                     pbytes = addr.prefix_byte(node)
-                    pb_w = _warp_matrix(pbytes, n_warps, qpw, np.int64(-1))
+                    pb_w = _warp_matrix(pbytes, n_sub, qpw, np.int64(-1))
                     lines = np.where(valid, pb_w // line, INACTIVE)
                     tx = transactions_per_warp(lines)
                     metrics.child_transactions[lvl] = int(tx.sum())
@@ -252,7 +325,7 @@ def simulate_search(
                 # One 8-byte pointer fetch per group from the node body.
                 slot = trace.child_slot[lvl]
                 pbytes = addr.child_ptr_byte(node, slot)
-                pb_w = _warp_matrix(pbytes, n_warps, qpw, np.int64(-1))
+                pb_w = _warp_matrix(pbytes, n_sub, qpw, np.int64(-1))
                 lines = np.where(valid, pb_w // line, INACTIVE)
                 tx = transactions_per_warp(lines)
                 metrics.child_transactions[lvl] = int(tx.sum())
@@ -263,14 +336,19 @@ def simulate_search(
             extra_spans.append(None)
 
     # --- leaf value fetch ---------------------------------------------
+    # Uses the leaf level's sub-warp shape (the loop's final lvl).
     value_spans: Optional[LevelSpans] = None
     if cfg.count_value_fetch:
         found = trace.found
         if found.any():
+            gs = level_gs[h - 1]
+            qpw = device.warp_size // gs
+            n_sub = n_warps * (qpw_max // qpw)
+            valid = _warp_matrix(ones, n_sub, qpw, False)
             leaf_local = trace.node_idx[h - 1] - layout.leaf_start
             vbytes = addr.value_byte(leaf_local, trace.child_slot[h - 1], slots)
-            vb_w = _warp_matrix(vbytes, n_warps, qpw, np.int64(-1))
-            found_w = _warp_matrix(found, n_warps, qpw, False) & valid
+            vb_w = _warp_matrix(vbytes, n_sub, qpw, np.int64(-1))
+            found_w = _warp_matrix(found, n_sub, qpw, False) & valid
             lines = np.where(found_w, vb_w // line, INACTIVE)
             tx = transactions_per_warp(lines)
             metrics.value_transactions = int(tx.sum())
@@ -315,11 +393,17 @@ def simulate_harmonia_search(
     early_exit: bool = True,
     cached_children: bool = True,
     trace: Optional[TraversalTrace] = None,
+    ntg_degrees=(),
 ) -> KernelMetrics:
-    """Harmonia kernel (issue-ordered ``queries``; run PSA upstream)."""
+    """Harmonia kernel (issue-ordered ``queries``; run PSA upstream).
+
+    ``ntg_degrees`` switches the kernel to per-level group widths (one per
+    tree level, root first); empty runs ``group_size`` uniformly.
+    """
     cfg = SimConfig(
         structure="harmonia",
         group_size=group_size,
+        ntg_degrees=tuple(ntg_degrees),
         early_exit=early_exit,
         cached_children=cached_children,
         device=device,

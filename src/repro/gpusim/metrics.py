@@ -33,6 +33,15 @@ class KernelMetrics:
     group_size: int
     height: int
 
+    #: Per-level group widths the kernel ran with (root first); uniform
+    #: ``group_size`` when the kernel was simulated without a degree
+    #: vector.
+    ntg_degrees: tuple = ()
+    #: Tree levels whose child lookups were served from constant memory
+    #: (level-aligned split against the device's ``const_budget_bytes``);
+    #: ``None`` when the kernel didn't model cached children.
+    caching_depth: Optional[int] = None
+
     #: Global transactions from key-region reads, per tree level.
     key_transactions: np.ndarray = field(default=None)  # (height,)
     #: Global transactions from child-reference reads, per level (zero for
@@ -52,6 +61,10 @@ class KernelMetrics:
     #: past constant memory, served per-SM — §3.1 "the rest is fetched
     #: into the read-only cache").
     readonly_requests: int = 0
+    #: Key-region warp loads served entirely from L1 (every line the step
+    #: touched was already fetched by the same warp earlier in the level's
+    #: sweep) — issue slots with zero global transactions.
+    l1_requests: int = 0
 
     #: Warp execution steps per level: sum over warps of max group steps.
     warp_steps: np.ndarray = field(default=None)  # (height,)
@@ -107,9 +120,11 @@ class KernelMetrics:
         warp ``k - 1`` extra times, which is incoherent work by definition
         (only the lanes of the missed lines participate).  Counting both is
         what makes the metric anti-correlated with memory divergence as
-        well as branch divergence (paper footnote 4).
+        well as branch divergence (paper footnote 4).  L1-served key loads
+        count like the other on-chip requests: one coherent slot, no
+        replay.
         """
-        onchip = self.const_requests + self.readonly_requests
+        onchip = self.const_requests + self.readonly_requests + self.l1_requests
         coherent = (
             float(self.coherent_steps.sum()) + self.gld_requests + onchip
         )
@@ -173,6 +188,7 @@ class KernelMetrics:
         rec.counter("gpusim.warp_steps", self.total_warp_steps)
         rec.counter("gpusim.const_requests", self.const_requests)
         rec.counter("gpusim.readonly_requests", self.readonly_requests)
+        rec.counter("gpusim.l1_requests", self.l1_requests)
         for lvl in range(self.height):
             rec.counter(
                 f"gpusim.key_transactions.l{lvl}",
@@ -191,6 +207,8 @@ class KernelMetrics:
             "queries": self.n_queries,
             "warps": self.n_warps,
             "group_size": self.group_size,
+            "ntg_degrees": list(self.ntg_degrees),
+            "caching_depth": self.caching_depth,
             "gld_transactions": self.gld_transactions,
             "gld_requests": self.gld_requests,
             "transactions_per_request": round(self.transactions_per_request, 4),
@@ -199,6 +217,7 @@ class KernelMetrics:
             "warp_steps": self.total_warp_steps,
             "const_requests": self.const_requests,
             "readonly_requests": self.readonly_requests,
+            "l1_requests": self.l1_requests,
         }
 
 

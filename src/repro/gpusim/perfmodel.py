@@ -50,10 +50,13 @@ class KernelTime:
     #: Memory-level-parallelism bound: per-warp latency chains divided by
     #: the device's resident-warp complement (0 when not computed).
     latency_s: float = 0.0
+    #: L1-served key loads (intra-level reuse): no global traffic, but the
+    #: load-store unit and L1 array are still occupied one line per request.
+    l1_s: float = 0.0
 
     @property
     def memory_s(self) -> float:
-        return self.dram_s + self.l2_s + self.const_s
+        return self.dram_s + self.l2_s + self.const_s + self.l1_s
 
     @property
     def total_s(self) -> float:
@@ -152,6 +155,12 @@ def estimate_kernel_time(
     ) / device.n_sms
     const_s = const_cycles / (device.clock_ghz * 1e9)
 
+    # L1-served key loads (a narrow group re-crossing a line it already
+    # fetched this level) move no global data, but each still reads one
+    # line out of the L1 array — charge that at L2-class on-chip bandwidth
+    # so intra-level reuse is cheap, not free.
+    l1_s = metrics.l1_requests * line / (device.l2_bandwidth_gbs * 1e9)
+
     launch_s = device.launch_overhead_us * 1e-6
     latency_s = (
         latency_bound_seconds(metrics, device) if include_latency_bound else 0.0
@@ -163,6 +172,7 @@ def estimate_kernel_time(
         const_s=const_s,
         launch_s=launch_s,
         latency_s=latency_s,
+        l1_s=l1_s,
     )
 
 

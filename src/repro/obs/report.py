@@ -83,6 +83,13 @@ def render_report(snapshot: Dict[str, Any]) -> str:
     spans = snapshot.get("spans", {})
 
     derived: List[str] = []
+    degrees = _level_series(gauges, "ntg.level_degree.")
+    if degrees:
+        vec = "[" + ", ".join(str(int(v)) for _, v in degrees) + "]"
+        derived.append(f"  NTG degrees (root->leaf, §4.2): {vec}")
+        prof = gauges.get("ntg.profile_s")
+        if prof is not None:
+            derived.append(f"  NTG profiling time:             {_fmt(prof)} s")
     tpw = gauges.get("gpusim.transactions_per_warp")
     if tpw is not None:
         derived.append(f"  transactions/warp (Fig 2):      {_fmt(tpw)}")

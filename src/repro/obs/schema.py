@@ -87,6 +87,10 @@ CATALOGUE: List[MetricSpec] = [
                "strategy"),
     MetricSpec("engine.levels.broadcast", "counter", "levels",
                "level executions that fell back to the broadcast compare"),
+    MetricSpec("engine.levels.capped", "counter", "levels",
+               "broadcast level executions that swept only the per-level NTG "
+               "scan window (a multiple of the level's degree) instead of "
+               "the full key row"),
     MetricSpec("engine.node_reads", "counter", "nodes",
                "distinct node-row reads performed (sum of frontier runs over "
                "levels) — the host analog of gld_transactions"),
@@ -128,6 +132,14 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("stream.sort_hidden_ratio", "gauge", "ratio",
                "steady-state sort / traverse time; <= 1.0 means §4.1.3's "
                "hiding condition holds"),
+    # --------------------------------------------------------------- ntg
+    MetricSpec("ntg.level_degree.l*", "gauge", "threads",
+               "thread-group width chosen for tree level l<N> "
+               "(harmonia.cuh's ntg_degree[depth]; non-increasing with "
+               "depth, last prepared batch wins)"),
+    MetricSpec("ntg.profile_s", "gauge", "s",
+               "wall time of the last §4.2 static-profiling selection "
+               "(cache misses only; cached selections skip profiling)"),
     # --------------------------------------------------------------- psa
     MetricSpec("psa.batches", "counter", "batches",
                "query batches prepared for issue (PSA or identity)"),
@@ -159,6 +171,9 @@ CATALOGUE: List[MetricSpec] = [
                "constant-memory child-region accesses (footnote 1)"),
     MetricSpec("gpusim.readonly_requests", "counter", "requests",
                "read-only-cache child-region accesses (§3.1 spill)"),
+    MetricSpec("gpusim.l1_requests", "counter", "requests",
+               "key-region warp loads served entirely from L1 (intra-level "
+               "line reuse under narrow per-level NTG degrees)"),
     MetricSpec("gpusim.key_transactions.l*", "counter", "transactions",
                "key-region transactions at tree level l<N> (Figure 2's "
                "per-level quantity)"),
