@@ -207,6 +207,64 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_join(args: argparse.Namespace) -> int:
+    """Build two trees from key files and merge-join them (docs/join.md):
+    the first tree's leaf region streams through the second's hinted
+    dual walk; ``--trace-out`` records the join.* metrics + spans."""
+    import contextlib
+    import os
+    import time
+
+    import repro.obs as obs
+    from repro.join import TileConfig, merge_join
+    from repro.obs.export import write_chrome_trace, write_snapshot
+    from repro.obs.schema import validate_snapshot
+
+    keys_a = np.unique(_read_keys(args.keys_a))
+    keys_b = np.unique(_read_keys(args.keys_b))
+    tree_a = HarmoniaTree.from_sorted(keys_a, None, fanout=args.fanout)
+    tree_b = HarmoniaTree.from_sorted(keys_b, None, fanout=args.fanout)
+    tile = None if args.tile is None else TileConfig(tile_size=args.tile)
+
+    recording = obs.recording() if args.trace_out else contextlib.nullcontext()
+    with recording as rec:
+        t0 = time.perf_counter()
+        result = merge_join(
+            tree_a, tree_b, mode=args.mode, tile=tile,
+            hinted=not args.no_hint,
+        )
+        wall = time.perf_counter() - t0
+        print(f"{args.mode} join: {keys_a.size} probe keys x "
+              f"{keys_b.size} build keys -> {result.keys.size} rows "
+              f"in {wall:.3f}s (selectivity {result.selectivity:.1%}, "
+              f"{'hinted' if not args.no_hint else 'unhinted'}"
+              + (f", tile {args.tile}" if args.tile else "") + ")")
+        shown = min(result.keys.size, args.limit)
+        for i in range(shown):
+            row = f"{result.keys[i]}\t{result.values_a[i]}"
+            if result.values_b is not None:
+                row += f"\t{result.values_b[i]}"
+            print(row)
+        if result.keys.size > shown:
+            print(f"# ... {result.keys.size - shown} more rows",
+                  file=sys.stderr)
+        if args.trace_out:
+            snapshot = rec.snapshot()
+            os.makedirs(args.trace_out, exist_ok=True)
+            snap_path = write_snapshot(
+                snapshot, os.path.join(args.trace_out, "snapshot.json")
+            )
+            trace_path = write_chrome_trace(
+                rec, os.path.join(args.trace_out, "trace.json")
+            )
+            print(f"snapshot: {snap_path}")
+            print(f"chrome trace: {trace_path}")
+            for p in validate_snapshot(snapshot):
+                print(f"harmonia-tool: obs: {p}", file=sys.stderr)
+                return 1
+    return 0
+
+
 def _cmd_obs_record(args: argparse.Namespace) -> int:
     """One instrumented end-to-end run: overlapped stream + simulated
     kernel under a single recording, exported as snapshot + Chrome trace.
@@ -418,6 +476,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="record the run with cross-process tracing and "
                          "write snapshot.json + trace.json here")
     sh.set_defaults(func=_cmd_shard)
+
+    j = sub.add_parser(
+        "join",
+        help="merge-join two key files through the dual-tree walk",
+    )
+    j.add_argument("keys_a", help="probe-side keys (.npy/.npz/text)")
+    j.add_argument("keys_b", help="build-side keys (.npy/.npz/text)")
+    j.add_argument("--mode", choices=["inner", "semi", "anti"],
+                   default="inner")
+    j.add_argument("--fanout", type=int, default=64)
+    j.add_argument("--tile", type=int, default=None,
+                   help="bounded-memory tile size (queries per tile)")
+    j.add_argument("--no-hint", action="store_true",
+                   help="probe per tile through the plain engine instead "
+                        "of the hinted dual walk")
+    j.add_argument("--limit", type=int, default=10,
+                   help="result rows to print (default 10)")
+    j.add_argument("--trace-out", default=None,
+                   help="directory for the recorded snapshot.json + "
+                        "trace.json of the join")
+    j.set_defaults(func=_cmd_join)
 
     o = sub.add_parser(
         "obs", help="observability: record / report / diff / validate"

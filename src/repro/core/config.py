@@ -73,6 +73,14 @@ class SearchConfig:
     stream_depth: int = 2
     stream_sort_workers: int = 1
     stream_mode: str = "overlap"
+    #: Bounded-memory tiling of each stream batch's traversal (the FPGA
+    #: level-wise discipline, docs/join.md): ``None`` runs whole batches
+    #: through the engine; an integer drives them through the
+    #: :class:`~repro.join.tiles.TileScheduler` in tiles of this many
+    #: queries, with ``stream_resident_tiles`` staging slots, so peak
+    #: traversal scratch is O(tile) whatever the batch size.
+    stream_tile: Optional[int] = None
+    stream_resident_tiles: int = 2
     trace: Optional[TraceConfig] = None
 
     def __post_init__(self) -> None:
@@ -115,6 +123,9 @@ class SearchConfig:
                 f"stream_depth must be >= {min_depth} for "
                 f"stream_mode={self.stream_mode!r}, got {self.stream_depth}"
             )
+        if self.stream_tile is not None:
+            ensure_positive("stream_tile", self.stream_tile)
+        ensure_positive("stream_resident_tiles", self.stream_resident_tiles)
 
     # Convenience presets matching the paper's ablation (Figure 13).
     @classmethod

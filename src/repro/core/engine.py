@@ -97,6 +97,10 @@ class EngineStats:
     #: Broadcast level executions that swept only the NTG scan window
     #: (a multiple of that level's degree) instead of the full row.
     capped_levels: int = 0
+    #: True when the batch ran through the monotone dual-walk path
+    #: (:meth:`BatchQueryEngine.execute_hinted`): the frontier carries
+    #: lower-bound hints instead of per-query node indices.
+    hinted: bool = False
 
     @property
     def total_node_reads(self) -> int:
@@ -130,6 +134,8 @@ class EngineStats:
         rec.counter("engine.levels.grouped", self.grouped_levels)
         rec.counter("engine.levels.broadcast", self.broadcast_levels)
         rec.counter("engine.levels.capped", self.capped_levels)
+        if self.hinted:
+            rec.counter("engine.hinted_batches")
         rec.counter("engine.node_reads", self.total_node_reads)
         rec.counter("engine.chunks", self.n_chunks)
         nq = self.n_queries
@@ -220,6 +226,14 @@ class BatchQueryEngine:
         self._packed_keys: Optional[np.ndarray] = None
         self._packed_values: Optional[np.ndarray] = None
         self.last_stats: Optional[EngineStats] = None
+
+    @property
+    def scratch_nbytes(self) -> int:
+        """Bytes currently held by the shape-sticky scratch pools — the
+        resident traversal footprint the tile scheduler budgets against
+        (the packed leaf block is part of the layout snapshot, not the
+        per-batch footprint)."""
+        return sum(s.nbytes for s in self._scratch)
 
     # ------------------------------------------------------------ leaf block
 
@@ -354,6 +368,126 @@ class BatchQueryEngine:
         if rec.enabled:
             self.last_stats.record_to(rec, t_start, _clock())
         return values
+
+    def execute_hinted(
+        self,
+        queries,
+        out: Optional[np.ndarray] = None,
+        overlay=None,
+    ) -> np.ndarray:
+        """Dual-walk lookup for an **ascending** batch: each level's
+        ``searchsorted`` starts from the previous frontier's lower bound.
+
+        The monotone order inverts the per-level work: instead of
+        splitting the query array into runs of equal node index (one
+        ``searchsorted`` of the node's keys against each query slice),
+        the frontier is carried as ``(nodes, starts)`` — one entry per
+        *distinct* node — and each node's key row is searchsorted into
+        its own query slice to find the child cut points.  That is
+        O(frontier · fanout · log run) per level rather than
+        O(n_queries), and children whose query slice is empty are pruned
+        before they are ever visited — the JZ-tree dual-walk subtree
+        skip: a whole subtree of ``tree_b`` is never descended when no
+        probe from ``tree_a`` lands in its key range.  ``KEY_MAX`` row
+        pads cut at ``e`` and so prune their children automatically.
+
+        Values are byte-identical to :meth:`execute` on the same batch —
+        the contract the join layer's hypothesis suite pins — because
+        both paths resolve values with the same packed-leaf binary
+        search; the level walk only determines the traversal *work*
+        (and the stats the dual-walk kernel model consumes).
+
+        Raises :class:`~repro.errors.ConfigError` when the batch is not
+        ascending; callers that cannot guarantee order should use
+        :meth:`execute`.  Single-threaded by design: the frontier walk
+        touches O(internal nodes) rows, not O(n_queries).
+        """
+        rec = obs.active
+        t_start = _clock() if rec.enabled else 0.0
+        q = ensure_key_array(np.asarray(queries), "queries")
+        nq = q.size
+        h = self.layout.height
+        if nq > 1 and np.any(q[1:] < q[:-1]):
+            raise ConfigError(
+                "execute_hinted requires an ascending (sorted) batch"
+            )
+        if out is None:
+            values = np.full(nq, NOT_FOUND, dtype=VALUE_DTYPE)
+        else:
+            if out.shape != (nq,) or out.dtype != np.dtype(VALUE_DTYPE):
+                raise ConfigError(
+                    f"out must be shape ({nq},) dtype "
+                    f"{np.dtype(VALUE_DTYPE)}, got shape {out.shape} "
+                    f"dtype {out.dtype}"
+                )
+            values = out
+            values.fill(NOT_FOUND)
+        if nq == 0:
+            self.last_stats = EngineStats(
+                0, h, np.zeros(h, dtype=np.int64), 0, 0, 0, True,
+                hinted=True,
+            )
+            if rec.enabled:
+                self.last_stats.record_to(rec, t_start, _clock())
+            return values
+        self._packed_leaves()
+        scratch = self._scratch[0]
+        uniq = self._walk_hinted(q, scratch)
+
+        # Leaf finish — identical to _run_chunk's packed-leaf resolve.
+        pk, pv = self._packed_keys, self._packed_values
+        pos = scratch.array("pos", nq)
+        pos[:] = np.searchsorted(pk, q, side="left")
+        np.minimum(pos, pk.size - 1, out=pos)
+        found = scratch.array("found", nq, np.bool_)
+        np.equal(pk[pos], q, out=found)
+        values[found] = pv[pos[found]]
+        if overlay is not None:
+            overlay(q, values)
+        self.last_stats = EngineStats(
+            nq, h, uniq, max(h - 1, 0), 0, 1, True, hinted=True
+        )
+        if rec.enabled:
+            self.last_stats.record_to(rec, t_start, _clock())
+        return values
+
+    def _walk_hinted(
+        self, q: np.ndarray, scratch: EngineScratch
+    ) -> np.ndarray:
+        """Frontier walk of one ascending batch; returns the per-level
+        distinct-node counts (the hinted analog of ``_run_chunk``'s run
+        counts — here the frontier *is* the run list)."""
+        layout = self.layout
+        kr = layout.key_region
+        ps = layout.prefix_sum
+        h = layout.height
+        nq = q.size
+        uniq = np.zeros(h, dtype=np.int64)
+        nodes = np.zeros(1, dtype=np.int64)
+        starts = np.zeros(1, dtype=np.int64)
+        for lvl in range(h - 1):
+            uniq[lvl] = nodes.size
+            ends = np.append(starts[1:], nq)
+            next_nodes = []
+            next_starts = []
+            for j in range(nodes.size):
+                s, e = int(starts[j]), int(ends[j])
+                row = kr[nodes[j]]
+                # Child c (slot semantics: #keys <= q) takes the probes
+                # in [row[c-1], row[c]); its cut point in the slice is
+                # the first probe >= row[c-1].
+                cuts = s + np.searchsorted(q[s:e], row, side="left")
+                bounds = np.empty(row.size + 2, dtype=np.int64)
+                bounds[0] = s
+                bounds[1:-1] = cuts
+                bounds[-1] = e
+                nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
+                next_nodes.append(ps[nodes[j]] + nonempty)  # Equation 1
+                next_starts.append(bounds[nonempty])
+            nodes = np.concatenate(next_nodes)
+            starts = np.concatenate(next_starts)
+        uniq[h - 1] = nodes.size
+        return uniq
 
     def execute_prepared(
         self, prepared, chunk_quantum: Optional[int] = None,

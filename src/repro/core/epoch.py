@@ -192,6 +192,21 @@ class EpochManager:
             pinned.delta = view
         return pinned
 
+    def pin(self) -> HarmoniaTree:
+        """Pin the current (base, delta) state as one consistent read-only
+        tree facade — the handle long read passes hold.
+
+        Every ``search_*`` method pins implicitly per call; explicit
+        pinning is for multi-call reads that must see *one* version
+        throughout — :func:`repro.join.merge_join` pins both sides once
+        and streams millions of probes against the pinned pair while
+        writers keep publishing new epochs.  The returned tree shares
+        the immutable snapshot arrays (O(1), no copy) and carries the
+        pinned delta view in concurrent mode; it never sees later
+        flushes or drains.
+        """
+        return self._snapshot()
+
     def search(self, key: int) -> Optional[int]:
         return self._snapshot().search(key)
 

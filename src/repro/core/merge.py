@@ -115,6 +115,14 @@ def concat_sorted_runs(
             ka[-1] < kb[0] for (ka, _), (kb, _) in zip(parts, parts[1:])
         )
         if not disjoint:
+            if len(parts) >= 3:
+                # Three or more overlapping runs (delta run collapse,
+                # shard-local join outputs): the galloping heap merge
+                # beats the O(n log n) argsort when the runs mostly
+                # interleave in blocks, and is byte-identical to it.
+                from repro.core.heap import kway_merge_runs
+
+                return kway_merge_runs(parts)
             keys = np.concatenate([k for k, _ in parts])
             values = np.concatenate([v for _, v in parts])
             # Stable sort keeps run order among equal keys, so "last

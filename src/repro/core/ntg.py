@@ -353,7 +353,10 @@ class SelectionCache:
 
     def __init__(self, capacity: int = 8) -> None:
         ensure_positive("capacity", capacity)
-        self.capacity = capacity
+        # Floor of two live layouts: the dual-tree join alternates
+        # lookups between both sides in a tight loop, and a capacity-1
+        # cache would re-profile on every alternation (LRU thrash).
+        self.capacity = max(int(capacity), 2)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
 

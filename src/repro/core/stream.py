@@ -300,6 +300,16 @@ class StreamStats:
         }
 
 
+def _tile_config(tile_size: int, resident: int):
+    """Build a TileConfig lazily — ``repro.join.tiles`` imports this
+    module's sibling ``core.engine``, so the import stays call-time."""
+    from repro.join.tiles import TileConfig
+
+    return TileConfig(
+        tile_size=int(tile_size), max_resident_tiles=int(resident)
+    )
+
+
 class StreamExecutor:
     """Two-stage (sort ∥ traverse) streaming executor over one layout
     snapshot.
@@ -328,6 +338,7 @@ class StreamExecutor:
         use_psa: bool = True,
         engine_workers: int = 1,
         keys_per_cacheline: int = 16,
+        tile=None,
     ) -> None:
         if not isinstance(layout, HarmoniaLayout):
             raise ConfigError("StreamExecutor needs a HarmoniaLayout")
@@ -381,6 +392,18 @@ class StreamExecutor:
         self._overlay = None  # per-run delta overlay hook (see run())
         self.last_stats: Optional[StreamStats] = None
 
+        # Optional bounded-memory tiling of the traverse stage: each
+        # batch runs through the tile scheduler in fixed-size tiles, so
+        # engine scratch peaks at O(tile) instead of O(batch) — the FPGA
+        # level-wise discipline (docs/join.md).  Values are identical.
+        self._tiler = None
+        if tile is not None:
+            from repro.join.tiles import TileConfig, TileScheduler
+
+            if not isinstance(tile, TileConfig):
+                tile = TileConfig(tile_size=int(tile))
+            self._tiler = TileScheduler(self.engine, tile)
+
     def _sort_pool(self) -> ThreadPoolExecutor:
         """The sort-stage worker pool — created on first use and kept for
         the executor's lifetime, so repeated ``run`` calls don't pay the
@@ -423,6 +446,9 @@ class StreamExecutor:
             use_psa=config.use_psa,
             engine_workers=config.engine_workers,
             keys_per_cacheline=config.keys_per_cacheline,
+            tile=None if config.stream_tile is None else _tile_config(
+                config.stream_tile, config.stream_resident_tiles
+            ),
         )
         if share_from is not None and share_from.layout is layout:
             ex.engine.share_packed_leaves(share_from)
@@ -533,7 +559,10 @@ class StreamExecutor:
         issued = self._issued[bi % self.depth][:bn]
         values = self._values[bi % self.depth][:bn]
         tr_s = _clock()
-        self.engine.execute(issued, out=values, overlay=self._overlay)
+        if self._tiler is not None:
+            self._tiler.run(issued, out=values, overlay=self._overlay)
+        else:
+            self.engine.execute(issued, out=values, overlay=self._overlay)
         tr_e = _clock()
         view = out[s:e]
         if order is None:

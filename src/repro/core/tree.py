@@ -402,6 +402,50 @@ class HarmoniaTree:
         """Stats of the most recent compacted-engine execution (or None)."""
         return self._engine.last_stats if self._engine is not None else None
 
+    def search_sorted_many(
+        self,
+        queries: Sequence[int],
+        config: Optional[SearchConfig] = None,
+        tile=None,
+        hinted: bool = True,
+    ) -> np.ndarray:
+        """Batched lookup for an **ascending** query batch — the dual-walk
+        probe path :func:`repro.join.merge_join` drives.
+
+        Sorted input makes PSA a no-op, so this skips ``prepare_queries``
+        entirely and runs the engine directly: with ``hinted=True`` (the
+        default) through :meth:`~repro.core.engine.BatchQueryEngine.
+        execute_hinted`, whose frontier carries lower-bound hints and
+        prunes subtrees no probe lands in; with ``hinted=False`` through
+        the plain frontier-compacted ``execute``.  ``tile`` (a
+        :class:`~repro.join.tiles.TileConfig`) bounds peak traversal
+        scratch to O(tile) via the tile scheduler.  Values are
+        bit-identical to :meth:`search_many` on the same batch (the
+        delta overlay, when pinned, applies the same way); ascending
+        order is validated by the hinted engine.
+        """
+        cfg = config or self.search_config
+        q = ensure_key_array(np.asarray(queries), "queries")
+        overlay = (
+            self.delta.overlay_values if self.delta is not None else None
+        )
+        if self._layout is None:
+            out = np.full(q.size, NOT_FOUND, dtype=np.int64)
+            if overlay is not None:
+                overlay(q, out)
+            return out
+        with obs.scoped(cfg.trace):
+            eng = self.engine(cfg)
+            if tile is not None:
+                from repro.join.tiles import TileScheduler
+
+                return TileScheduler(eng, tile).run(
+                    q, overlay=overlay, hinted=hinted
+                )
+            if hinted:
+                return eng.execute_hinted(q, overlay=overlay)
+            return eng.execute(q, issue_sorted=True, overlay=overlay)
+
     def search_stream(
         self,
         queries: Sequence[int],

@@ -14,6 +14,7 @@ the shape-level acceptance criteria in DESIGN.md only rely on the counts.
 """
 
 from repro.gpusim.device import DeviceSpec, TITAN_V, TESLA_K80
+from repro.gpusim.dualwalk import DualWalkMetrics, simulate_dual_walk
 from repro.gpusim.metrics import KernelMetrics
 from repro.gpusim.kernels import (
     SimConfig,
@@ -26,6 +27,8 @@ __all__ = [
     "DeviceSpec",
     "TITAN_V",
     "TESLA_K80",
+    "DualWalkMetrics",
+    "simulate_dual_walk",
     "KernelMetrics",
     "SimConfig",
     "simulate_harmonia_search",

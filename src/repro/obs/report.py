@@ -138,6 +138,20 @@ def render_report(snapshot: Dict[str, Any]) -> str:
             f"  request latency (router):       n={_fmt(req['count'])}  "
             f"{_percentile_cells(req)} s"
         )
+    njoins = counters.get("join.joins")
+    if njoins:
+        probes = counters.get("join.probes", 0)
+        sel = gauges.get("join.selectivity")
+        sel_txt = f"{sel:.1%}" if sel is not None else "n/a"
+        derived.append(f"  dual-tree joins:                {_fmt(njoins)} "
+                       f"joins over {_fmt(probes)} probes "
+                       f"(last selectivity {sel_txt})")
+    peak_b = gauges.get("stream.tile_peak_bytes")
+    if peak_b is not None:
+        tiles = counters.get("stream.tiles", 0)
+        derived.append(f"  tiled peak footprint:           "
+                       f"{peak_b / 1024:.1f} KiB across {_fmt(tiles)} tiles "
+                       f"(O(tile) bound, docs/join.md)")
     dsize = gauges.get("delta.size")
     if dsize is not None:
         druns = gauges.get("delta.runs", 0)

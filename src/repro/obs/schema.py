@@ -96,6 +96,10 @@ CATALOGUE: List[MetricSpec] = [
                "levels) — the host analog of gld_transactions"),
     MetricSpec("engine.chunks", "counter", "chunks",
                "contiguous query chunks executed (1 per batch unless sharded)"),
+    MetricSpec("engine.hinted_batches", "counter", "batches",
+               "batches run through the monotone dual-walk path "
+               "(execute_hinted: frontier lower-bound hints + subtree "
+               "pruning)"),
     MetricSpec("engine.unique_nodes.l*", "counter", "nodes",
                "frontier runs (= distinct nodes for a PSA-sorted batch) at "
                "tree level l<N> — Figure 12's per-level transaction analog"),
@@ -132,6 +136,22 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("stream.sort_hidden_ratio", "gauge", "ratio",
                "steady-state sort / traverse time; <= 1.0 means §4.1.3's "
                "hiding condition holds"),
+    MetricSpec("stream.tiles", "counter", "tiles",
+               "fixed-size tiles driven through the bounded-memory tile "
+               "scheduler (join probes or tiled stream batches)"),
+    MetricSpec("stream.tile_peak_bytes", "gauge", "bytes",
+               "measured peak resident traversal footprint of the last "
+               "tiled run (staging ring + engine scratch) — the O(tile) "
+               "bound the FPGA level-wise discipline promises"),
+    # -------------------------------------------------------------- join
+    MetricSpec("join.joins", "counter", "joins",
+               "merge_join invocations (dual-tree merge-joins)"),
+    MetricSpec("join.probes", "counter", "probes",
+               "probe-side keys streamed through dual-tree joins"),
+    MetricSpec("join.matches", "counter", "probes",
+               "probe keys that found a build-side partner"),
+    MetricSpec("join.selectivity", "gauge", "ratio",
+               "matched fraction of the last join's probe stream"),
     # --------------------------------------------------------------- ntg
     MetricSpec("ntg.level_degree.l*", "gauge", "threads",
                "thread-group width chosen for tree level l<N> "
@@ -192,6 +212,10 @@ CATALOGUE: List[MetricSpec] = [
     MetricSpec("gpusim.pipeline.*", "gauge", "s|ratio",
                "host-device pipeline model stage times and occupancy, "
                "namespaced by mode (serial / double_buffer / pipeline)"),
+    MetricSpec("gpusim.dualwalk.*", "gauge", "transactions|x",
+               "dual-walk join kernel model: probe-side leaf-scan and "
+               "hinted-descent transactions vs the per-key baseline "
+               "(leaf_scan_tx / descent_tx / naive_tx / tx_speedup)"),
     # ------------------------------------------------------------ update
     MetricSpec("update.batches", "counter", "batches",
                "batches applied by the vectorized update pipeline"),
@@ -310,6 +334,11 @@ CATALOGUE: List[MetricSpec] = [
                "one compacted-engine batch execution"),
     MetricSpec("stream.run", "span", "-",
                "one full stream run (all batches)"),
+    MetricSpec("stream.tile_run", "span", "-",
+               "one tile-scheduled batch (all tiles of one run)"),
+    MetricSpec("join.run", "span", "-",
+               "one dual-tree merge-join (probe extraction through "
+               "classification)"),
     MetricSpec("stream.sort", "span", "-",
                "sort stage of one batch (worker thread in overlap mode)"),
     MetricSpec("stream.traverse", "span", "-",

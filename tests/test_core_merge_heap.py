@@ -208,3 +208,88 @@ class TestTuning:
 
         with pytest.raises(ConfigError):
             recommend_fanout(100, candidates=())
+
+
+class TestKwayMergeRuns:
+    """The heap path behind ``concat_sorted_runs(policy="last_wins")``
+    for >= 3 runs — must stay byte-identical to the concatenate/argsort/
+    keep-last reference it replaces."""
+
+    @staticmethod
+    def _reference(parts):
+        ks = np.concatenate([k for k, _ in parts])
+        vs = np.concatenate([v for _, v in parts])
+        order = np.argsort(ks, kind="stable")
+        ks, vs = ks[order], vs[order]
+        keep = np.ones(ks.size, dtype=bool)
+        keep[:-1] = ks[1:] != ks[:-1]  # last occurrence wins
+        return ks[keep], vs[keep]
+
+    def test_fuzz_matches_argsort_reference(self):
+        from repro.core.heap import kway_merge_runs
+
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            n_runs = rng.integers(2, 6)
+            parts = []
+            for _ in range(n_runs):
+                n = int(rng.integers(0, 40))
+                k = np.unique(rng.integers(0, 60, size=n).astype(np.int64))
+                v = rng.integers(-100, 100, size=k.size).astype(np.int64)
+                parts.append((k, v))
+            got_k, got_v = kway_merge_runs(parts)
+            exp_k, exp_v = self._reference(parts)
+            assert np.array_equal(got_k, exp_k)
+            assert np.array_equal(got_v, exp_v)
+
+    def test_latest_run_wins_on_ties(self):
+        from repro.core.heap import kway_merge_runs
+
+        parts = [
+            (np.array([1, 5]), np.array([10, 50])),
+            (np.array([5, 9]), np.array([-5, 90])),
+            (np.array([5]), np.array([555])),
+        ]
+        k, v = kway_merge_runs(parts)
+        assert k.tolist() == [1, 5, 9]
+        assert v.tolist() == [10, 555, 90]
+
+    def test_disjoint_runs_gallop_whole_blocks(self):
+        from repro.core.heap import kway_merge_runs
+
+        parts = [
+            (np.arange(0, 100), np.arange(0, 100) * 2),
+            (np.arange(100, 200), np.arange(100, 200) * 3),
+            (np.arange(200, 300), np.arange(200, 300) * 5),
+        ]
+        k, v = kway_merge_runs(parts)
+        exp_k, exp_v = self._reference(parts)
+        assert np.array_equal(k, exp_k) and np.array_equal(v, exp_v)
+
+    def test_empty_runs_and_empty_input(self):
+        from repro.core.heap import kway_merge_runs
+
+        empty = np.empty(0, dtype=np.int64)
+        k, v = kway_merge_runs([(empty, empty)] * 3)
+        assert k.size == 0 and v.size == 0
+        k, v = kway_merge_runs([])
+        assert k.size == 0 and v.size == 0
+
+    def test_mismatched_run_rejected(self):
+        from repro.core.heap import kway_merge_runs
+
+        with pytest.raises(ConfigError):
+            kway_merge_runs([(np.arange(3), np.arange(2))])
+
+    def test_concat_sorted_runs_dispatches_to_heap(self):
+        from repro.core.merge import concat_sorted_runs
+
+        parts = [
+            (np.array([1, 4, 9]), np.array([1, 2, 3])),
+            (np.array([2, 4, 11]), np.array([4, 5, 6])),
+            (np.array([4, 10]), np.array([7, 8])),
+        ]
+        k, v = concat_sorted_runs(parts, policy="last_wins")
+        exp_k, exp_v = TestKwayMergeRuns._reference(parts)
+        assert np.array_equal(k, exp_k)
+        assert np.array_equal(v, exp_v)

@@ -221,3 +221,20 @@ class TestSelectionCache:
 
         with pytest.raises(ConfigError):
             SelectionCache(capacity=0)
+
+    def test_capacity_floor_of_two_stops_join_alternation_thrash(self):
+        # Regression for the dual-tree merge-join: it alternates lookups
+        # between both trees' layouts in a tight loop, so a capacity-1
+        # cache would evict and re-profile on every alternation.  The
+        # constructor floors capacity at two live layouts.
+        from repro.core.ntg import SelectionCache
+
+        cache = SelectionCache(capacity=1)
+        assert cache.capacity == 2
+        a, b = self._layout(), self._layout()
+        sa, sb = self._selection(), self._selection()
+        cache.put(a, 32, 2, sa)
+        cache.put(b, 32, 2, sb)
+        for _ in range(5):  # both sides must stay resident
+            assert cache.get(a, 32, 2) is sa
+            assert cache.get(b, 32, 2) is sb
